@@ -1,0 +1,41 @@
+//! E1: allocation + payment rule microbenchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_mechanism::allocation::{AllocationRule, Bid};
+use dmp_mechanism::design::{empirical_ic_check, MarketDesign};
+use dmp_mechanism::payment::PaymentRule;
+
+fn bids(n: usize) -> Vec<Bid> {
+    (0..n)
+        .map(|i| Bid::new(format!("b{i}"), ((i * 37) % 100 + 1) as f64))
+        .collect()
+}
+
+fn bench_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auction/clear");
+    for n in [100usize, 1_000] {
+        let bs = bids(n);
+        group.bench_with_input(BenchmarkId::new("vickrey_top10", n), &n, |b, _| {
+            b.iter(|| {
+                let winners = AllocationRule::TopK(10).allocate(&bs);
+                black_box(PaymentRule::Vickrey.payments(&bs, &winners).len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rsop", n), &n, |b, _| {
+            b.iter(|| black_box(PaymentRule::Rsop { seed: 7 }.payments(&bs, &[]).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ic_check(c: &mut Criterion) {
+    let vals: Vec<f64> = (1..=12).map(|i| i as f64 * 9.0).collect();
+    let grid: Vec<f64> = (0..=20).map(|k| k as f64 / 20.0).collect();
+    c.bench_function("auction/empirical_ic_check_12x21", |b| {
+        let design = MarketDesign::scarce_licenses(1, 0.0);
+        b.iter(|| black_box(empirical_ic_check(&design, &vals, &grid).max_gain))
+    });
+}
+
+criterion_group!(benches, bench_rules, bench_ic_check);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Index-builder benchmarks: profiling, sketching, and relationship-
+//! index construction (F3's inner loops).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_discovery::{ColumnProfile, HyperLogLog, IndexBuilder, MetadataEngine, MinHash};
+use dmp_tasks::synth::synthetic_lake;
+
+fn bench_sketches(c: &mut Criterion) {
+    c.bench_function("discovery/minhash_insert_10k", |b| {
+        b.iter(|| {
+            let mut mh = MinHash::default_width();
+            for i in 0..10_000u64 {
+                mh.insert(&i);
+            }
+            black_box(mh.items())
+        })
+    });
+    c.bench_function("discovery/hll_insert_10k", |b| {
+        b.iter(|| {
+            let mut hll = HyperLogLog::default_precision();
+            for i in 0..10_000u64 {
+                hll.insert(&i);
+            }
+            black_box(hll.estimate())
+        })
+    });
+}
+
+fn bench_profile(c: &mut Criterion) {
+    let lake = synthetic_lake(1, 1, 5_000, 3);
+    c.bench_function("discovery/profile_5k_rows", |b| {
+        b.iter(|| black_box(ColumnProfile::compute_all(&lake[0]).len()))
+    });
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery/index_build");
+    group.sample_size(10);
+    for tables in [50usize, 200] {
+        let engine = MetadataEngine::new();
+        engine.register_batch("steward", synthetic_lake(tables, 8, 50, 7));
+        group.bench_with_input(BenchmarkId::from_parameter(tables), &tables, |b, _| {
+            b.iter(|| black_box(IndexBuilder::new().build(&engine).relationships.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sketches, bench_profile, bench_index_build);
+criterion_main!(benches);

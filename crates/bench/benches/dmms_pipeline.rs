@@ -1,0 +1,59 @@
+//! F2: the end-to-end DMMS round (WTP -> mashups -> evaluation ->
+//! pricing -> settlement) on markets of increasing size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_core::market::{DataMarket, MarketConfig};
+use dmp_mechanism::design::MarketDesign;
+use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
+use dmp_simulator::workload::{generate, WorkloadConfig};
+
+fn setup(n_sellers: usize, n_buyers: usize) -> DataMarket {
+    let market = DataMarket::new(
+        MarketConfig::external(1).with_design(MarketDesign::posted_price_baseline(10.0)),
+    );
+    let w = generate(&WorkloadConfig {
+        n_sellers,
+        n_buyers,
+        n_topics: 4,
+        rows: 60,
+        seed: 3,
+        ..Default::default()
+    });
+    for (seller, tables) in &w.inventories {
+        let h = market.seller(seller);
+        for t in tables {
+            let _ = h.share(t.clone());
+        }
+    }
+    for d in &w.demands {
+        let b = market.buyer(&d.buyer);
+        b.deposit(100_000.0);
+        let _ = market.submit_wtp(WtpFunction::simple(
+            d.buyer.clone(),
+            d.attributes.iter().cloned(),
+            PriceCurve::Linear { min_satisfaction: 0.2, max_price: d.valuation },
+        ));
+    }
+    market
+}
+
+fn bench_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmms/run_round");
+    group.sample_size(10);
+    for (s, b) in [(5usize, 10usize), (10, 20)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{s}s_{b}b")),
+            &(s, b),
+            |bench, &(s, b)| {
+                bench.iter_with_setup(
+                    || setup(s, b),
+                    |market| black_box(market.run_round().sales.len()),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

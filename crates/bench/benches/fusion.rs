@@ -1,0 +1,46 @@
+//! E13: fusion alignment and truth-discovery cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_integration::fusion::{align, resolve, FusionStrategy, TruthDiscovery};
+use dmp_relation::{DataType, DatasetId, Relation, RelationBuilder, Value};
+
+fn sources(n_sources: usize, objects: usize) -> Vec<Relation> {
+    (0..n_sources)
+        .map(|s| {
+            let mut b = RelationBuilder::new(format!("src{s}"))
+                .column("obj", DataType::Int)
+                .column("val", DataType::Int);
+            for i in 0..objects {
+                let v = if (i + s) % 10 == 0 { 99 } else { (i % 7) as i64 };
+                b = b.row(vec![Value::Int(i as i64), Value::Int(v)]);
+            }
+            b.source(DatasetId(s as u64)).build().unwrap()
+        })
+        .collect()
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion");
+    for n in [3usize, 9] {
+        let srcs = sources(n, 1_000);
+        let refs: Vec<&Relation> = srcs.iter().collect();
+        group.bench_with_input(BenchmarkId::new("align_1k_objects", n), &n, |b, _| {
+            b.iter(|| black_box(align(&refs, "obj", "val").unwrap().len()))
+        });
+        let fused = align(&refs, "obj", "val").unwrap();
+        group.bench_with_input(BenchmarkId::new("majority_resolve", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(resolve(&fused, "val", &FusionStrategy::MajorityVote).unwrap().len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("truth_discovery", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(TruthDiscovery::default().run(&fused, "val").unwrap().iterations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! F3: the full Mashup Builder pipeline (profile -> index -> DoD).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_discovery::MetadataEngine;
+use dmp_integration::dod::{DodEngine, TargetSpec};
+use dmp_tasks::synth::synthetic_lake;
+
+fn bench_dod(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mashup_builder/find_mashups");
+    group.sample_size(10);
+    for tables in [50usize, 200] {
+        let engine = MetadataEngine::new();
+        engine.register_batch("steward", synthetic_lake(tables, 8, 50, 9));
+        let spec = TargetSpec::with_attributes(["topic0_id", "attr_0_x", "attr_8_x"]);
+        group.bench_with_input(BenchmarkId::from_parameter(tables), &tables, |b, _| {
+            // DoD construction (index snapshot) is part of the measured
+            // pipeline, as in Fig. 3.
+            b.iter(|| {
+                let dod = DodEngine::new(&engine);
+                black_box(dod.find_mashups(&spec).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dod);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E9: differential-privacy mechanism throughput and anonymization cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_privacy::anonymize::k_anonymize;
+use dmp_privacy::dp::{laplace_mechanism, perturb_numeric_column, DpParams};
+use dmp_relation::{DataType, RelationBuilder, Value};
+use rand::SeedableRng;
+
+fn bench_laplace(c: &mut Criterion) {
+    let params = DpParams::new(1.0, 1.0);
+    c.bench_function("privacy/laplace_scalar", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        b.iter(|| black_box(laplace_mechanism(42.0, params, &mut rng)))
+    });
+}
+
+fn bench_perturb_column(c: &mut Criterion) {
+    let mut group = c.benchmark_group("privacy/perturb_column");
+    for n in [1_000usize, 10_000] {
+        let mut b = RelationBuilder::new("t").column("x", DataType::Float);
+        for i in 0..n {
+            b = b.row(vec![Value::Float(i as f64)]);
+        }
+        let rel = b.build().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+                black_box(
+                    perturb_numeric_column(&rel, "x", DpParams::new(1.0, 1.0), &mut rng)
+                        .unwrap()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_k_anonymize(c: &mut Criterion) {
+    let mut b = RelationBuilder::new("p")
+        .column("age", DataType::Int)
+        .column("zip", DataType::Str);
+    for i in 0..2_000 {
+        b = b.row(vec![
+            Value::Int(20 + (i % 60) as i64),
+            Value::str(format!("{:05}", 60000 + i % 300)),
+        ]);
+    }
+    let rel = b.build().unwrap();
+    c.bench_function("privacy/k_anonymize_2k_k5", |bench| {
+        bench.iter(|| black_box(k_anonymize(&rel, &["age", "zip"], 5).unwrap().relation.len()))
+    });
+}
+
+criterion_group!(benches, bench_laplace, bench_perturb_column, bench_k_anonymize);
+criterion_main!(benches);

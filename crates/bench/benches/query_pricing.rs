@@ -1,0 +1,40 @@
+//! E10: arbitrage detection and revenue optimization cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_mechanism::query_pricing::{
+    find_arbitrage, optimize_uniform_pricing, Demand, WeightedCoveragePricing,
+};
+use rand::{Rng, SeedableRng};
+
+fn demand(n: usize, attrs: usize) -> Vec<Demand> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    (0..n)
+        .map(|_| Demand {
+            view: (rng.gen::<u32>() % (1 << attrs)).max(1),
+            budget: 5.0 + rng.gen::<f64>() * 50.0,
+        })
+        .collect()
+}
+
+fn bench_arbitrage_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_pricing/find_arbitrage");
+    for n in [50usize, 200] {
+        let d = demand(n, 12);
+        let views: Vec<u32> = d.iter().map(|x| x.view).collect();
+        let p = WeightedCoveragePricing::uniform(12, 3.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(find_arbitrage(&p, &views).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let d = demand(200, 12);
+    c.bench_function("query_pricing/optimize_uniform_200", |b| {
+        b.iter(|| black_box(optimize_uniform_pricing(12, &d).1))
+    });
+}
+
+criterion_group!(benches, bench_arbitrage_scan, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks for the relational substrate: the physical operators
+//! every mashup is built from (supports F2/F3 interpretation).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_relation::ops::{AggFun, AggSpec, JoinKind};
+use dmp_relation::{DataType, DatasetId, Expr, Relation, RelationBuilder, Value};
+
+fn table(n: usize, source: u64) -> Relation {
+    let mut b = RelationBuilder::new(format!("t{source}"))
+        .column("k", DataType::Int)
+        .column("g", DataType::Str)
+        .column("v", DataType::Float);
+    for i in 0..n {
+        b = b.row(vec![
+            Value::Int(i as i64),
+            Value::str(format!("g{}", i % 20)),
+            Value::Float(i as f64 * 0.5),
+        ]);
+    }
+    b.source(DatasetId(source)).build().unwrap()
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relation/hash_join");
+    for n in [1_000usize, 10_000] {
+        let left = table(n, 1);
+        let right = table(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(left.join(&right, &[("k", "k")], JoinKind::Inner).unwrap().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let rel = table(10_000, 1);
+    c.bench_function("relation/group_by_sum_10k", |b| {
+        b.iter(|| {
+            black_box(
+                rel.aggregate(&["g"], &[AggSpec::new("v", AggFun::Sum, "total")])
+                    .unwrap()
+                    .len(),
+            )
+        })
+    });
+}
+
+fn bench_select(c: &mut Criterion) {
+    let rel = table(10_000, 1);
+    let pred = Expr::col("v").gt(Expr::lit(2_500.0));
+    c.bench_function("relation/select_10k", |b| {
+        b.iter(|| black_box(rel.select(&pred).unwrap().len()))
+    });
+}
+
+fn bench_distinct_provenance(c: &mut Criterion) {
+    let rel = table(5_000, 1);
+    let doubled = rel.union(&rel).unwrap();
+    c.bench_function("relation/distinct_with_provenance_merge_10k", |b| {
+        b.iter(|| black_box(doubled.distinct().len()))
+    });
+}
+
+criterion_group!(benches, bench_join, bench_aggregate, bench_select, bench_distinct_provenance);
+criterion_main!(benches);

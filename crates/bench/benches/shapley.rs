@@ -1,0 +1,51 @@
+//! E4: revenue allocation cost — exact vs sampled vs closed-form.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_valuation::knn_shapley::{knn_shapley, LabeledPoint};
+use dmp_valuation::shapley::{exact_shapley, monte_carlo_shapley, CharacteristicFn};
+use rand::SeedableRng;
+
+fn game(n: usize) -> CharacteristicFn {
+    CharacteristicFn::new(n, |mask| (mask.count_ones() as f64).sqrt())
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shapley/exact");
+    group.sample_size(10);
+    for n in [10usize, 14, 18] {
+        let g = game(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(exact_shapley(&g)[0]))
+        });
+    }
+    group.finish();
+}
+
+fn bench_monte_carlo(c: &mut Criterion) {
+    let g = game(18);
+    let mut group = c.benchmark_group("shapley/monte_carlo_18p");
+    for samples in [100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            b.iter(|| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+                black_box(monte_carlo_shapley(&g, s, &mut rng)[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let train: Vec<LabeledPoint> = (0..5_000)
+        .map(|i| LabeledPoint::new(vec![(i % 97) as f64], (i % 2) as i64))
+        .collect();
+    let test: Vec<LabeledPoint> = (0..10)
+        .map(|i| LabeledPoint::new(vec![i as f64], (i % 2) as i64))
+        .collect();
+    c.bench_function("shapley/knn_closed_form_5k", |b| {
+        b.iter(|| black_box(knn_shapley(&train, &test, 5)[0]))
+    });
+}
+
+criterion_group!(benches, bench_exact, bench_monte_carlo, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7: simulator throughput (rounds/s vs participants).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_core::market::MarketConfig;
+use dmp_mechanism::design::MarketDesign;
+use dmp_simulator::agents::{BuyerStrategy, SellerStrategy};
+use dmp_simulator::engine::{SimConfig, Simulation};
+use dmp_simulator::workload::{generate, WorkloadConfig};
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/5_rounds");
+    group.sample_size(10);
+    for (s, b) in [(5usize, 10usize), (10, 30)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{s}s_{b}b")),
+            &(s, b),
+            |bench, &(s, b)| {
+                bench.iter_with_setup(
+                    || {
+                        let w = generate(&WorkloadConfig {
+                            n_sellers: s,
+                            n_buyers: b,
+                            rows: 40,
+                            seed: 19,
+                            ..Default::default()
+                        });
+                        let cfg = SimConfig::new(
+                            MarketConfig::external(2)
+                                .with_design(MarketDesign::posted_price_baseline(15.0)),
+                            5,
+                        );
+                        Simulation::new(
+                            cfg,
+                            w,
+                            vec![BuyerStrategy::Truthful],
+                            vec![SellerStrategy::Honest],
+                        )
+                    },
+                    |mut sim| black_box(sim.run(5).metrics.transactions),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

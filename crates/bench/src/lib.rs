@@ -1,0 +1,9 @@
+//! # dmp-bench
+//!
+//! Shared harness utilities for the experiment suite (DESIGN.md §2).
+//! Criterion benches live in `benches/`; the `experiments` binary prints
+//! the per-experiment tables recorded in EXPERIMENTS.md.
+
+pub mod harness;
+
+pub use harness::{table, ExperimentTable};

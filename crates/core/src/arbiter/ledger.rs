@@ -1,0 +1,288 @@
+//! Transaction support (Fig. 2): a double-entry in-memory ledger with
+//! escrow — the simulated substitute for real payment rails (DESIGN.md
+//! substitutions table). Invariant: transfers conserve total supply;
+//! only explicit deposits mint currency.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{MarketError, MarketResult};
+
+/// Escrow lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+enum EscrowState {
+    Held,
+    Closed,
+}
+
+#[derive(Debug, Clone)]
+struct Escrow {
+    from: String,
+    remaining: f64,
+    state: EscrowState,
+}
+
+/// Double-entry ledger with named accounts and escrow holds.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    accounts: Mutex<HashMap<String, f64>>,
+    escrows: Mutex<HashMap<u64, Escrow>>,
+    next_escrow: AtomicU64,
+}
+
+impl Ledger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint `amount` into an account (enrollment grants, deposits).
+    pub fn deposit(&self, account: &str, amount: f64) {
+        if amount <= 0.0 {
+            return;
+        }
+        *self.accounts.lock().entry(account.to_string()).or_insert(0.0) += amount;
+    }
+
+    /// Current balance (0 for unknown accounts).
+    pub fn balance(&self, account: &str) -> f64 {
+        self.accounts.lock().get(account).copied().unwrap_or(0.0)
+    }
+
+    /// Transfer between accounts; fails on insufficient funds.
+    pub fn transfer(&self, from: &str, to: &str, amount: f64) -> MarketResult<()> {
+        if amount < 0.0 {
+            return Err(MarketError::Invalid("negative transfer".into()));
+        }
+        if amount == 0.0 {
+            return Ok(());
+        }
+        let mut accounts = self.accounts.lock();
+        let available = accounts.get(from).copied().unwrap_or(0.0);
+        if available + 1e-9 < amount {
+            return Err(MarketError::InsufficientFunds {
+                account: from.to_string(),
+                needed: amount,
+                available,
+            });
+        }
+        *accounts.entry(from.to_string()).or_insert(0.0) -= amount;
+        *accounts.entry(to.to_string()).or_insert(0.0) += amount;
+        Ok(())
+    }
+
+    /// Hold `amount` from an account in escrow; returns the escrow id.
+    pub fn hold(&self, from: &str, amount: f64) -> MarketResult<u64> {
+        if amount < 0.0 {
+            return Err(MarketError::Invalid("negative escrow".into()));
+        }
+        {
+            let mut accounts = self.accounts.lock();
+            let available = accounts.get(from).copied().unwrap_or(0.0);
+            if available + 1e-9 < amount {
+                return Err(MarketError::InsufficientFunds {
+                    account: from.to_string(),
+                    needed: amount,
+                    available,
+                });
+            }
+            *accounts.entry(from.to_string()).or_insert(0.0) -= amount;
+        }
+        let id = self.next_escrow.fetch_add(1, Ordering::Relaxed);
+        self.escrows.lock().insert(
+            id,
+            Escrow { from: from.to_string(), remaining: amount, state: EscrowState::Held },
+        );
+        Ok(id)
+    }
+
+    /// Pay `amount` out of an escrow to `to`. The escrow stays open with
+    /// the remainder.
+    pub fn release(&self, escrow: u64, to: &str, amount: f64) -> MarketResult<()> {
+        if amount < 0.0 {
+            return Err(MarketError::Invalid("negative release".into()));
+        }
+        let mut escrows = self.escrows.lock();
+        let e = escrows.get_mut(&escrow).ok_or(MarketError::UnknownId(escrow))?;
+        if e.state != EscrowState::Held {
+            return Err(MarketError::Invalid("escrow already closed".into()));
+        }
+        if e.remaining + 1e-9 < amount {
+            return Err(MarketError::InsufficientFunds {
+                account: format!("escrow#{escrow}"),
+                needed: amount,
+                available: e.remaining,
+            });
+        }
+        e.remaining -= amount;
+        *self.accounts.lock().entry(to.to_string()).or_insert(0.0) += amount;
+        Ok(())
+    }
+
+    /// Close the escrow, refunding whatever remains to the holder.
+    /// Returns the refunded amount.
+    pub fn close(&self, escrow: u64) -> MarketResult<f64> {
+        let mut escrows = self.escrows.lock();
+        let e = escrows.get_mut(&escrow).ok_or(MarketError::UnknownId(escrow))?;
+        if e.state != EscrowState::Held {
+            return Err(MarketError::Invalid("escrow already closed".into()));
+        }
+        e.state = EscrowState::Closed;
+        let refund = e.remaining;
+        e.remaining = 0.0;
+        *self.accounts.lock().entry(e.from.clone()).or_insert(0.0) += refund;
+        Ok(refund)
+    }
+
+    /// Funds still held in an open escrow (`None` for unknown/closed).
+    pub fn escrow_remaining(&self, escrow: u64) -> Option<f64> {
+        self.escrows
+            .lock()
+            .get(&escrow)
+            .filter(|e| e.state == EscrowState::Held)
+            .map(|e| e.remaining)
+    }
+
+    /// Total currency across accounts and open escrows (conservation
+    /// invariant: only `deposit` changes this).
+    pub fn total_supply(&self) -> f64 {
+        let accounts: f64 = self.accounts.lock().values().sum();
+        let escrowed: f64 = self
+            .escrows
+            .lock()
+            .values()
+            .filter(|e| e.state == EscrowState::Held)
+            .map(|e| e.remaining)
+            .sum();
+        accounts + escrowed
+    }
+
+    /// All account balances, sorted by name (for reports).
+    pub fn balances(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .accounts
+            .lock()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposit_and_transfer() {
+        let l = Ledger::new();
+        l.deposit("alice", 100.0);
+        l.transfer("alice", "bob", 30.0).unwrap();
+        assert_eq!(l.balance("alice"), 70.0);
+        assert_eq!(l.balance("bob"), 30.0);
+        assert_eq!(l.total_supply(), 100.0);
+    }
+
+    #[test]
+    fn overdraft_refused() {
+        let l = Ledger::new();
+        l.deposit("alice", 10.0);
+        let err = l.transfer("alice", "bob", 20.0).unwrap_err();
+        assert!(matches!(err, MarketError::InsufficientFunds { .. }));
+        assert_eq!(l.balance("alice"), 10.0);
+        assert_eq!(l.balance("bob"), 0.0);
+    }
+
+    #[test]
+    fn zero_and_negative_transfers() {
+        let l = Ledger::new();
+        l.deposit("a", 5.0);
+        assert!(l.transfer("a", "b", 0.0).is_ok());
+        assert!(l.transfer("a", "b", -1.0).is_err());
+    }
+
+    #[test]
+    fn escrow_lifecycle_conserves_supply() {
+        let l = Ledger::new();
+        l.deposit("buyer", 100.0);
+        let e = l.hold("buyer", 60.0).unwrap();
+        assert_eq!(l.balance("buyer"), 40.0);
+        assert_eq!(l.total_supply(), 100.0);
+
+        l.release(e, "seller", 45.0).unwrap();
+        assert_eq!(l.balance("seller"), 45.0);
+        assert_eq!(l.total_supply(), 100.0);
+
+        let refund = l.close(e).unwrap();
+        assert_eq!(refund, 15.0);
+        assert_eq!(l.balance("buyer"), 55.0);
+        assert_eq!(l.total_supply(), 100.0);
+    }
+
+    #[test]
+    fn escrow_cannot_overpay() {
+        let l = Ledger::new();
+        l.deposit("buyer", 10.0);
+        let e = l.hold("buyer", 10.0).unwrap();
+        assert!(l.release(e, "s", 11.0).is_err());
+        l.release(e, "s", 10.0).unwrap();
+        assert!(l.release(e, "s", 0.1).is_err());
+    }
+
+    #[test]
+    fn closed_escrow_rejects_operations() {
+        let l = Ledger::new();
+        l.deposit("b", 5.0);
+        let e = l.hold("b", 5.0).unwrap();
+        l.close(e).unwrap();
+        assert!(l.close(e).is_err());
+        assert!(l.release(e, "s", 1.0).is_err());
+    }
+
+    #[test]
+    fn unknown_escrow_is_error() {
+        let l = Ledger::new();
+        assert!(matches!(l.close(42), Err(MarketError::UnknownId(42))));
+    }
+
+    #[test]
+    fn hold_requires_funds() {
+        let l = Ledger::new();
+        assert!(l.hold("nobody", 1.0).is_err());
+    }
+
+    #[test]
+    fn balances_sorted() {
+        let l = Ledger::new();
+        l.deposit("zed", 1.0);
+        l.deposit("amy", 2.0);
+        let b = l.balances();
+        assert_eq!(b[0].0, "amy");
+        assert_eq!(b[1].0, "zed");
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve() {
+        use std::sync::Arc;
+        let l = Arc::new(Ledger::new());
+        l.deposit("pool", 1000.0);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                let me = format!("w{t}");
+                for _ in 0..100 {
+                    let _ = l.transfer("pool", &me, 1.0);
+                    let _ = l.transfer(&me, "pool", 1.0);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((l.total_supply() - 1000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,171 @@
+//! The Pricing Engine (Fig. 2): "use the Pricing Engine to set a price
+//! for each mᵢ and choose a winner". Bids for the *same product* (same
+//! dataset combination) compete under the market design's allocation and
+//! payment rules; license multipliers and seller reserve floors apply on
+//! top.
+
+use std::collections::HashMap;
+
+use dmp_mechanism::allocation::Bid;
+use dmp_mechanism::design::MarketDesign;
+use dmp_relation::DatasetId;
+
+/// One buyer's bid entering a clearing round.
+#[derive(Debug, Clone)]
+pub struct RoundBid {
+    /// The offer this bid came from.
+    pub offer_id: u64,
+    /// Buyer principal.
+    pub buyer: String,
+    /// The WTP-evaluator's output bid (money).
+    pub bid: f64,
+    /// Satisfaction backing the bid.
+    pub satisfaction: f64,
+    /// The product: sorted dataset ids of the mashup.
+    pub datasets: Vec<DatasetId>,
+    /// Sum of seller reserve prices over those datasets.
+    pub reserve_floor: f64,
+    /// License price multiplier (exclusivity tax etc.).
+    pub license_multiplier: f64,
+}
+
+/// A cleared sale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sale {
+    /// The winning offer.
+    pub offer_id: u64,
+    /// Buyer principal.
+    pub buyer: String,
+    /// Final price (after license multiplier), ≥ reserve floor.
+    pub price: f64,
+    /// Satisfaction the sale delivers.
+    pub satisfaction: f64,
+}
+
+/// Clear a round of bids under a market design.
+///
+/// Bids are grouped by product key; each group runs the design's
+/// allocation + payment. A winner's base price is scaled by its license
+/// multiplier; sales whose scaled price cannot cover the reserve floor
+/// are dropped (the sellers would refuse).
+pub fn clear(design: &MarketDesign, bids: &[RoundBid]) -> Vec<Sale> {
+    let mut groups: HashMap<Vec<DatasetId>, Vec<usize>> = HashMap::new();
+    for (i, b) in bids.iter().enumerate() {
+        groups.entry(b.datasets.clone()).or_default().push(i);
+    }
+    let mut sales = Vec::new();
+    // Deterministic group order.
+    let mut keys: Vec<Vec<DatasetId>> = groups.keys().cloned().collect();
+    keys.sort();
+    for key in keys {
+        let members = &groups[&key];
+        let group_bids: Vec<Bid> = members
+            .iter()
+            .map(|&i| Bid::new(bids[i].buyer.clone(), bids[i].bid))
+            .collect();
+        let winners = design.allocation.allocate(&group_bids);
+        let payments = design.payment.payments(&group_bids, &winners);
+        for (local_idx, base_price) in payments {
+            let rb = &bids[members[local_idx]];
+            let price = base_price * rb.license_multiplier.max(1.0);
+            if price + 1e-9 < rb.reserve_floor {
+                continue; // sellers' reserves unmet: no transaction
+            }
+            if price > rb.bid * rb.license_multiplier.max(1.0) + 1e-9 {
+                continue; // never charge above the (scaled) bid
+            }
+            sales.push(Sale {
+                offer_id: rb.offer_id,
+                buyer: rb.buyer.clone(),
+                price,
+                satisfaction: rb.satisfaction,
+            });
+        }
+    }
+    sales.sort_by_key(|s| s.offer_id);
+    sales
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_mechanism::design::MarketDesign;
+
+    fn rb(offer: u64, buyer: &str, bid: f64, datasets: Vec<u64>) -> RoundBid {
+        RoundBid {
+            offer_id: offer,
+            buyer: buyer.into(),
+            bid,
+            satisfaction: 0.9,
+            datasets: datasets.into_iter().map(DatasetId).collect(),
+            reserve_floor: 0.0,
+            license_multiplier: 1.0,
+        }
+    }
+
+    #[test]
+    fn posted_price_clears_affordable_bids() {
+        let design = MarketDesign::posted_price_baseline(20.0);
+        let bids = vec![
+            rb(1, "a", 25.0, vec![1]),
+            rb(2, "b", 10.0, vec![1]),
+            rb(3, "c", 30.0, vec![2]),
+        ];
+        let sales = clear(&design, &bids);
+        assert_eq!(sales.len(), 2);
+        assert!(sales.iter().all(|s| (s.price - 20.0).abs() < 1e-9));
+        assert!(sales.iter().any(|s| s.offer_id == 1));
+        assert!(sales.iter().any(|s| s.offer_id == 3));
+    }
+
+    #[test]
+    fn products_compete_separately() {
+        // Vickrey on one product should not see the other product's bids.
+        let design = MarketDesign::scarce_licenses(1, 0.0);
+        let bids = vec![
+            rb(1, "a", 100.0, vec![1]),
+            rb(2, "b", 60.0, vec![1]),
+            rb(3, "c", 10.0, vec![2]),
+        ];
+        let sales = clear(&design, &bids);
+        let s1 = sales.iter().find(|s| s.offer_id == 1).unwrap();
+        assert!((s1.price - 60.0).abs() < 1e-9, "second price within product 1");
+        let s3 = sales.iter().find(|s| s.offer_id == 3).unwrap();
+        assert!(s3.price <= 10.0);
+    }
+
+    #[test]
+    fn reserve_floor_blocks_cheap_sales() {
+        let design = MarketDesign::posted_price_baseline(5.0);
+        let mut bid = rb(1, "a", 10.0, vec![1]);
+        bid.reserve_floor = 8.0; // posted price 5 < reserve 8
+        let sales = clear(&design, &[bid]);
+        assert!(sales.is_empty());
+    }
+
+    #[test]
+    fn license_multiplier_raises_price() {
+        let design = MarketDesign::posted_price_baseline(10.0);
+        let mut bid = rb(1, "a", 20.0, vec![1]);
+        bid.license_multiplier = 1.5;
+        let sales = clear(&design, &[bid]);
+        assert_eq!(sales.len(), 1);
+        assert!((sales[0].price - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_bids_no_sales() {
+        let design = MarketDesign::posted_price_baseline(1.0);
+        assert!(clear(&design, &[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let design = MarketDesign::posted_price_baseline(1.0);
+        let bids = vec![rb(2, "b", 5.0, vec![2]), rb(1, "a", 5.0, vec![1])];
+        let s1 = clear(&design, &bids);
+        let s2 = clear(&design, &bids);
+        assert_eq!(s1, s2);
+        assert_eq!(s1[0].offer_id, 1);
+    }
+}

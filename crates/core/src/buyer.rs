@@ -1,0 +1,275 @@
+//! The Buyer Management Platform (§4.3): helps buyers define
+//! WTP-functions, ships them to the arbiter, receives mashups, and (for
+//! ex post markets) reports realized value.
+
+use dmp_mechanism::wtp::{IntrinsicConstraints, PriceCurve, TaskKind, WtpFunction};
+use dmp_relation::{DatasetId, Relation};
+
+use crate::error::{MarketError, MarketResult};
+use crate::market::{DataMarket, Delivery, Settlement};
+
+/// Buyer-facing handle onto a market.
+pub struct BuyerHandle<'m> {
+    market: &'m DataMarket,
+    name: String,
+}
+
+impl<'m> BuyerHandle<'m> {
+    pub(crate) fn new(market: &'m DataMarket, name: &str) -> Self {
+        BuyerHandle { market, name: name.to_string() }
+    }
+
+    /// The buyer principal.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current balance.
+    pub fn balance(&self) -> f64 {
+        self.market.balance(&self.name)
+    }
+
+    /// Deposit funds (external/money markets).
+    pub fn deposit(&self, amount: f64) {
+        self.market.ledger.deposit(&self.name, amount);
+    }
+
+    /// Start building a WTP-function (fluent interface; §4.3: "a BMP must
+    /// help buyers define it").
+    pub fn wtp<S: Into<String>>(&self, attributes: impl IntoIterator<Item = S>) -> WtpBuilder<'m, '_> {
+        WtpBuilder {
+            buyer: self,
+            wtp: WtpFunction::simple(self.name.clone(), attributes, PriceCurve::Constant(0.0)),
+            purpose: "analytics".to_string(),
+        }
+    }
+
+    /// Submit a prebuilt WTP-function.
+    pub fn submit(&self, wtp: WtpFunction) -> MarketResult<u64> {
+        if wtp.buyer != self.name {
+            return Err(MarketError::Invalid(format!(
+                "WTP buyer '{}' does not match handle '{}'",
+                wtp.buyer, self.name
+            )));
+        }
+        self.market.submit_wtp(wtp)
+    }
+
+    /// Deliveries addressed to this buyer.
+    pub fn deliveries(&self) -> Vec<Delivery> {
+        self.market
+            .deliveries
+            .lock()
+            .iter()
+            .filter(|d| d.buyer == self.name)
+            .cloned()
+            .collect()
+    }
+
+    /// Take the data of a delivery (clone of the mashup).
+    pub fn take_delivery(&self, delivery_id: u64) -> MarketResult<Relation> {
+        self.market
+            .deliveries
+            .lock()
+            .iter()
+            .find(|d| d.id == delivery_id && d.buyer == self.name)
+            .map(|d| d.relation.clone())
+            .ok_or(MarketError::UnknownId(delivery_id))
+    }
+
+    /// Report the realized value of an ex post delivery (§3.2.2.2).
+    pub fn report_value(&self, delivery_id: u64, value: f64) -> MarketResult<Settlement> {
+        // Ownership check before delegating.
+        let owns = self
+            .market
+            .deliveries
+            .lock()
+            .iter()
+            .any(|d| d.id == delivery_id && d.buyer == self.name);
+        if !owns {
+            return Err(MarketError::UnknownId(delivery_id));
+        }
+        self.market.report_value(delivery_id, value)
+    }
+
+    /// Dataset recommendations for this buyer (§4.1 arbiter services).
+    pub fn recommendations(&self, k: usize) -> Vec<DatasetId> {
+        self.market.recommendations(&self.name, k)
+    }
+
+    /// Open a dispute over a transaction.
+    pub fn dispute(&self, tx: u64, reason: impl Into<String>) -> u64 {
+        self.market.disputes.open(self.name.clone(), tx, reason)
+    }
+}
+
+/// Fluent WTP-function builder.
+pub struct WtpBuilder<'m, 'b> {
+    buyer: &'b BuyerHandle<'m>,
+    wtp: WtpFunction,
+    purpose: String,
+}
+
+impl<'m, 'b> WtpBuilder<'m, 'b> {
+    /// Set the task package to classification on a label column.
+    pub fn classification(mut self, label: impl Into<String>) -> Self {
+        self.wtp.task = TaskKind::Classification { label: label.into() };
+        self
+    }
+
+    /// Set the task package to regression on a target column.
+    pub fn regression(mut self, target: impl Into<String>) -> Self {
+        self.wtp.task = TaskKind::Regression { target: target.into() };
+        self
+    }
+
+    /// Set the task to aggregate completeness.
+    pub fn aggregate_completeness(
+        mut self,
+        group_by: impl Into<String>,
+        expected_groups: usize,
+    ) -> Self {
+        self.wtp.task = TaskKind::AggregateCompleteness {
+            group_by: group_by.into(),
+            expected_groups,
+        };
+        self
+    }
+
+    /// Set the satisfaction→price curve.
+    pub fn price_curve(mut self, curve: PriceCurve) -> Self {
+        self.wtp.curve = curve;
+        self
+    }
+
+    /// The paper's step example: `$base` at `threshold`, `$bonus` at
+    /// `high_threshold`.
+    pub fn pay_steps(mut self, steps: &[(f64, f64)]) -> Self {
+        self.wtp.curve = PriceCurve::Step(steps.to_vec());
+        self
+    }
+
+    /// Package owned data the buyer will not pay for (§3.2.2.1).
+    pub fn with_owned_data(mut self, data: Relation) -> Self {
+        self.wtp.owned_data = Some(data);
+        self
+    }
+
+    /// Set intrinsic constraints.
+    pub fn constraints(mut self, constraints: IntrinsicConstraints) -> Self {
+        self.wtp.constraints = constraints;
+        self
+    }
+
+    /// Restrict discovery with topic keywords.
+    pub fn keywords<S: Into<String>>(mut self, kws: impl IntoIterator<Item = S>) -> Self {
+        self.wtp.keywords = kws.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Require a minimum mashup size.
+    pub fn min_rows(mut self, n: usize) -> Self {
+        self.wtp.min_rows = n;
+        self
+    }
+
+    /// Declare the purpose (checked against contextual integrity).
+    pub fn purpose(mut self, purpose: impl Into<String>) -> Self {
+        self.purpose = purpose.into();
+        self
+    }
+
+    /// Inspect the WTP-function without submitting.
+    pub fn build(self) -> WtpFunction {
+        self.wtp
+    }
+
+    /// Submit to the market; returns the offer id.
+    pub fn submit(self) -> MarketResult<u64> {
+        self.buyer
+            .market
+            .submit_wtp_for_purpose(self.wtp, self.purpose)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{MarketConfig, OfferState};
+    use dmp_mechanism::design::MarketDesign;
+    use dmp_relation::builder::keyed_rel;
+
+    fn market() -> DataMarket {
+        DataMarket::new(
+            MarketConfig::external(5).with_design(MarketDesign::posted_price_baseline(10.0)),
+        )
+    }
+
+    #[test]
+    fn fluent_builder_produces_wtp() {
+        let m = market();
+        let b = m.buyer("b1");
+        let wtp = b
+            .wtp(["a", "b", "d"])
+            .classification("label")
+            .pay_steps(&[(0.8, 100.0), (0.9, 150.0)])
+            .min_rows(50)
+            .keywords(["weather"])
+            .build();
+        assert_eq!(wtp.buyer, "b1");
+        assert_eq!(wtp.attributes.len(), 3);
+        assert_eq!(wtp.curve.price(0.85), 100.0);
+        assert_eq!(wtp.min_rows, 50);
+        assert_eq!(wtp.keywords, vec!["weather".to_string()]);
+        assert!(matches!(wtp.task, TaskKind::Classification { .. }));
+    }
+
+    #[test]
+    fn submit_mismatched_buyer_rejected() {
+        let m = market();
+        let b = m.buyer("b1");
+        let wtp = WtpFunction::simple("someone_else", ["a"], PriceCurve::Constant(1.0));
+        assert!(b.submit(wtp).is_err());
+    }
+
+    #[test]
+    fn end_to_end_delivery_visible_to_buyer() {
+        let m = market();
+        m.seller("s").share(keyed_rel("t", &[(1, "x"), (2, "y")])).unwrap();
+        let b = m.buyer("b1");
+        b.deposit(100.0);
+        let offer = b
+            .wtp(["k", "v"])
+            .price_curve(PriceCurve::Constant(20.0))
+            .submit()
+            .unwrap();
+        m.run_round();
+        assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+        let deliveries = b.deliveries();
+        assert_eq!(deliveries.len(), 1);
+        let data = b.take_delivery(deliveries[0].id).unwrap();
+        assert_eq!(data.len(), 2);
+    }
+
+    #[test]
+    fn cannot_take_others_delivery() {
+        let m = market();
+        m.seller("s").share(keyed_rel("t", &[(1, "x")])).unwrap();
+        let b = m.buyer("b1");
+        b.deposit(100.0);
+        b.wtp(["k"]).price_curve(PriceCurve::Constant(20.0)).submit().unwrap();
+        m.run_round();
+        let id = b.deliveries()[0].id;
+        let eve = m.buyer("eve");
+        assert!(eve.take_delivery(id).is_err());
+    }
+
+    #[test]
+    fn dispute_opens() {
+        let m = market();
+        let b = m.buyer("b1");
+        let id = b.dispute(0, "data was stale");
+        assert_eq!(m.disputes().open_count(), 1);
+        assert!(m.disputes().get(id).is_some());
+    }
+}

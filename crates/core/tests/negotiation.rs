@@ -1,0 +1,123 @@
+//! Integration: negotiation rounds (§4.1) at the market level — the
+//! arbiter describes what it lacks; a seller completes it; the blocked
+//! offer then clears.
+
+use dmp_core::market::{DataMarket, MarketConfig, OfferState};
+use dmp_integration::mapping::Mapping;
+use dmp_mechanism::design::MarketDesign;
+use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
+use dmp_relation::{DataType, RelationBuilder, Value};
+
+fn market() -> DataMarket {
+    DataMarket::new(
+        MarketConfig::external(77).with_design(MarketDesign::posted_price_baseline(10.0)),
+    )
+}
+
+/// Seller 2's dataset with the obfuscated attribute fd = f(d).
+fn s2_dataset() -> dmp_relation::Relation {
+    let mut b = RelationBuilder::new("s2")
+        .column("a", DataType::Int)
+        .column("fd", DataType::Float);
+    for i in 0..100 {
+        b = b.row(vec![Value::Int(i), Value::Float(1.8 * i as f64 + 32.0)]);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn negotiation_round_unblocks_offer() {
+    let m = market();
+    let seller2 = m.seller("seller2");
+    seller2.share(s2_dataset()).unwrap();
+
+    let buyer = m.buyer("b1");
+    buyer.deposit(100.0);
+    let offer = m
+        .submit_wtp(WtpFunction::simple("b1", ["a", "d"], PriceCurve::Constant(30.0)))
+        .unwrap();
+
+    // Round 1: the mashup builder cannot source `d`.
+    let r1 = m.run_round();
+    // (A partial sale may clear at reduced satisfaction, or none at all;
+    // either way the arbiter knows what is missing.)
+    let requests = m.negotiation_requests();
+    if m.offer(offer).unwrap().state == OfferState::Pending {
+        assert!(!requests.is_empty(), "arbiter must describe what it lacks");
+        let req = &requests[0];
+        assert_eq!(req.offer_id, offer);
+        assert_eq!(req.buyer, "b1");
+        assert!(req.missing.contains(&"d".to_string()));
+        assert_eq!(req.candidate_sellers, vec!["seller2".to_string()]);
+    } else {
+        // Sold as a partial mashup: the request still recorded `d`.
+        assert!(requests.iter().any(|r| r.missing.contains(&"d".to_string())));
+        assert!(r1.sales.iter().all(|s| s.satisfaction < 1.0));
+        return; // partial path exercised; the mapping path below needs Pending
+    }
+
+    // Seller 2 responds: publishes the fd -> d mapping table.
+    let mapping = Mapping::Dictionary(
+        (0..100)
+            .map(|i| {
+                let d = i as f64;
+                (Value::Float(1.8 * d + 32.0), Value::Float(d))
+            })
+            .collect(),
+    );
+    seller2
+        .publish_mapping_table("fd_to_d", "fd", "d", &mapping)
+        .unwrap();
+
+    // Round 2: the offer clears with full coverage.
+    let r2 = m.run_round();
+    assert_eq!(r2.sales.len(), 1, "mapping table should unblock the offer");
+    assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+}
+
+#[test]
+fn negotiation_requests_empty_when_all_served() {
+    let m = market();
+    m.seller("s")
+        .share(
+            RelationBuilder::new("t")
+                .column("x", DataType::Int)
+                .row(vec![Value::Int(1)])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let buyer = m.buyer("b");
+    buyer.deposit(100.0);
+    m.submit_wtp(WtpFunction::simple("b", ["x"], PriceCurve::Constant(20.0)))
+        .unwrap();
+    let r = m.run_round();
+    assert_eq!(r.sales.len(), 1);
+    assert!(m.negotiation_requests().is_empty());
+}
+
+#[test]
+fn annotation_response_improves_discovery() {
+    let m = market();
+    let seller = m.seller("s");
+    let mut b = RelationBuilder::new("cryptic_xyz").column("q1", DataType::Int);
+    for i in 0..20 {
+        b = b.row(vec![Value::Int(i)]);
+    }
+    let id = seller.share(b.build().unwrap()).unwrap();
+
+    let buyer = m.buyer("b");
+    buyer.deposit(100.0);
+    // Keyword-restricted demand that the cryptic name cannot match.
+    let mut wtp = WtpFunction::simple("b", ["q1"], PriceCurve::Constant(15.0));
+    wtp.keywords = vec!["weather".into()];
+    let offer = m.submit_wtp(wtp).unwrap();
+    let r1 = m.run_round();
+    assert!(r1.sales.is_empty());
+
+    // Negotiation response: the seller annotates with the topic tag.
+    seller.annotate(id, "weather").unwrap();
+    let r2 = m.run_round();
+    assert_eq!(r2.sales.len(), 1, "semantic annotation should unblock discovery");
+    assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+}

@@ -1,0 +1,379 @@
+//! The index builder (§5.2): materializes the structures the DoD engine
+//! consumes — an inverted index over column/dataset names, and the
+//! **relationship index** of join-candidate column pairs.
+//!
+//! "Among other tasks, the index builder materializes join paths between
+//! files, and it identifies candidate functions to map attributes to each
+//! other; i.e., it facilitates the DoD's job."
+
+use std::collections::HashMap;
+
+use dmp_relation::DatasetId;
+
+use crate::metadata::{ColumnRef, DatasetEntry, MetadataEngine};
+use crate::profile::ColumnProfile;
+
+/// A candidate join edge between two columns, scored by content overlap.
+#[derive(Debug, Clone)]
+pub struct JoinCandidate {
+    /// Left column.
+    pub left: ColumnRef,
+    /// Right column.
+    pub right: ColumnRef,
+    /// Estimated Jaccard similarity of value sets.
+    pub jaccard: f64,
+    /// Estimated containment of left values in right values.
+    pub containment_l_in_r: f64,
+    /// Estimated containment of right values in left values.
+    pub containment_r_in_l: f64,
+    /// Whether either side looks like a key column.
+    pub keyish: bool,
+}
+
+impl JoinCandidate {
+    /// A single score for ranking: max containment, with a small bonus
+    /// when one side is key-like (PK–FK joins are the common case).
+    pub fn score(&self) -> f64 {
+        let c = self.containment_l_in_r.max(self.containment_r_in_l);
+        c + if self.keyish { 0.05 } else { 0.0 }
+    }
+}
+
+/// The relationship index: all join candidates above threshold, plus
+/// adjacency lists for join-path search.
+#[derive(Debug, Default)]
+pub struct RelationshipIndex {
+    edges: Vec<JoinCandidate>,
+    /// dataset -> indices into `edges` (either side).
+    by_dataset: HashMap<DatasetId, Vec<usize>>,
+}
+
+impl RelationshipIndex {
+    /// All edges.
+    pub fn edges(&self) -> &[JoinCandidate] {
+        &self.edges
+    }
+
+    /// Edges incident to a dataset.
+    pub fn edges_of(&self, d: DatasetId) -> impl Iterator<Item = &JoinCandidate> {
+        self.by_dataset
+            .get(&d)
+            .into_iter()
+            .flatten()
+            .map(move |&i| &self.edges[i])
+    }
+
+    /// Direct join candidates between two specific datasets.
+    pub fn edges_between(&self, a: DatasetId, b: DatasetId) -> Vec<&JoinCandidate> {
+        self.edges_of(a)
+            .filter(|e| {
+                (e.left.dataset == a && e.right.dataset == b)
+                    || (e.left.dataset == b && e.right.dataset == a)
+            })
+            .collect()
+    }
+
+    /// Datasets reachable from `start` within `max_hops` join edges
+    /// (BFS). Returns `(dataset, hops)` pairs, excluding `start`.
+    pub fn reachable(&self, start: DatasetId, max_hops: usize) -> Vec<(DatasetId, usize)> {
+        let mut seen: HashMap<DatasetId, usize> = HashMap::new();
+        seen.insert(start, 0);
+        let mut frontier = vec![start];
+        for hop in 1..=max_hops {
+            let mut next = Vec::new();
+            for d in frontier {
+                for e in self.edges_of(d) {
+                    let peer = if e.left.dataset == d { e.right.dataset } else { e.left.dataset };
+                    seen.entry(peer).or_insert_with(|| {
+                        next.push(peer);
+                        hop
+                    });
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        let mut out: Vec<(DatasetId, usize)> =
+            seen.into_iter().filter(|&(d, _)| d != start).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff the index has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Tokenize an identifier for the name index: lowercase, split on
+/// non-alphanumerics and camelCase boundaries.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = name.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let boundary = !c.is_alphanumeric()
+            || (c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase());
+        if boundary && !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur).to_lowercase());
+        }
+        if c.is_alphanumeric() {
+            cur.push(c);
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur.to_lowercase());
+    }
+    tokens
+}
+
+/// The index builder: consumes the metadata engine's output schema and
+/// produces the name index + relationship index.
+#[derive(Debug)]
+pub struct IndexBuilder {
+    /// Minimum containment for a join candidate (default 0.8).
+    pub min_containment: f64,
+    /// Minimum Jaccard for a *similarity* (fusion) candidate (default 0.5).
+    pub min_jaccard: f64,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        IndexBuilder { min_containment: 0.8, min_jaccard: 0.5 }
+    }
+}
+
+/// Built indexes handed to the search layer and DoD engine.
+#[derive(Debug, Default)]
+pub struct Indexes {
+    /// token -> column refs whose name contains the token.
+    pub name_index: HashMap<String, Vec<ColumnRef>>,
+    /// token -> dataset ids whose name/tags contain the token.
+    pub dataset_index: HashMap<String, Vec<DatasetId>>,
+    /// Join candidates.
+    pub relationships: RelationshipIndex,
+}
+
+impl IndexBuilder {
+    /// Create with default thresholds.
+    pub fn new() -> Self {
+        IndexBuilder::default()
+    }
+
+    /// Build all indexes from the engine's current state.
+    pub fn build(&self, engine: &MetadataEngine) -> Indexes {
+        let entries = engine.entries();
+        let mut idx = Indexes::default();
+        self.build_name_indexes(&entries, &mut idx);
+        idx.relationships = self.build_relationships(&entries);
+        idx
+    }
+
+    fn build_name_indexes(&self, entries: &[DatasetEntry], idx: &mut Indexes) {
+        for e in entries {
+            for tok in tokenize(&e.name).into_iter().chain(
+                e.tags.iter().flat_map(|t| tokenize(t)),
+            ) {
+                let v = idx.dataset_index.entry(tok).or_default();
+                if !v.contains(&e.id) {
+                    v.push(e.id);
+                }
+            }
+            for p in &e.latest_snapshot().profiles {
+                for tok in tokenize(&p.name) {
+                    let cr = ColumnRef::new(e.id, p.name.clone());
+                    let v = idx.name_index.entry(tok).or_default();
+                    if !v.contains(&cr) {
+                        v.push(cr);
+                    }
+                }
+            }
+        }
+    }
+
+    /// All-pairs column comparison via signatures. O(C²) over columns with
+    /// cheap per-pair work — adequate at the thousands-of-tables scale the
+    /// paper targets for a first system (and exactly what the F3 benchmark
+    /// measures).
+    fn build_relationships(&self, entries: &[DatasetEntry]) -> RelationshipIndex {
+        struct ColInfo<'a> {
+            dataset: DatasetId,
+            profile: &'a ColumnProfile,
+        }
+        let cols: Vec<ColInfo<'_>> = entries
+            .iter()
+            .flat_map(|e| {
+                e.latest_snapshot()
+                    .profiles
+                    .iter()
+                    .map(move |p| ColInfo { dataset: e.id, profile: p })
+            })
+            .collect();
+
+        let mut rel = RelationshipIndex::default();
+        for i in 0..cols.len() {
+            for j in (i + 1)..cols.len() {
+                let (a, b) = (&cols[i], &cols[j]);
+                if a.dataset == b.dataset {
+                    continue; // self-joins are out of scope for discovery
+                }
+                let pa = a.profile;
+                let pb = b.profile;
+                // Cheap type gate before touching signatures.
+                if !pa.dtype.unify(pb.dtype).is_numeric() && pa.dtype != pb.dtype {
+                    continue;
+                }
+                if pa.signature.is_empty() || pb.signature.is_empty() {
+                    continue;
+                }
+                let jaccard = pa.content_similarity(pb);
+                let c_ab = pa.containment_in(pb);
+                let c_ba = pb.containment_in(pa);
+                if jaccard >= self.min_jaccard
+                    || c_ab >= self.min_containment
+                    || c_ba >= self.min_containment
+                {
+                    let edge = JoinCandidate {
+                        left: ColumnRef::new(a.dataset, pa.name.clone()),
+                        right: ColumnRef::new(b.dataset, pb.name.clone()),
+                        jaccard,
+                        containment_l_in_r: c_ab,
+                        containment_r_in_l: c_ba,
+                        keyish: pa.looks_like_key() || pb.looks_like_key(),
+                    };
+                    let e_idx = rel.edges.len();
+                    rel.by_dataset.entry(a.dataset).or_default().push(e_idx);
+                    rel.by_dataset.entry(b.dataset).or_default().push(e_idx);
+                    rel.edges.push(edge);
+                }
+            }
+        }
+        rel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::{DataType, RelationBuilder, Value};
+
+    fn lake() -> MetadataEngine {
+        let eng = MetadataEngine::new();
+        // customers(cust_id key, region)
+        let mut b = RelationBuilder::new("customers")
+            .column("cust_id", DataType::Int)
+            .column("region", DataType::Str);
+        for i in 0..200 {
+            b = b.row(vec![Value::Int(i), Value::str(if i % 2 == 0 { "eu" } else { "us" })]);
+        }
+        eng.register("customers", "alice", b.build().unwrap());
+        // orders(order_id, customer -> customers.cust_id)
+        let mut b = RelationBuilder::new("orders")
+            .column("order_id", DataType::Int)
+            .column("customer", DataType::Int);
+        for i in 0..500 {
+            b = b.row(vec![Value::Int(10_000 + i), Value::Int(i % 200)]);
+        }
+        eng.register("orders", "bob", b.build().unwrap());
+        // weather(city, temp) — unrelated
+        let mut b = RelationBuilder::new("weather")
+            .column("city", DataType::Str)
+            .column("temp", DataType::Float);
+        for i in 0..50 {
+            // Non-integral floats: integral ones would canonicalize to the
+            // same reprs as customer ids and legitimately register as
+            // containment edges.
+            b = b.row(vec![Value::str(format!("city{i}")), Value::Float(i as f64 + 0.25)]);
+        }
+        eng.register("weather", "carol", b.build().unwrap());
+        eng
+    }
+
+    #[test]
+    fn finds_pk_fk_candidate() {
+        let eng = lake();
+        let idx = IndexBuilder::new().build(&eng);
+        let ids = eng.ids();
+        let (cust, orders) = (ids[0], ids[1]);
+        let edges = idx.relationships.edges_between(cust, orders);
+        assert!(
+            edges.iter().any(|e| {
+                (e.left.column == "cust_id" && e.right.column == "customer")
+                    || (e.left.column == "customer" && e.right.column == "cust_id")
+            }),
+            "expected cust_id~customer candidate, got {edges:?}"
+        );
+    }
+
+    #[test]
+    fn unrelated_datasets_have_no_edges() {
+        let eng = lake();
+        let idx = IndexBuilder::new().build(&eng);
+        let ids = eng.ids();
+        let weather = ids[2];
+        // weather.temp is numeric like ids, but value ranges barely overlap;
+        // city is a string column with disjoint content.
+        let edges = idx.relationships.edges_between(ids[0], weather);
+        assert!(
+            edges.iter().all(|e| e.score() < 0.9),
+            "no high-confidence edge to weather expected"
+        );
+    }
+
+    #[test]
+    fn reachability_bfs() {
+        let eng = lake();
+        let idx = IndexBuilder::new().build(&eng);
+        let ids = eng.ids();
+        let reach = idx.relationships.reachable(ids[0], 2);
+        assert!(reach.iter().any(|&(d, h)| d == ids[1] && h == 1));
+    }
+
+    #[test]
+    fn name_index_tokenizes() {
+        let eng = lake();
+        let idx = IndexBuilder::new().build(&eng);
+        // "cust_id" tokenizes to ["cust", "id"]
+        assert!(idx.name_index.contains_key("cust"));
+        assert!(idx.name_index.contains_key("id"));
+        assert!(idx.dataset_index.contains_key("orders"));
+    }
+
+    #[test]
+    fn tokenizer_splits_camel_and_snake() {
+        assert_eq!(tokenize("custId"), vec!["cust", "id"]);
+        assert_eq!(tokenize("cust_id"), vec!["cust", "id"]);
+        assert_eq!(tokenize("CustomerName2"), vec!["customer", "name2"]);
+        assert!(tokenize("").is_empty());
+    }
+
+    #[test]
+    fn keyish_flag_set_for_pk() {
+        let eng = lake();
+        let idx = IndexBuilder::new().build(&eng);
+        let edge = idx
+            .relationships
+            .edges()
+            .iter()
+            .find(|e| e.left.column == "cust_id" || e.right.column == "cust_id");
+        if let Some(e) = edge {
+            assert!(e.keyish);
+        }
+    }
+
+    #[test]
+    fn tag_appears_in_dataset_index() {
+        let eng = lake();
+        let id = eng.ids()[2];
+        eng.add_tag(id, "forecast signals");
+        let idx = IndexBuilder::new().build(&eng);
+        assert!(idx.dataset_index["forecast"].contains(&id));
+    }
+}

@@ -1,0 +1,490 @@
+//! The metadata engine (§5.1): an always-on, fully-incremental registry of
+//! datasets, their data items, and their lifecycle.
+//!
+//! "For each dataset, the metadata engine maintains a time-ordered list of
+//! context snapshots. A context snapshot captures the properties of each
+//! dataset's data item at each point in time. For example, signatures of
+//! its contents, a collection of human or machine owners, as well as the
+//! security credentials."
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dmp_relation::{DatasetId, Relation};
+
+use crate::profile::ColumnProfile;
+
+/// Refers to one column data item: `(dataset, column name)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Owning dataset.
+    pub dataset: DatasetId,
+    /// Column name within that dataset.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Construct a reference.
+    pub fn new(dataset: DatasetId, column: impl Into<String>) -> Self {
+        ColumnRef { dataset, column: column.into() }
+    }
+}
+
+/// A point-in-time capture of a dataset's data-item properties.
+#[derive(Debug, Clone)]
+pub struct ContextSnapshot {
+    /// Monotone dataset version this snapshot describes.
+    pub version: u32,
+    /// Logical time at which the snapshot was taken.
+    pub at: u64,
+    /// Row count at snapshot time.
+    pub rows: usize,
+    /// Content hash over all cells (change detection).
+    pub content_hash: u64,
+    /// Per-column statistical profiles (the content signatures).
+    pub profiles: Vec<ColumnProfile>,
+    /// Owners at snapshot time (humans or machine principals).
+    pub owners: Vec<String>,
+}
+
+/// A registered dataset plus its lifecycle.
+#[derive(Debug, Clone)]
+pub struct DatasetEntry {
+    /// Market-wide id.
+    pub id: DatasetId,
+    /// Human name.
+    pub name: String,
+    /// Registered owner (seller principal).
+    pub owner: String,
+    /// Current data (rows carry leaf provenance of `id`).
+    pub relation: Arc<Relation>,
+    /// Current version (bumps on update).
+    pub version: u32,
+    /// Logical registration time.
+    pub registered_at: u64,
+    /// Time-ordered context snapshots (latest last).
+    pub snapshots: Vec<ContextSnapshot>,
+    /// Free-form tags (topics, semantic annotations from negotiation).
+    pub tags: Vec<String>,
+}
+
+impl DatasetEntry {
+    /// The latest snapshot (always present).
+    pub fn latest_snapshot(&self) -> &ContextSnapshot {
+        self.snapshots.last().expect("entry always has >= 1 snapshot")
+    }
+
+    /// Profile of a specific column in the latest snapshot.
+    pub fn profile(&self, column: &str) -> Option<&ColumnProfile> {
+        self.latest_snapshot()
+            .profiles
+            .iter()
+            .find(|p| p.name == column)
+    }
+}
+
+/// The always-on metadata engine. Thread-safe: ingestion and reads can
+/// proceed concurrently (`parking_lot::RwLock` inside).
+#[derive(Debug, Default)]
+pub struct MetadataEngine {
+    entries: RwLock<HashMap<DatasetId, DatasetEntry>>,
+    next_id: AtomicU64,
+    clock: AtomicU64,
+}
+
+impl MetadataEngine {
+    /// Create an empty engine.
+    pub fn new() -> Self {
+        MetadataEngine::default()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Raise the engine's logical clock to at least `at_least`. Callers
+    /// embedding the engine in a larger system (the market) use this to
+    /// keep registration timestamps comparable with their own clock.
+    pub fn sync_clock(&self, at_least: u64) {
+        self.clock.fetch_max(at_least, Ordering::Relaxed);
+    }
+
+    /// Register a dataset via the *share interface* (a user shares one
+    /// specific dataset). Stamps leaf provenance and takes the initial
+    /// context snapshot. Returns the assigned id.
+    pub fn register(&self, name: impl Into<String>, owner: impl Into<String>, rel: Relation) -> DatasetId {
+        let id = DatasetId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let name = name.into();
+        let owner = owner.into();
+        let rel = rel.with_source(id);
+        let at = self.tick();
+        let snapshot = snapshot_of(&rel, 1, at, std::slice::from_ref(&owner));
+        let entry = DatasetEntry {
+            id,
+            name,
+            owner,
+            relation: Arc::new(rel),
+            version: 1,
+            registered_at: at,
+            snapshots: vec![snapshot],
+            tags: Vec::new(),
+        };
+        self.entries.write().insert(id, entry);
+        id
+    }
+
+    /// Register many datasets via the *batch interface* (a steward points
+    /// at a source in bulk, §4.2 Data Packaging). Returns ids in order.
+    pub fn register_batch(
+        &self,
+        owner: &str,
+        rels: impl IntoIterator<Item = Relation>,
+    ) -> Vec<DatasetId> {
+        rels.into_iter()
+            .map(|r| {
+                let name = r.name().to_string();
+                self.register(name, owner, r)
+            })
+            .collect()
+    }
+
+    /// Parallel batch registration: profiling (sketches, statistics)
+    /// dominates ingestion cost, so snapshots are computed on `workers`
+    /// crossbeam-scoped threads before entries are installed. Ids are
+    /// assigned in input order, identical to [`Self::register_batch`].
+    pub fn register_batch_parallel(
+        &self,
+        owner: &str,
+        rels: Vec<Relation>,
+        workers: usize,
+    ) -> Vec<DatasetId> {
+        if rels.is_empty() {
+            return Vec::new();
+        }
+        let workers = workers.clamp(1, rels.len());
+        // Pre-assign ids in order so output matches the serial path.
+        let base = self.next_id.fetch_add(rels.len() as u64, Ordering::Relaxed);
+        let ids: Vec<DatasetId> = (0..rels.len())
+            .map(|i| DatasetId(base + i as u64))
+            .collect();
+        let owner = owner.to_string();
+
+        // Profile in parallel: each task produces a finished entry.
+        let entries = Mutex::new(Vec::with_capacity(rels.len()));
+        let jobs = Mutex::new(
+            rels.into_iter()
+                .zip(ids.iter().copied())
+                .collect::<Vec<(Relation, DatasetId)>>(),
+        );
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let job = jobs.lock().pop();
+                    let Some((rel, id)) = job else { break };
+                    let name = rel.name().to_string();
+                    let rel = rel.with_source(id);
+                    let at = self.tick();
+                    let snapshot = snapshot_of(&rel, 1, at, std::slice::from_ref(&owner));
+                    entries.lock().push(DatasetEntry {
+                        id,
+                        name,
+                        owner: owner.clone(),
+                        relation: Arc::new(rel),
+                        version: 1,
+                        registered_at: at,
+                        snapshots: vec![snapshot],
+                        tags: Vec::new(),
+                    });
+                });
+            }
+        })
+        .expect("ingestion workers do not panic");
+
+        let mut map = self.entries.write();
+        for e in entries.into_inner() {
+            map.insert(e.id, e);
+        }
+        ids
+    }
+
+    /// Update a dataset's contents; bumps the version and appends a new
+    /// context snapshot iff the content actually changed. Returns the new
+    /// version, or `None` if the id is unknown.
+    pub fn update(&self, id: DatasetId, rel: Relation) -> Option<u32> {
+        let mut entries = self.entries.write();
+        let entry = entries.get_mut(&id)?;
+        let rel = rel.with_source(id);
+        let new_hash = content_hash(&rel);
+        if new_hash == entry.latest_snapshot().content_hash {
+            return Some(entry.version); // no change: fully-incremental no-op
+        }
+        entry.version += 1;
+        let at = self.tick();
+        let snap = snapshot_of(&rel, entry.version, at, std::slice::from_ref(&entry.owner));
+        entry.snapshots.push(snap);
+        entry.relation = Arc::new(rel);
+        Some(entry.version)
+    }
+
+    /// Attach a tag / semantic annotation (negotiation rounds, §4.1).
+    pub fn add_tag(&self, id: DatasetId, tag: impl Into<String>) -> bool {
+        let mut entries = self.entries.write();
+        match entries.get_mut(&id) {
+            Some(e) => {
+                let tag = tag.into();
+                if !e.tags.contains(&tag) {
+                    e.tags.push(tag);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a dataset (seller withdraws it).
+    pub fn remove(&self, id: DatasetId) -> bool {
+        self.entries.write().remove(&id).is_some()
+    }
+
+    /// Fetch a dataset entry (cloned snapshot of its metadata).
+    pub fn get(&self, id: DatasetId) -> Option<DatasetEntry> {
+        self.entries.read().get(&id).cloned()
+    }
+
+    /// The current relation of a dataset.
+    pub fn relation(&self, id: DatasetId) -> Option<Arc<Relation>> {
+        self.entries.read().get(&id).map(|e| Arc::clone(&e.relation))
+    }
+
+    /// All dataset ids, ascending.
+    pub fn ids(&self) -> Vec<DatasetId> {
+        let mut ids: Vec<DatasetId> = self.entries.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True iff no datasets registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Snapshot of all entries (for index building).
+    pub fn entries(&self) -> Vec<DatasetEntry> {
+        let mut v: Vec<DatasetEntry> = self.entries.read().values().cloned().collect();
+        v.sort_by_key(|e| e.id);
+        v
+    }
+
+    /// All column data items across all datasets.
+    pub fn column_refs(&self) -> Vec<ColumnRef> {
+        let mut out = Vec::new();
+        for e in self.entries() {
+            for p in &e.latest_snapshot().profiles {
+                out.push(ColumnRef::new(e.id, p.name.clone()));
+            }
+        }
+        out
+    }
+}
+
+/// Hash all cells of a relation (order-sensitive) for change detection.
+fn content_hash(rel: &Relation) -> u64 {
+    let mut h = DefaultHasher::new();
+    rel.schema().names().for_each(|n| n.hash(&mut h));
+    for row in rel.rows() {
+        for v in row.values() {
+            v.hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+fn snapshot_of(rel: &Relation, version: u32, at: u64, owners: &[String]) -> ContextSnapshot {
+    ContextSnapshot {
+        version,
+        at,
+        rows: rel.len(),
+        content_hash: content_hash(rel),
+        profiles: ColumnProfile::compute_all(rel),
+        owners: owners.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::builder::keyed_rel;
+
+    #[test]
+    fn register_assigns_sequential_ids_and_provenance() {
+        let eng = MetadataEngine::new();
+        let a = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        let b = eng.register("b", "bob", keyed_rel("b", &[(2, "y")]));
+        assert_ne!(a, b);
+        let rel = eng.relation(a).unwrap();
+        assert_eq!(rel.source(), Some(a));
+        assert_eq!(rel.rows()[0].provenance().atoms()[0].dataset, a);
+    }
+
+    #[test]
+    fn initial_snapshot_has_profiles() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x"), (2, "y")]));
+        let e = eng.get(id).unwrap();
+        assert_eq!(e.version, 1);
+        assert_eq!(e.snapshots.len(), 1);
+        assert_eq!(e.latest_snapshot().profiles.len(), 2);
+        assert_eq!(e.latest_snapshot().rows, 2);
+        assert_eq!(e.latest_snapshot().owners, vec!["alice".to_string()]);
+    }
+
+    #[test]
+    fn update_bumps_version_and_appends_snapshot() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        let v = eng.update(id, keyed_rel("a", &[(1, "x"), (2, "y")])).unwrap();
+        assert_eq!(v, 2);
+        let e = eng.get(id).unwrap();
+        assert_eq!(e.snapshots.len(), 2);
+        assert_eq!(e.latest_snapshot().rows, 2);
+        // lifecycle is time-ordered
+        assert!(e.snapshots[0].at < e.snapshots[1].at);
+    }
+
+    #[test]
+    fn unchanged_update_is_a_noop() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        let v = eng.update(id, keyed_rel("a", &[(1, "x")])).unwrap();
+        assert_eq!(v, 1, "same content must not bump the version");
+        assert_eq!(eng.get(id).unwrap().snapshots.len(), 1);
+    }
+
+    #[test]
+    fn update_unknown_id_is_none() {
+        let eng = MetadataEngine::new();
+        assert!(eng.update(DatasetId(99), keyed_rel("z", &[])).is_none());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_semantics() {
+        let serial = MetadataEngine::new();
+        let parallel = MetadataEngine::new();
+        let tables: Vec<_> = (0..24)
+            .map(|i| keyed_rel(&format!("t{i}"), &[(i, "a"), (i + 1, "b")]))
+            .collect();
+        let ids_s = serial.register_batch("steward", tables.clone());
+        let ids_p = parallel.register_batch_parallel("steward", tables, 4);
+        assert_eq!(ids_s.len(), ids_p.len());
+        for (a, b) in ids_s.iter().zip(&ids_p) {
+            let ea = serial.get(*a).unwrap();
+            let eb = parallel.get(*b).unwrap();
+            assert_eq!(ea.name, eb.name, "ids assigned in input order");
+            assert_eq!(ea.owner, eb.owner);
+            assert_eq!(ea.latest_snapshot().rows, eb.latest_snapshot().rows);
+            assert_eq!(
+                ea.latest_snapshot().content_hash,
+                eb.latest_snapshot().content_hash
+            );
+            // provenance stamped with the right id
+            assert_eq!(eb.relation.source(), Some(*b));
+        }
+    }
+
+    #[test]
+    fn parallel_batch_empty_and_single_worker() {
+        let eng = MetadataEngine::new();
+        assert!(eng.register_batch_parallel("o", vec![], 8).is_empty());
+        let ids = eng.register_batch_parallel("o", vec![keyed_rel("t", &[(1, "x")])], 0);
+        assert_eq!(ids.len(), 1);
+        assert!(eng.get(ids[0]).is_some());
+    }
+
+    #[test]
+    fn batch_register_names_from_relations() {
+        let eng = MetadataEngine::new();
+        let ids = eng.register_batch(
+            "steward",
+            vec![keyed_rel("t1", &[(1, "a")]), keyed_rel("t2", &[(2, "b")])],
+        );
+        assert_eq!(ids.len(), 2);
+        assert_eq!(eng.get(ids[0]).unwrap().name, "t1");
+        assert_eq!(eng.get(ids[1]).unwrap().owner, "steward");
+    }
+
+    #[test]
+    fn tags_dedupe() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        assert!(eng.add_tag(id, "weather"));
+        assert!(eng.add_tag(id, "weather"));
+        assert_eq!(eng.get(id).unwrap().tags, vec!["weather".to_string()]);
+        assert!(!eng.add_tag(DatasetId(42), "nope"));
+    }
+
+    #[test]
+    fn remove_unregisters() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        assert!(eng.remove(id));
+        assert!(!eng.remove(id));
+        assert!(eng.get(id).is_none());
+        assert!(eng.is_empty());
+    }
+
+    #[test]
+    fn column_refs_enumerate_data_items() {
+        let eng = MetadataEngine::new();
+        eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
+        eng.register("b", "bob", keyed_rel("b", &[(1, "x")]));
+        let refs = eng.column_refs();
+        assert_eq!(refs.len(), 4); // two datasets × (k, v)
+    }
+
+    #[test]
+    fn profile_lookup_by_column() {
+        let eng = MetadataEngine::new();
+        let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x"), (2, "y")]));
+        let e = eng.get(id).unwrap();
+        assert!(e.profile("k").is_some());
+        assert!(e.profile("nope").is_none());
+    }
+
+    #[test]
+    fn concurrent_registration_is_safe() {
+        let eng = Arc::new(MetadataEngine::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let eng = Arc::clone(&eng);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25 {
+                    let name = format!("t{t}_{i}");
+                    eng.register(
+                        name.clone(),
+                        "owner",
+                        keyed_rel(&name, &[(i, "v")]),
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(eng.len(), 100);
+        // ids are unique
+        let ids = eng.ids();
+        let mut dedup = ids.clone();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+}

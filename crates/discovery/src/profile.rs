@@ -1,0 +1,220 @@
+//! Column profiles: the per-data-item statistics of §5.1.
+//!
+//! "Each dataset is divided conceptually into data items, which are the
+//! granularity of analysis of the engine. For example, a column data item
+//! can be used to extract the value distribution of that attribute."
+
+use dmp_relation::{DataType, Relation, Value};
+
+use crate::sketch::{HyperLogLog, MinHash};
+
+/// Statistical profile of one column, computed at ingestion time and
+/// refreshed on every new context snapshot.
+#[derive(Debug, Clone)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Declared (or inferred) type.
+    pub dtype: DataType,
+    /// Total cells.
+    pub rows: usize,
+    /// Null cells.
+    pub nulls: usize,
+    /// Estimated distinct count (HyperLogLog).
+    pub distinct_est: f64,
+    /// Numeric min, if the column has numeric cells.
+    pub min: Option<f64>,
+    /// Numeric max, if the column has numeric cells.
+    pub max: Option<f64>,
+    /// Numeric mean, if the column has numeric cells.
+    pub mean: Option<f64>,
+    /// MinHash signature over the column's (stringified) values.
+    pub signature: MinHash,
+    /// A few sample values for display and name-free matching.
+    pub samples: Vec<String>,
+}
+
+impl ColumnProfile {
+    /// Maximum retained samples.
+    const MAX_SAMPLES: usize = 8;
+
+    /// Profile one column of a relation.
+    pub fn compute(rel: &Relation, col: &str) -> dmp_relation::RelResult<ColumnProfile> {
+        let idx = rel.col_index(col)?;
+        let dtype = rel.schema().fields()[idx].dtype();
+        let mut nulls = 0usize;
+        let mut hll = HyperLogLog::default_precision();
+        let mut mh = MinHash::default_width();
+        let (mut min, mut max, mut sum, mut n_num) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0usize);
+        let mut samples: Vec<String> = Vec::new();
+
+        for row in rel.rows() {
+            let v = row.get(idx);
+            if v.is_null() {
+                nulls += 1;
+                continue;
+            }
+            let repr = canonical_repr(v);
+            hll.insert(&repr);
+            mh.insert(&repr);
+            if samples.len() < Self::MAX_SAMPLES && !samples.contains(&repr) {
+                samples.push(repr);
+            }
+            if let Some(x) = v.as_f64() {
+                min = min.min(x);
+                max = max.max(x);
+                sum += x;
+                n_num += 1;
+            }
+        }
+
+        Ok(ColumnProfile {
+            name: col.to_string(),
+            dtype,
+            rows: rel.len(),
+            nulls,
+            distinct_est: hll.estimate(),
+            min: (n_num > 0).then_some(min),
+            max: (n_num > 0).then_some(max),
+            mean: (n_num > 0).then(|| sum / n_num as f64),
+            signature: mh,
+            samples,
+        })
+    }
+
+    /// Profile every column of a relation.
+    pub fn compute_all(rel: &Relation) -> Vec<ColumnProfile> {
+        rel.schema()
+            .names()
+            .map(|c| ColumnProfile::compute(rel, c).expect("column exists"))
+            .collect()
+    }
+
+    /// Fraction of null cells.
+    pub fn null_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.rows as f64
+        }
+    }
+
+    /// Uniqueness: estimated distinct / non-null rows. ~1.0 indicates a
+    /// key-like column (join-candidate left side).
+    pub fn uniqueness(&self) -> f64 {
+        let non_null = self.rows.saturating_sub(self.nulls);
+        if non_null == 0 {
+            0.0
+        } else {
+            (self.distinct_est / non_null as f64).min(1.0)
+        }
+    }
+
+    /// Heuristic: does this column look like a key?
+    pub fn looks_like_key(&self) -> bool {
+        self.rows >= 2 && self.null_ratio() < 0.05 && self.uniqueness() > 0.9
+    }
+
+    /// Content Jaccard similarity against another profile.
+    pub fn content_similarity(&self, other: &ColumnProfile) -> f64 {
+        self.signature.estimate_jaccard(&other.signature)
+    }
+
+    /// Estimated containment of `self`'s values within `other`'s.
+    pub fn containment_in(&self, other: &ColumnProfile) -> f64 {
+        self.signature
+            .estimate_containment(&other.signature, self.distinct_est, other.distinct_est)
+    }
+}
+
+/// Canonical string form used for content sketches so that `Int(2)` in one
+/// dataset matches `Float(2.0)` or `"2"` in another (cross-dataset joins
+/// routinely cross types in the wild).
+pub fn canonical_repr(v: &Value) -> String {
+    match v {
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() => format!("{}", *f as i64),
+        Value::Str(s) => s.trim().to_lowercase(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::{DataType, RelationBuilder, Value};
+
+    fn rel() -> Relation {
+        let mut b = RelationBuilder::new("t")
+            .column("id", DataType::Int)
+            .column("name", DataType::Str)
+            .column("score", DataType::Float);
+        for i in 0..100 {
+            b = b.row(vec![
+                Value::Int(i),
+                Value::str(format!("user{}", i % 10)),
+                if i % 5 == 0 { Value::Null } else { Value::Float(i as f64 / 2.0) },
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn numeric_stats() {
+        let p = ColumnProfile::compute(&rel(), "id").unwrap();
+        assert_eq!(p.rows, 100);
+        assert_eq!(p.nulls, 0);
+        assert_eq!(p.min, Some(0.0));
+        assert_eq!(p.max, Some(99.0));
+        assert!((p.mean.unwrap() - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_estimation() {
+        let p = ColumnProfile::compute(&rel(), "name").unwrap();
+        assert!((p.distinct_est - 10.0).abs() < 2.0, "est {}", p.distinct_est);
+    }
+
+    #[test]
+    fn null_ratio_counts() {
+        let p = ColumnProfile::compute(&rel(), "score").unwrap();
+        assert_eq!(p.nulls, 20);
+        assert!((p.null_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn key_detection() {
+        let r = rel();
+        assert!(ColumnProfile::compute(&r, "id").unwrap().looks_like_key());
+        assert!(!ColumnProfile::compute(&r, "name").unwrap().looks_like_key());
+    }
+
+    #[test]
+    fn similarity_of_same_content_is_high() {
+        let r = rel();
+        let a = ColumnProfile::compute(&r, "id").unwrap();
+        let b = ColumnProfile::compute(&r, "id").unwrap();
+        assert!(a.content_similarity(&b) > 0.99);
+    }
+
+    #[test]
+    fn canonical_repr_crosses_types() {
+        assert_eq!(canonical_repr(&Value::Int(2)), canonical_repr(&Value::Float(2.0)));
+        assert_eq!(canonical_repr(&Value::str(" Foo ")), "foo");
+    }
+
+    #[test]
+    fn samples_are_bounded_and_distinct() {
+        let p = ColumnProfile::compute(&rel(), "name").unwrap();
+        assert!(p.samples.len() <= 8);
+        let mut s = p.samples.clone();
+        s.dedup();
+        assert_eq!(s.len(), p.samples.len());
+    }
+
+    #[test]
+    fn compute_all_covers_every_column() {
+        let ps = ColumnProfile::compute_all(&rel());
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].name, "id");
+    }
+}

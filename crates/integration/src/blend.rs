@@ -1,0 +1,184 @@
+//! The blending engine (Fig. 3): schema matching + union across datasets
+//! that describe the same kind of entity — e.g. two sellers' customer
+//! lists with differently named but content-equivalent columns.
+
+use dmp_discovery::ColumnProfile;
+use dmp_relation::{RelError, RelResult, Relation};
+
+/// Match `other`'s columns onto `base`'s columns, by exact name first,
+/// then by content similarity of profiles. Returns, for each base column,
+/// the matched column name in `other` (None if unmatched).
+pub fn match_schemas(base: &Relation, other: &Relation, min_sim: f64) -> Vec<Option<String>> {
+    let base_profiles = ColumnProfile::compute_all(base);
+    let other_profiles = ColumnProfile::compute_all(other);
+    let mut taken = vec![false; other_profiles.len()];
+    let mut result: Vec<Option<String>> = Vec::with_capacity(base_profiles.len());
+
+    // Pass 1: exact case-insensitive names.
+    for bp in &base_profiles {
+        let hit = other_profiles
+            .iter()
+            .enumerate()
+            .find(|(i, op)| !taken[*i] && op.name.eq_ignore_ascii_case(&bp.name));
+        match hit {
+            Some((i, op)) => {
+                taken[i] = true;
+                result.push(Some(op.name.clone()));
+            }
+            None => result.push(None),
+        }
+    }
+    // Pass 2: content similarity for the unmatched.
+    for (bi, bp) in base_profiles.iter().enumerate() {
+        if result[bi].is_some() {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, op) in other_profiles.iter().enumerate() {
+            if taken[i] {
+                continue;
+            }
+            let sim = bp.content_similarity(op);
+            if sim >= min_sim && best.is_none_or(|(_, s)| sim > s) {
+                best = Some((i, sim));
+            }
+        }
+        if let Some((i, _)) = best {
+            taken[i] = true;
+            result[bi] = Some(other_profiles[i].name.clone());
+        }
+    }
+    result
+}
+
+/// Report of a blend: the blended relation plus which inputs were
+/// skipped for insufficient column coverage.
+pub struct BlendReport {
+    /// The blended relation.
+    pub relation: Relation,
+    /// Names of inputs skipped for insufficient column coverage.
+    pub skipped: Vec<String>,
+}
+
+/// Blend with a content-similarity threshold for schema matching.
+pub fn blend(relations: &[&Relation], min_sim: f64) -> RelResult<BlendReport> {
+    let base = *relations
+        .first()
+        .ok_or_else(|| RelError::Invalid("blend needs at least one relation".into()))?;
+    let base_cols: Vec<&str> = base.schema().names().collect();
+    let mut acc = base.project(&base_cols)?.named("blend");
+    let mut skipped = Vec::new();
+
+    for other in &relations[1..] {
+        let matches = match_schemas(base, other, min_sim);
+        if matches.iter().any(Option::is_none) {
+            skipped.push(other.name().to_string());
+            continue;
+        }
+        let other_cols: Vec<&str> = matches
+            .iter()
+            .map(|m| m.as_deref().expect("checked above"))
+            .collect();
+        let mut projected = other.project(&other_cols)?;
+        // Rename to base names so the union is schema-compatible.
+        for (b, o) in base_cols.iter().zip(&other_cols) {
+            if b != o {
+                projected = projected.rename(o, b)?;
+            }
+        }
+        acc = acc.union(&projected)?;
+    }
+
+    Ok(BlendReport { relation: acc.distinct().named("blend"), skipped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::{DataType, DatasetId, RelationBuilder, Value};
+
+    fn customers_a() -> Relation {
+        let mut b = RelationBuilder::new("a")
+            .column("name", DataType::Str)
+            .column("zip", DataType::Int);
+        for i in 0..50 {
+            b = b.row(vec![Value::str(format!("cust{i}")), Value::Int(10_000 + i)]);
+        }
+        b.source(DatasetId(1)).build().unwrap()
+    }
+
+    /// Same shape, different column names, overlapping content.
+    fn customers_b() -> Relation {
+        let mut b = RelationBuilder::new("b")
+            .column("postal", DataType::Int)
+            .column("client", DataType::Str);
+        for i in 30..80 {
+            b = b.row(vec![Value::Int(10_000 + i), Value::str(format!("cust{i}"))]);
+        }
+        b.source(DatasetId(2)).build().unwrap()
+    }
+
+    #[test]
+    fn schema_match_by_content() {
+        let a = customers_a();
+        let b = customers_b();
+        let m = match_schemas(&a, &b, 0.2);
+        assert_eq!(m[0].as_deref(), Some("client")); // name <- client
+        assert_eq!(m[1].as_deref(), Some("postal")); // zip  <- postal
+    }
+
+    #[test]
+    fn blend_unions_and_dedupes() {
+        let a = customers_a();
+        let b = customers_b();
+        let report = blend(&[&a, &b], 0.2).unwrap();
+        // 50 + 50 rows with 20 duplicates (i in 30..50)
+        assert_eq!(report.relation.len(), 80);
+        assert!(report.skipped.is_empty());
+        assert_eq!(
+            report.relation.schema().names().collect::<Vec<_>>(),
+            vec!["name", "zip"]
+        );
+    }
+
+    #[test]
+    fn blended_duplicates_keep_both_provenances() {
+        let a = customers_a();
+        let b = customers_b();
+        let report = blend(&[&a, &b], 0.2).unwrap();
+        let dup = report
+            .relation
+            .rows()
+            .iter()
+            .find(|r| r.get(0).as_str() == Some("cust35"))
+            .unwrap();
+        assert_eq!(dup.provenance().datasets().len(), 2);
+    }
+
+    #[test]
+    fn incompatible_input_is_skipped() {
+        let a = customers_a();
+        let weird = RelationBuilder::new("weird")
+            .column("x", DataType::Float)
+            .row(vec![Value::Float(0.5)])
+            .build()
+            .unwrap();
+        let report = blend(&[&a, &weird], 0.2).unwrap();
+        assert_eq!(report.skipped, vec!["weird".to_string()]);
+        assert_eq!(report.relation.len(), 50);
+    }
+
+    #[test]
+    fn exact_names_match_first() {
+        let a = customers_a();
+        let same = customers_a().named("other");
+        let m = match_schemas(&a, &same, 0.9);
+        assert_eq!(m[0].as_deref(), Some("name"));
+        assert_eq!(m[1].as_deref(), Some("zip"));
+    }
+
+    #[test]
+    fn empty_blend_rejected() {
+        assert!(blend(&[], 0.5).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Allocation functions (§3.1, §3.2.1): "at any given time, multiple
+//! buyers may want to buy a particular mashup of interest. The allocation
+//! function solves which buyers get what mashup."
+//!
+//! Data's free replicability makes this unusual: supply is infinite, so
+//! "it could be trivially allocated to anyone who wants it [... which] is
+//! at odds with eliciting truthful behavior from buyers". The rules here
+//! cover the classic scarce-goods auctions *and* the digital-goods case
+//! the paper builds on ([45, 46]).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One buyer's bid for an asset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bid {
+    /// Bidder principal.
+    pub bidder: String,
+    /// Monetary bid (the WTP-evaluator output for this mashup).
+    pub amount: f64,
+}
+
+impl Bid {
+    /// Construct a bid.
+    pub fn new(bidder: impl Into<String>, amount: f64) -> Self {
+        Bid { bidder: bidder.into(), amount }
+    }
+}
+
+/// Who gets the asset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AllocationRule {
+    /// Everyone bidding at least the posted price wins (how Dawex-style
+    /// markets work today, §8.1).
+    PostedPrice(f64),
+    /// The `k` highest bids win (artificial scarcity, e.g. exclusive or
+    /// limited licenses, §4.4).
+    TopK(usize),
+    /// Digital goods: every bidder *can* win; the payment rule decides
+    /// the price and winners are those whose bid meets it.
+    DigitalGoods,
+    /// A uniform random subset wins (used as a strategy-free control in
+    /// simulations).
+    Lottery {
+        /// Number of winners.
+        winners: usize,
+        /// RNG seed (determinism).
+        seed: u64,
+    },
+}
+
+impl AllocationRule {
+    /// Indices of winning bids. Ties at the TopK boundary are broken by
+    /// bid order (earlier bids win), which is deterministic.
+    pub fn allocate(&self, bids: &[Bid]) -> Vec<usize> {
+        match self {
+            AllocationRule::PostedPrice(p) => bids
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.amount >= *p)
+                .map(|(i, _)| i)
+                .collect(),
+            AllocationRule::TopK(k) => {
+                let mut order: Vec<usize> = (0..bids.len()).collect();
+                order.sort_by(|&a, &b| {
+                    bids[b]
+                        .amount
+                        .total_cmp(&bids[a].amount)
+                        .then_with(|| a.cmp(&b))
+                });
+                order.truncate(*k);
+                order.sort_unstable();
+                order
+            }
+            AllocationRule::DigitalGoods => (0..bids.len()).collect(),
+            AllocationRule::Lottery { winners, seed } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
+                let mut idx: Vec<usize> = (0..bids.len()).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(*winners);
+                idx.sort_unstable();
+                idx
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bids() -> Vec<Bid> {
+        vec![
+            Bid::new("a", 10.0),
+            Bid::new("b", 30.0),
+            Bid::new("c", 20.0),
+            Bid::new("d", 5.0),
+        ]
+    }
+
+    #[test]
+    fn posted_price_filters_by_threshold() {
+        let w = AllocationRule::PostedPrice(15.0).allocate(&bids());
+        assert_eq!(w, vec![1, 2]);
+    }
+
+    #[test]
+    fn posted_price_boundary_inclusive() {
+        let w = AllocationRule::PostedPrice(30.0).allocate(&bids());
+        assert_eq!(w, vec![1]);
+    }
+
+    #[test]
+    fn top_k_takes_highest() {
+        let w = AllocationRule::TopK(2).allocate(&bids());
+        assert_eq!(w, vec![1, 2]); // 30 and 20
+    }
+
+    #[test]
+    fn top_k_ties_break_by_order() {
+        let tied = vec![Bid::new("a", 10.0), Bid::new("b", 10.0), Bid::new("c", 10.0)];
+        let w = AllocationRule::TopK(2).allocate(&tied);
+        assert_eq!(w, vec![0, 1]);
+    }
+
+    #[test]
+    fn top_k_larger_than_field_takes_all() {
+        let w = AllocationRule::TopK(10).allocate(&bids());
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn digital_goods_admits_everyone() {
+        let w = AllocationRule::DigitalGoods.allocate(&bids());
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn lottery_is_deterministic_per_seed() {
+        let a = AllocationRule::Lottery { winners: 2, seed: 7 }.allocate(&bids());
+        let b = AllocationRule::Lottery { winners: 2, seed: 7 }.allocate(&bids());
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn empty_bids_empty_winners() {
+        assert!(AllocationRule::TopK(3).allocate(&[]).is_empty());
+        assert!(AllocationRule::PostedPrice(1.0).allocate(&[]).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! The bundled market design (§3.1): "a collection of 5 components that
+//! govern the interactions between sellers, buyers, and arbiter" —
+//! elicitation, allocation, payment, revenue allocation, revenue sharing —
+//! engineered toward a goal and checkable for incentive compatibility.
+//!
+//! The design is *plug'n'play* (§3.3): the same `DataMarket` platform in
+//! `dmp-core` accepts any `MarketDesign`, which is exactly the
+//! requirement Fig. 1 illustrates (toolbox → rules → simulator → DMMS).
+
+use crate::allocation::{AllocationRule, Bid};
+use crate::elicitation::ElicitationProtocol;
+use crate::goals::{MarketGoal, OutcomeMeasure};
+use crate::payment::PaymentRule;
+
+/// How revenue is allocated to rows of a sold mashup (component 4;
+/// computation lives in `dmp-valuation`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevenueAllocationMethod {
+    /// Every row of the mashup gets an equal share.
+    UniformPerRow,
+    /// Rows are weighted by Shapley value of the contributing datasets
+    /// (Monte-Carlo approximated above the exact-enumeration limit).
+    Shapley {
+        /// Monte-Carlo permutation samples (ignored when exact is
+        /// feasible).
+        samples: usize,
+    },
+    /// Leave-one-out marginal contributions, normalized.
+    LeaveOneOut,
+}
+
+/// How a row's allocation is shared back to datasets (component 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RevenueSharingMethod {
+    /// Split each row's value equally among the datasets in its
+    /// why-provenance (the provenance-based scheme of §3.2.3).
+    ByProvenance,
+    /// Split the whole price equally among contributing datasets,
+    /// ignoring row structure (baseline).
+    EqualPerDataset,
+}
+
+/// A complete market design.
+#[derive(Debug, Clone)]
+pub struct MarketDesign {
+    /// Display name.
+    pub name: String,
+    /// What the design optimizes (§3.3).
+    pub goal: MarketGoal,
+    /// Component 1: elicitation protocol.
+    pub elicitation: ElicitationProtocol,
+    /// Component 2: allocation function.
+    pub allocation: AllocationRule,
+    /// Component 3: payment function.
+    pub payment: PaymentRule,
+    /// Component 4: revenue allocation.
+    pub revenue_allocation: RevenueAllocationMethod,
+    /// Component 5: revenue sharing.
+    pub revenue_sharing: RevenueSharingMethod,
+    /// Fraction of revenue retained by the arbiter (platform fee).
+    pub arbiter_fee: f64,
+}
+
+impl MarketDesign {
+    /// The paper's "today's markets" baseline: posted price, pay the
+    /// posted price, uniform revenue split (Dawex-style, §8.1).
+    pub fn posted_price_baseline(price: f64) -> Self {
+        MarketDesign {
+            name: format!("posted-price({price})"),
+            goal: MarketGoal::Transactions,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::PostedPrice(price),
+            payment: PaymentRule::PostedPrice(price),
+            revenue_allocation: RevenueAllocationMethod::UniformPerRow,
+            revenue_sharing: RevenueSharingMethod::EqualPerDataset,
+            arbiter_fee: 0.0,
+        }
+    }
+
+    /// Revenue-maximizing external-market design: digital-goods RSOP
+    /// pricing + Shapley revenue allocation + provenance sharing.
+    pub fn external_revenue(seed: u64) -> Self {
+        MarketDesign {
+            name: "external-rsop".into(),
+            goal: MarketGoal::Revenue,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::DigitalGoods,
+            payment: PaymentRule::Rsop { seed },
+            revenue_allocation: RevenueAllocationMethod::Shapley { samples: 256 },
+            revenue_sharing: RevenueSharingMethod::ByProvenance,
+            arbiter_fee: 0.05,
+        }
+    }
+
+    /// Welfare-maximizing internal-market design: allocate to everyone
+    /// who values the data (bonus-point economy), Vickrey payments keep
+    /// reports honest.
+    pub fn internal_welfare() -> Self {
+        MarketDesign {
+            name: "internal-welfare".into(),
+            goal: MarketGoal::Welfare,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::DigitalGoods,
+            payment: PaymentRule::PostedPrice(0.0),
+            revenue_allocation: RevenueAllocationMethod::UniformPerRow,
+            revenue_sharing: RevenueSharingMethod::ByProvenance,
+            arbiter_fee: 0.0,
+        }
+    }
+
+    /// Scarce-license design: k exclusive licenses, Vickrey with reserve.
+    pub fn scarce_licenses(k: usize, reserve: f64) -> Self {
+        MarketDesign {
+            name: format!("scarce-{k}"),
+            goal: MarketGoal::Revenue,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::TopK(k),
+            payment: PaymentRule::VickreyReserve { reserve },
+            revenue_allocation: RevenueAllocationMethod::Shapley { samples: 256 },
+            revenue_sharing: RevenueSharingMethod::ByProvenance,
+            arbiter_fee: 0.05,
+        }
+    }
+
+    /// Run one auction round: allocate, price, measure.
+    pub fn run_auction(&self, bids: &[Bid], valuations: &[f64]) -> DesignOutcome {
+        let winners = self.allocation.allocate(bids);
+        let payments = self.payment.payments(bids, &winners);
+        let revenue: f64 = payments.iter().map(|(_, p)| p).sum();
+        let welfare: f64 = payments
+            .iter()
+            .map(|(i, _)| valuations.get(*i).copied().unwrap_or(bids[*i].amount))
+            .sum();
+        DesignOutcome {
+            payments: payments.clone(),
+            measure: OutcomeMeasure { revenue, welfare, transactions: payments.len() },
+        }
+    }
+}
+
+/// Result of one auction round.
+#[derive(Debug, Clone)]
+pub struct DesignOutcome {
+    /// `(bid index, price)` for each transacting buyer.
+    pub payments: Vec<(usize, f64)>,
+    /// Goal measurements.
+    pub measure: OutcomeMeasure,
+}
+
+/// Empirical incentive-compatibility check: for each bidder, scan a grid
+/// of misreport factors and measure the best utility gain over truthful
+/// bidding, holding others fixed (unilateral deviations, i.e. dominant-
+/// strategy flavor against this bid profile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IcReport {
+    /// Largest utility gain any bidder achieves by deviating.
+    pub max_gain: f64,
+    /// The deviating bidder index, if any gain exists.
+    pub best_deviator: Option<usize>,
+    /// True iff no deviation improves utility by more than `tol`.
+    pub is_ic: bool,
+}
+
+/// Utility of bidder `i` with valuation `v`: `v − price` if transacting,
+/// else 0.
+fn utility(outcome: &DesignOutcome, i: usize, v: f64) -> f64 {
+    outcome
+        .payments
+        .iter()
+        .find(|(w, _)| *w == i)
+        .map(|(_, p)| v - p)
+        .unwrap_or(0.0)
+}
+
+/// Check empirical IC for a design given true valuations. `grid` is the
+/// set of misreport factors applied to the true value (e.g. 0.0..=1.5).
+pub fn empirical_ic_check(design: &MarketDesign, valuations: &[f64], grid: &[f64]) -> IcReport {
+    let truthful: Vec<Bid> = valuations
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Bid::new(format!("b{i}"), v))
+        .collect();
+    let base = design.run_auction(&truthful, valuations);
+
+    let mut max_gain: f64 = 0.0;
+    let mut best_deviator = None;
+    for i in 0..valuations.len() {
+        let u_truth = utility(&base, i, valuations[i]);
+        for &f in grid {
+            let mut bids = truthful.clone();
+            bids[i].amount = valuations[i] * f;
+            let out = design.run_auction(&bids, valuations);
+            let u_dev = utility(&out, i, valuations[i]);
+            if u_dev - u_truth > max_gain {
+                max_gain = u_dev - u_truth;
+                best_deviator = Some(i);
+            }
+        }
+    }
+    IcReport { max_gain, best_deviator, is_ic: max_gain <= 1e-9 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<f64> {
+        (0..=30).map(|k| k as f64 / 20.0).collect() // 0.0 .. 1.5
+    }
+
+    #[test]
+    fn vickrey_single_unit_is_ic() {
+        let design = MarketDesign {
+            name: "vickrey-1".into(),
+            goal: MarketGoal::Revenue,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::TopK(1),
+            payment: PaymentRule::Vickrey,
+            revenue_allocation: RevenueAllocationMethod::UniformPerRow,
+            revenue_sharing: RevenueSharingMethod::ByProvenance,
+            arbiter_fee: 0.0,
+        };
+        let vals = vec![10.0, 25.0, 40.0, 5.0];
+        let report = empirical_ic_check(&design, &vals, &grid());
+        assert!(report.is_ic, "Vickrey must be IC, gain = {}", report.max_gain);
+    }
+
+    #[test]
+    fn first_price_is_not_ic() {
+        let design = MarketDesign {
+            name: "first-price".into(),
+            goal: MarketGoal::Revenue,
+            elicitation: ElicitationProtocol::ExAnte,
+            allocation: AllocationRule::TopK(1),
+            payment: PaymentRule::FirstPrice,
+            revenue_allocation: RevenueAllocationMethod::UniformPerRow,
+            revenue_sharing: RevenueSharingMethod::ByProvenance,
+            arbiter_fee: 0.0,
+        };
+        let vals = vec![10.0, 25.0, 40.0, 5.0];
+        let report = empirical_ic_check(&design, &vals, &grid());
+        assert!(!report.is_ic, "first price invites shading");
+        assert_eq!(report.best_deviator, Some(2)); // the winner shades
+    }
+
+    #[test]
+    fn posted_price_is_ic_for_exogenous_price() {
+        // With a fixed posted price, reports don't change the price —
+        // bidding truthfully is (weakly) dominant.
+        let design = MarketDesign::posted_price_baseline(20.0);
+        let vals = vec![10.0, 25.0, 40.0];
+        let report = empirical_ic_check(&design, &vals, &grid());
+        assert!(report.is_ic);
+    }
+
+    #[test]
+    fn rsop_is_ic_in_expectation_per_split() {
+        // For a fixed split (fixed seed), no bidder gains by misreporting:
+        // the price a bidder faces comes from the other half.
+        let design = MarketDesign::external_revenue(11);
+        let vals: Vec<f64> = (1..=20).map(|i| i as f64 * 5.0).collect();
+        let report = empirical_ic_check(&design, &vals, &grid());
+        assert!(
+            report.max_gain < 1e-9,
+            "RSOP deviation gain {} should be 0",
+            report.max_gain
+        );
+    }
+
+    #[test]
+    fn run_auction_measures_outcome() {
+        let design = MarketDesign::posted_price_baseline(15.0);
+        let bids = vec![Bid::new("a", 10.0), Bid::new("b", 20.0), Bid::new("c", 30.0)];
+        let vals = vec![10.0, 20.0, 30.0];
+        let out = design.run_auction(&bids, &vals);
+        assert_eq!(out.measure.transactions, 2);
+        assert_eq!(out.measure.revenue, 30.0);
+        assert_eq!(out.measure.welfare, 50.0);
+    }
+
+    #[test]
+    fn preset_designs_have_expected_goals() {
+        assert_eq!(MarketDesign::external_revenue(0).goal, MarketGoal::Revenue);
+        assert_eq!(MarketDesign::internal_welfare().goal, MarketGoal::Welfare);
+        assert_eq!(
+            MarketDesign::posted_price_baseline(1.0).goal,
+            MarketGoal::Transactions
+        );
+        assert_eq!(MarketDesign::scarce_licenses(2, 5.0).allocation, AllocationRule::TopK(2));
+    }
+
+    #[test]
+    fn internal_market_charges_nothing() {
+        let design = MarketDesign::internal_welfare();
+        let bids = vec![Bid::new("a", 5.0), Bid::new("b", 0.5)];
+        let out = design.run_auction(&bids, &[5.0, 0.5]);
+        assert_eq!(out.measure.revenue, 0.0);
+        assert_eq!(out.measure.transactions, 2);
+        assert_eq!(out.measure.welfare, 5.5);
+    }
+}

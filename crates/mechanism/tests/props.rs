@@ -1,0 +1,159 @@
+//! Property tests for the market design toolbox: auction invariants,
+//! price-curve monotonicity, ex post truthfulness, and the no-arbitrage
+//! guarantee of weighted-coverage pricing — over random instances.
+
+use proptest::prelude::*;
+
+use dmp_mechanism::allocation::{AllocationRule, Bid};
+use dmp_mechanism::design::{empirical_ic_check, MarketDesign};
+use dmp_mechanism::elicitation::ExPostMechanism;
+use dmp_mechanism::payment::PaymentRule;
+use dmp_mechanism::query_pricing::{find_arbitrage, WeightedCoveragePricing};
+use dmp_mechanism::wtp::PriceCurve;
+
+fn bids(amounts: &[f64]) -> Vec<Bid> {
+    amounts
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| Bid::new(format!("b{i}"), a))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No winner ever pays more than their bid (individual rationality
+    /// for truthful bidders) under every payment rule.
+    #[test]
+    fn payments_never_exceed_bids(
+        amounts in prop::collection::vec(0.1f64..100.0, 2..30),
+        k in 1usize..5,
+        reserve in 0.0f64..50.0,
+        seed in 0u64..1000,
+    ) {
+        let bs = bids(&amounts);
+        let rules: Vec<(AllocationRule, PaymentRule)> = vec![
+            (AllocationRule::TopK(k), PaymentRule::Vickrey),
+            (AllocationRule::TopK(k), PaymentRule::FirstPrice),
+            (AllocationRule::TopK(1), PaymentRule::VickreyReserve { reserve }),
+            (AllocationRule::PostedPrice(reserve), PaymentRule::PostedPrice(reserve)),
+            (AllocationRule::DigitalGoods, PaymentRule::Rsop { seed }),
+            (AllocationRule::TopK(k), PaymentRule::GeneralizedSecondPrice),
+        ];
+        for (alloc, pay) in rules {
+            let winners = alloc.allocate(&bs);
+            for (i, price) in pay.payments(&bs, &winners) {
+                prop_assert!(
+                    price <= bs[i].amount + 1e-9,
+                    "{pay:?} charged {price} > bid {}",
+                    bs[i].amount
+                );
+                prop_assert!(price >= 0.0);
+            }
+        }
+    }
+
+    /// Vickrey uniform price: all winners pay the same, and that price
+    /// is at most the lowest winning bid.
+    #[test]
+    fn vickrey_uniform_price(amounts in prop::collection::vec(0.1f64..100.0, 3..20), k in 1usize..4) {
+        let bs = bids(&amounts);
+        let winners = AllocationRule::TopK(k).allocate(&bs);
+        let payments = PaymentRule::Vickrey.payments(&bs, &winners);
+        if payments.len() >= 2 {
+            let first = payments[0].1;
+            for (_, p) in &payments {
+                prop_assert!((p - first).abs() < 1e-9);
+            }
+        }
+        for (i, p) in &payments {
+            prop_assert!(*p <= bs[*i].amount + 1e-9);
+        }
+    }
+
+    /// Vickrey single-unit is IC for any valuation profile: empirical
+    /// deviation scan finds no profitable unilateral misreport.
+    #[test]
+    fn vickrey_single_unit_always_ic(vals in prop::collection::vec(1.0f64..100.0, 2..8)) {
+        let design = MarketDesign::scarce_licenses(1, 0.0);
+        let grid: Vec<f64> = (0..=20).map(|x| x as f64 / 10.0).collect();
+        let report = empirical_ic_check(&design, &vals, &grid);
+        prop_assert!(report.is_ic, "gain {}", report.max_gain);
+    }
+
+    /// Price curves are monotone non-decreasing in satisfaction.
+    #[test]
+    fn price_curves_monotone(
+        steps in prop::collection::vec((0.0f64..1.0, 0.0f64..200.0), 1..5),
+        s1 in 0.0f64..1.0,
+        s2 in 0.0f64..1.0,
+    ) {
+        // sort steps by threshold and make prices non-decreasing so the
+        // curve is well-formed
+        let mut steps = steps;
+        steps.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut price = 0.0f64;
+        for s in &mut steps {
+            price = price.max(s.1);
+            s.1 = price;
+        }
+        let curve = PriceCurve::Step(steps);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(curve.price(lo) <= curve.price(hi) + 1e-12);
+    }
+
+    /// Ex post: whenever q·λ ≥ 1 the optimizer reports the full value;
+    /// whenever q·λ < 1 (and no exclusion), it underreports.
+    #[test]
+    fn ex_post_truthfulness_boundary(q in 0.05f64..1.0, l in 0.1f64..4.0, v in 1.0f64..200.0) {
+        let mech = ExPostMechanism {
+            audit_prob: q,
+            penalty_mult: l,
+            exclusion_rounds: 0,
+            round_value: 0.0,
+        };
+        let opt = mech.optimal_report(v);
+        if q * l >= 1.0 + 1e-9 {
+            prop_assert!((opt - v).abs() < 1e-6, "q*l={} opt={opt} v={v}", q * l);
+        } else if q * l < 1.0 - 1e-9 {
+            prop_assert!(opt < v - 1e-6, "q*l={} should underreport, opt={opt}", q * l);
+        }
+    }
+
+    /// Weighted-coverage pricing is arbitrage-free for ANY non-negative
+    /// weights and ANY view set (the core soundness claim behind E10).
+    #[test]
+    fn weighted_coverage_never_admits_arbitrage(
+        weights in prop::collection::vec(0.0f64..20.0, 1..10),
+        views in prop::collection::vec(1u32..1024, 1..30),
+    ) {
+        let n = weights.len();
+        let mask = (1u32 << n) - 1;
+        let views: Vec<u32> = views.into_iter().map(|v| v & mask).filter(|v| *v != 0).collect();
+        let pricing = WeightedCoveragePricing::new(weights);
+        prop_assert!(find_arbitrage(&pricing, &views).is_empty());
+    }
+
+    /// Allocation rules never allocate to out-of-range indices, and
+    /// digital goods admits everyone.
+    #[test]
+    fn allocation_indices_valid(amounts in prop::collection::vec(0.0f64..100.0, 0..20), k in 0usize..25) {
+        let bs = bids(&amounts);
+        for rule in [
+            AllocationRule::TopK(k),
+            AllocationRule::DigitalGoods,
+            AllocationRule::PostedPrice(50.0),
+            AllocationRule::Lottery { winners: k, seed: 1 },
+        ] {
+            let winners = rule.allocate(&bs);
+            for w in &winners {
+                prop_assert!(*w < bs.len());
+            }
+            // no duplicates
+            let mut sorted = winners.clone();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), winners.len());
+        }
+        prop_assert_eq!(AllocationRule::DigitalGoods.allocate(&bs).len(), bs.len());
+    }
+}

@@ -1,0 +1,262 @@
+//! PII detection heuristics. The FAQ asks: "What if I am not sure if my
+//! dataset is leaking personal information?" — the seller platform scans
+//! shared columns for personally identifiable patterns before accepting a
+//! registration, and routes flagged datasets through the anonymization /
+//! DP pipeline instead.
+//!
+//! Pattern matchers are hand-rolled scanners (no regex dependency):
+//! emails, North-American phone shapes, SSN-like ids, credit-card-like
+//! digit runs (Luhn-checked), and IP addresses.
+
+use dmp_relation::{Relation, Value};
+
+/// Kinds of PII the scanner recognizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PiiKind {
+    /// `local@domain.tld`.
+    Email,
+    /// 10-digit phone numbers with optional separators / +1 prefix.
+    Phone,
+    /// `ddd-dd-dddd` SSN shape.
+    Ssn,
+    /// 13–19 digit runs passing the Luhn check.
+    CreditCard,
+    /// Dotted-quad IPv4.
+    IpAddress,
+}
+
+/// A PII finding in a column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiiFinding {
+    /// Column name.
+    pub column: String,
+    /// Kind detected.
+    pub kind: PiiKind,
+    /// Fraction of non-null cells matching.
+    pub hit_ratio: f64,
+}
+
+/// True iff `s` looks like an email address.
+pub fn is_email(s: &str) -> bool {
+    let s = s.trim();
+    let Some(at) = s.find('@') else { return false };
+    let (local, domain) = s.split_at(at);
+    let domain = &domain[1..];
+    if local.is_empty() || domain.len() < 3 || domain.contains('@') {
+        return false;
+    }
+    let Some(dot) = domain.rfind('.') else { return false };
+    let tld = &domain[dot + 1..];
+    tld.len() >= 2
+        && tld.chars().all(|c| c.is_ascii_alphabetic())
+        && domain[..dot].chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
+        && !domain.starts_with('.')
+        && local.chars().all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
+}
+
+/// Digits of a string, ignoring separators ` -().+`.
+fn digits_only(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for c in s.trim().chars() {
+        if c.is_ascii_digit() {
+            out.push(c as u8 - b'0');
+        } else if !" -().+".contains(c) {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// True iff `s` looks like a phone number (10 digits, or 11 with leading 1).
+pub fn is_phone(s: &str) -> bool {
+    match digits_only(s) {
+        Some(d) if d.len() == 10 => true,
+        Some(d) if d.len() == 11 && d[0] == 1 => true,
+        _ => false,
+    }
+}
+
+/// True iff `s` matches the `ddd-dd-dddd` SSN shape exactly.
+pub fn is_ssn(s: &str) -> bool {
+    let s = s.trim();
+    let bytes: Vec<char> = s.chars().collect();
+    bytes.len() == 11
+        && bytes[3] == '-'
+        && bytes[6] == '-'
+        && bytes
+            .iter()
+            .enumerate()
+            .all(|(i, c)| if i == 3 || i == 6 { *c == '-' } else { c.is_ascii_digit() })
+}
+
+/// Luhn checksum over digit slice.
+fn luhn_ok(digits: &[u8]) -> bool {
+    let mut sum = 0u32;
+    for (i, &d) in digits.iter().rev().enumerate() {
+        let mut v = d as u32;
+        if i % 2 == 1 {
+            v *= 2;
+            if v > 9 {
+                v -= 9;
+            }
+        }
+        sum += v;
+    }
+    sum.is_multiple_of(10)
+}
+
+/// True iff `s` is a 13–19 digit run passing Luhn.
+pub fn is_credit_card(s: &str) -> bool {
+    match digits_only(s) {
+        Some(d) if (13..=19).contains(&d.len()) => luhn_ok(&d),
+        _ => false,
+    }
+}
+
+/// True iff `s` is a dotted-quad IPv4 address.
+pub fn is_ipv4(s: &str) -> bool {
+    let parts: Vec<&str> = s.trim().split('.').collect();
+    parts.len() == 4
+        && parts.iter().all(|p| {
+            !p.is_empty()
+                && p.len() <= 3
+                && p.chars().all(|c| c.is_ascii_digit())
+                && p.parse::<u32>().map(|v| v <= 255).unwrap_or(false)
+        })
+}
+
+/// Classify one string cell.
+fn classify(s: &str) -> Option<PiiKind> {
+    if is_email(s) {
+        Some(PiiKind::Email)
+    } else if is_ssn(s) {
+        Some(PiiKind::Ssn)
+    } else if is_credit_card(s) {
+        Some(PiiKind::CreditCard)
+    } else if is_ipv4(s) {
+        Some(PiiKind::IpAddress)
+    } else if is_phone(s) {
+        Some(PiiKind::Phone)
+    } else {
+        None
+    }
+}
+
+/// Scan every string column of a relation; report kinds whose hit ratio
+/// exceeds `min_ratio` (a column where 60 % of cells look like emails is
+/// an email column; one stray match is not).
+pub fn detect_pii(rel: &Relation, min_ratio: f64) -> Vec<PiiFinding> {
+    let mut findings = Vec::new();
+    for col in rel.schema().names().map(str::to_string).collect::<Vec<_>>() {
+        let mut counts: std::collections::HashMap<PiiKind, usize> =
+            std::collections::HashMap::new();
+        let mut non_null = 0usize;
+        for v in rel.column(&col).expect("iterating own schema") {
+            if let Value::Str(s) = v {
+                non_null += 1;
+                if let Some(kind) = classify(s) {
+                    *counts.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        if non_null == 0 {
+            continue;
+        }
+        let mut kinds: Vec<(PiiKind, usize)> = counts.into_iter().collect();
+        kinds.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+        for (kind, c) in kinds {
+            let ratio = c as f64 / non_null as f64;
+            if ratio >= min_ratio {
+                findings.push(PiiFinding { column: col.clone(), kind, hit_ratio: ratio });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::{DataType, RelationBuilder};
+
+    #[test]
+    fn email_detection() {
+        assert!(is_email("alice@example.com"));
+        assert!(is_email("a.b+tag@sub.domain.org"));
+        assert!(!is_email("not-an-email"));
+        assert!(!is_email("missing@tld"));
+        assert!(!is_email("@example.com"));
+        assert!(!is_email("two@@example.com"));
+    }
+
+    #[test]
+    fn phone_detection() {
+        assert!(is_phone("555-123-4567"));
+        assert!(is_phone("(555) 123 4567"));
+        assert!(is_phone("+1 555 123 4567"));
+        assert!(!is_phone("12345"));
+        assert!(!is_phone("555-123-456x"));
+    }
+
+    #[test]
+    fn ssn_detection() {
+        assert!(is_ssn("123-45-6789"));
+        assert!(!is_ssn("123456789"));
+        assert!(!is_ssn("123-456-789"));
+    }
+
+    #[test]
+    fn credit_card_luhn() {
+        assert!(is_credit_card("4539 1488 0343 6467")); // Luhn-valid test number
+        assert!(!is_credit_card("4539 1488 0343 6468")); // checksum off by one
+        assert!(!is_credit_card("1234"));
+    }
+
+    #[test]
+    fn ipv4_detection() {
+        assert!(is_ipv4("192.168.0.1"));
+        assert!(!is_ipv4("999.1.1.1"));
+        assert!(!is_ipv4("1.2.3"));
+        assert!(!is_ipv4("a.b.c.d"));
+    }
+
+    #[test]
+    fn relation_scan_flags_email_column() {
+        let mut b = RelationBuilder::new("users")
+            .column("name", DataType::Str)
+            .column("contact", DataType::Str);
+        for i in 0..20 {
+            b = b.row(vec![
+                dmp_relation::Value::str(format!("user{i}")),
+                dmp_relation::Value::str(format!("user{i}@mail.com")),
+            ]);
+        }
+        let rel = b.build().unwrap();
+        let findings = detect_pii(&rel, 0.5);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].column, "contact");
+        assert_eq!(findings[0].kind, PiiKind::Email);
+        assert!((findings[0].hit_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sparse_matches_below_threshold_ignored() {
+        let mut b = RelationBuilder::new("notes").column("text", DataType::Str);
+        b = b.row(vec![dmp_relation::Value::str("contact me at x@y.com")]); // not an email cell per se
+        for i in 0..19 {
+            b = b.row(vec![dmp_relation::Value::str(format!("note {i}"))]);
+        }
+        let rel = b.build().unwrap();
+        assert!(detect_pii(&rel, 0.5).is_empty());
+    }
+
+    #[test]
+    fn numeric_columns_are_skipped() {
+        let rel = RelationBuilder::new("t")
+            .column("x", DataType::Int)
+            .row(vec![dmp_relation::Value::Int(1234567890)])
+            .build()
+            .unwrap();
+        assert!(detect_pii(&rel, 0.1).is_empty());
+    }
+}

@@ -1,0 +1,327 @@
+//! A small expression language for predicates and derived columns.
+//!
+//! Buyers' WTP-functions and the DoD engine both need declarative
+//! predicates ("price > 100 AND region = 'EU'"); this module provides the
+//! evaluable AST they compile to.
+
+use std::fmt;
+
+use crate::error::{RelError, RelResult};
+use crate::relation::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An expression over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by name.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison; numeric comparisons coerce Int/Float.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Logical AND.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Arithmetic on numeric values; yields Float unless both are Int and
+    /// the op is exact.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// True iff the operand is Null.
+    IsNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self op other`.
+    pub fn cmp(self, op: CmpOp, other: Expr) -> Expr {
+        Expr::Cmp(Box::new(self), op, Box::new(other))
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Eq, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Gt, other)
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Ge, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Lt, other)
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        self.cmp(CmpOp::Le, other)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Evaluate against a row under a schema.
+    pub fn eval(&self, schema: &Schema, row: &Row) -> RelResult<Value> {
+        match self {
+            Expr::Col(name) => {
+                let idx = schema.index_of(name)?;
+                Ok(row.get(idx).clone())
+            }
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(a, op, b) => {
+                let va = a.eval(schema, row)?;
+                let vb = b.eval(schema, row)?;
+                // SQL-ish semantics: comparisons with NULL are false.
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let ord = va.cmp_numeric(&vb);
+                let res = match op {
+                    CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                };
+                Ok(Value::Bool(res))
+            }
+            Expr::And(a, b) => {
+                let va = a.eval(schema, row)?.as_bool().unwrap_or(false);
+                if !va {
+                    return Ok(Value::Bool(false)); // short-circuit
+                }
+                Ok(Value::Bool(b.eval(schema, row)?.as_bool().unwrap_or(false)))
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(schema, row)?.as_bool().unwrap_or(false);
+                if va {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(b.eval(schema, row)?.as_bool().unwrap_or(false)))
+            }
+            Expr::Not(a) => {
+                let v = a.eval(schema, row)?.as_bool().unwrap_or(false);
+                Ok(Value::Bool(!v))
+            }
+            Expr::Arith(a, op, b) => {
+                let va = a.eval(schema, row)?;
+                let vb = b.eval(schema, row)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (va.as_i64(), vb.as_i64(), op) {
+                    // Exact integer arithmetic when both sides are whole
+                    // and the op cannot lose precision.
+                    (Some(x), Some(y), ArithOp::Add) => return Ok(Value::Int(x.wrapping_add(y))),
+                    (Some(x), Some(y), ArithOp::Sub) => return Ok(Value::Int(x.wrapping_sub(y))),
+                    (Some(x), Some(y), ArithOp::Mul) => return Ok(Value::Int(x.wrapping_mul(y))),
+                    _ => {}
+                }
+                let (x, y) = match (va.as_f64(), vb.as_f64()) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => {
+                        return Err(RelError::TypeError(
+                            "arithmetic on non-numeric values".into(),
+                        ))
+                    }
+                };
+                let r = match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => {
+                        if y == 0.0 {
+                            return Ok(Value::Null);
+                        }
+                        x / y
+                    }
+                };
+                Ok(Value::Float(r))
+            }
+            Expr::IsNull(a) => Ok(Value::Bool(a.eval(schema, row)?.is_null())),
+        }
+    }
+
+    /// Evaluate as a boolean predicate (non-bool results are false).
+    pub fn matches(&self, schema: &Schema, row: &Row) -> RelResult<bool> {
+        Ok(self.eval(schema, row)?.as_bool().unwrap_or(false))
+    }
+
+    /// All column names referenced by this expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(c) => out.push(c),
+            Expr::Lit(_) => {}
+            Expr::Cmp(a, _, b) | Expr::And(a, b) | Expr::Or(a, b) | Expr::Arith(a, _, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.collect_columns(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, Schema};
+
+    fn schema() -> Schema {
+        Schema::of(&[("x", DataType::Int), ("y", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
+    }
+
+    fn row(x: i64, y: f64, s: &str) -> Row {
+        Row::bare(vec![Value::Int(x), Value::Float(y), Value::str(s)])
+    }
+
+    #[test]
+    fn comparisons_coerce_numerics() {
+        let sch = schema();
+        let r = row(3, 3.0, "a");
+        let e = Expr::col("x").eq(Expr::col("y"));
+        assert!(e.matches(&sch, &r).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let sch = schema();
+        let r = Row::bare(vec![Value::Null, Value::Float(1.0), Value::str("a")]);
+        assert!(!Expr::col("x").eq(Expr::lit(0)).matches(&sch, &r).unwrap());
+        assert!(Expr::col("x").is_null().matches(&sch, &r).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let sch = schema();
+        let r = row(5, 2.0, "eu");
+        let e = Expr::col("x")
+            .gt(Expr::lit(4))
+            .and(Expr::col("s").eq(Expr::lit("eu")));
+        assert!(e.matches(&sch, &r).unwrap());
+        assert!(!e.clone().not().matches(&sch, &r).unwrap());
+        let f = Expr::col("x").lt(Expr::lit(0)).or(Expr::lit(true));
+        assert!(f.matches(&sch, &r).unwrap());
+    }
+
+    #[test]
+    fn arithmetic_integer_and_float() {
+        let sch = schema();
+        let r = row(7, 0.5, "a");
+        let e = Expr::Arith(
+            Box::new(Expr::col("x")),
+            ArithOp::Add,
+            Box::new(Expr::lit(1)),
+        );
+        assert_eq!(e.eval(&sch, &r).unwrap(), Value::Int(8));
+        let e = Expr::Arith(
+            Box::new(Expr::col("x")),
+            ArithOp::Div,
+            Box::new(Expr::lit(2)),
+        );
+        assert_eq!(e.eval(&sch, &r).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let sch = schema();
+        let r = row(7, 0.0, "a");
+        let e = Expr::Arith(
+            Box::new(Expr::col("x")),
+            ArithOp::Div,
+            Box::new(Expr::col("y")),
+        );
+        assert_eq!(e.eval(&sch, &r).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let sch = schema();
+        let r = row(1, 1.0, "a");
+        assert!(Expr::col("zz").eval(&sch, &r).is_err());
+    }
+
+    #[test]
+    fn columns_are_collected_sorted_deduped() {
+        let e = Expr::col("b").gt(Expr::col("a")).and(Expr::col("a").is_null());
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+}

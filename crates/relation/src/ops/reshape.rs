@@ -1,0 +1,274 @@
+//! Reshaping operators the paper's WTP interfaces call for (§3.2.2.1):
+//! pivoting and time-granularity interpolation ("value interpolation to
+//! join on different time granularities", §5 Data Integration).
+
+use std::collections::BTreeSet;
+
+use crate::error::{RelError, RelResult};
+use crate::provenance::Provenance;
+use crate::relation::{Relation, Row};
+use crate::schema::{DataType, Field, Schema};
+use crate::value::Value;
+
+impl Relation {
+    /// Pivot: one output row per distinct `index` value, one output column
+    /// per distinct `columns` value, cells taken from `values`. When
+    /// multiple input rows land in the same cell the *last* one wins
+    /// (callers aggregate first if they need otherwise).
+    pub fn pivot(&self, index: &str, columns: &str, values: &str) -> RelResult<Relation> {
+        let i_idx = self.schema().index_of(index)?;
+        let c_idx = self.schema().index_of(columns)?;
+        let v_idx = self.schema().index_of(values)?;
+
+        // Collect the distinct column labels in sorted order for a
+        // deterministic output schema.
+        let labels: BTreeSet<Value> = self
+            .rows()
+            .iter()
+            .map(|r| r.get(c_idx).clone())
+            .filter(|v| !v.is_null())
+            .collect();
+        let label_names: Vec<String> = labels.iter().map(|v| v.to_string()).collect();
+
+        let mut fields = vec![self.schema().fields()[i_idx].clone()];
+        let vtype = self.schema().fields()[v_idx].dtype();
+        for name in &label_names {
+            if fields.iter().any(|f| f.name() == name) {
+                return Err(RelError::DuplicateColumn(name.clone()));
+            }
+            fields.push(Field::new(name, vtype));
+        }
+        let schema = Schema::new(fields)?.shared();
+
+        // Fill rows in first-seen index order.
+        let mut order: Vec<Value> = Vec::new();
+        let mut table: std::collections::HashMap<Value, (Vec<Value>, Provenance)> =
+            std::collections::HashMap::new();
+        let width = label_names.len();
+        let label_pos: std::collections::HashMap<&Value, usize> =
+            labels.iter().enumerate().map(|(i, v)| (v, i)).collect();
+
+        for row in self.rows() {
+            let key = row.get(i_idx).clone();
+            let entry = table.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                (vec![Value::Null; width], Provenance::empty())
+            });
+            if let Some(&pos) = label_pos.get(row.get(c_idx)) {
+                entry.0[pos] = row.get(v_idx).clone();
+            }
+            entry.1 = entry.1.merge(row.provenance());
+        }
+
+        let rows = order
+            .into_iter()
+            .map(|key| {
+                let (cells, prov) = table.remove(&key).expect("key recorded in order");
+                let mut values = Vec::with_capacity(width + 1);
+                values.push(key);
+                values.extend(cells);
+                Row::new(values, prov)
+            })
+            .collect();
+
+        Ok(Relation::from_rows_unchecked(
+            format!("pivot({})", self.name()),
+            schema,
+            rows,
+        ))
+    }
+
+    /// Linearly interpolate numeric column `value_col` onto a regular time
+    /// grid of `step` over `time_col`, producing a relation
+    /// `(time_col: Timestamp, value_col: Float)`.
+    ///
+    /// This is the "value interpolation to join on different time
+    /// granularities" preparation task from §5: two series resampled onto
+    /// the same grid become joinable on the time column.
+    pub fn interpolate_to_grid(
+        &self,
+        time_col: &str,
+        value_col: &str,
+        step: i64,
+    ) -> RelResult<Relation> {
+        if step <= 0 {
+            return Err(RelError::Invalid("interpolation step must be positive".into()));
+        }
+        let t_idx = self.schema().index_of(time_col)?;
+        let v_idx = self.schema().index_of(value_col)?;
+
+        // Gather (t, v, prov) points, sorted by t.
+        let mut pts: Vec<(i64, f64, &Provenance)> = Vec::with_capacity(self.len());
+        for row in self.rows() {
+            if let (Some(t), Some(v)) = (row.get(t_idx).as_i64(), row.get(v_idx).as_f64()) {
+                pts.push((t, v, row.provenance()));
+            }
+        }
+        pts.sort_by_key(|p| p.0);
+        let schema = Schema::of(&[(time_col, DataType::Timestamp), (value_col, DataType::Float)])?
+            .shared();
+        if pts.is_empty() {
+            return Ok(Relation::empty(format!("interp({})", self.name()), schema));
+        }
+
+        let t0 = pts[0].0;
+        let t1 = pts[pts.len() - 1].0;
+        // Snap the grid to multiples of `step` covering [t0, t1].
+        let start = t0.div_euclid(step) * step + if t0.rem_euclid(step) == 0 { 0 } else { step };
+        let mut rows = Vec::new();
+        let mut seg = 0usize; // index of the segment start
+        let mut t = start;
+        while t <= t1 {
+            while seg + 1 < pts.len() && pts[seg + 1].0 < t {
+                seg += 1;
+            }
+            let (ta, va, pa) = pts[seg];
+            let value = if ta == t || seg + 1 >= pts.len() {
+                (va, pa.clone())
+            } else {
+                let (tb, vb, pb) = pts[seg + 1];
+                if tb == ta {
+                    (vb, pb.clone())
+                } else {
+                    let frac = (t - ta) as f64 / (tb - ta) as f64;
+                    (va + frac * (vb - va), pa.merge(pb))
+                }
+            };
+            rows.push(Row::new(
+                vec![Value::Timestamp(t), Value::Float(value.0)],
+                value.1,
+            ));
+            t += step;
+        }
+
+        Ok(Relation::from_rows_unchecked(
+            format!("interp({})", self.name()),
+            schema,
+            rows,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provenance::DatasetId;
+
+    fn long() -> Relation {
+        let schema = Schema::of(&[
+            ("city", DataType::Str),
+            ("metric", DataType::Str),
+            ("v", DataType::Int),
+        ])
+        .unwrap()
+        .shared();
+        let mut r = Relation::empty("long", schema);
+        for (c, m, v) in [
+            ("nyc", "temp", 20),
+            ("nyc", "wind", 5),
+            ("chi", "temp", 15),
+            ("chi", "wind", 9),
+        ] {
+            r.push_values(vec![Value::str(c), Value::str(m), Value::Int(v)])
+                .unwrap();
+        }
+        r.with_source(DatasetId(1))
+    }
+
+    #[test]
+    fn pivot_widens() {
+        let p = long().pivot("city", "metric", "v").unwrap();
+        assert_eq!(p.len(), 2);
+        let names: Vec<_> = p.schema().names().collect();
+        assert_eq!(names, vec!["city", "temp", "wind"]);
+        let nyc = p
+            .rows()
+            .iter()
+            .find(|r| r.get(0).as_str() == Some("nyc"))
+            .unwrap();
+        assert_eq!(nyc.get(1), &Value::Int(20));
+        assert_eq!(nyc.get(2), &Value::Int(5));
+        // both source rows credited
+        assert_eq!(nyc.provenance().len(), 2);
+    }
+
+    #[test]
+    fn pivot_missing_cells_are_null() {
+        let schema = Schema::of(&[
+            ("k", DataType::Str),
+            ("c", DataType::Str),
+            ("v", DataType::Int),
+        ])
+        .unwrap()
+        .shared();
+        let mut r = Relation::empty("sparse", schema);
+        r.push_values(vec![Value::str("a"), Value::str("x"), Value::Int(1)])
+            .unwrap();
+        r.push_values(vec![Value::str("b"), Value::str("y"), Value::Int(2)])
+            .unwrap();
+        let p = r.pivot("k", "c", "v").unwrap();
+        let a = p.rows().iter().find(|r| r.get(0).as_str() == Some("a")).unwrap();
+        assert!(a.get(2).is_null()); // a has no "y"
+    }
+
+    fn series(points: &[(i64, f64)]) -> Relation {
+        let schema = Schema::of(&[("t", DataType::Timestamp), ("v", DataType::Float)])
+            .unwrap()
+            .shared();
+        let mut r = Relation::empty("s", schema);
+        for &(t, v) in points {
+            r.push_values(vec![Value::Timestamp(t), Value::Float(v)]).unwrap();
+        }
+        r.with_source(DatasetId(2))
+    }
+
+    #[test]
+    fn interpolation_hits_grid_points() {
+        let s = series(&[(0, 0.0), (10, 10.0)]);
+        let g = s.interpolate_to_grid("t", "v", 5).unwrap();
+        let vals: Vec<(i64, f64)> = g
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).as_i64().unwrap(), r.get(1).as_f64().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![(0, 0.0), (5, 5.0), (10, 10.0)]);
+    }
+
+    #[test]
+    fn interpolated_point_merges_provenance_of_bracketing_points() {
+        let s = series(&[(0, 0.0), (10, 10.0)]);
+        let g = s.interpolate_to_grid("t", "v", 5).unwrap();
+        let mid = &g.rows()[1];
+        assert_eq!(mid.provenance().len(), 2);
+        // exact hits keep single-point provenance
+        assert_eq!(g.rows()[0].provenance().len(), 1);
+    }
+
+    #[test]
+    fn two_series_join_after_resampling() {
+        use crate::ops::join::JoinKind;
+        let a = series(&[(0, 1.0), (60, 2.0)]);
+        let b = series(&[(0, 10.0), (30, 15.0), (60, 20.0)]);
+        let ga = a.interpolate_to_grid("t", "v", 30).unwrap();
+        let gb = b
+            .interpolate_to_grid("t", "v", 30)
+            .unwrap()
+            .rename("v", "v2")
+            .unwrap();
+        let j = ga.join(&gb, &[("t", "t")], JoinKind::Inner).unwrap();
+        assert_eq!(j.len(), 3);
+    }
+
+    #[test]
+    fn invalid_step_rejected() {
+        let s = series(&[(0, 0.0)]);
+        assert!(s.interpolate_to_grid("t", "v", 0).is_err());
+    }
+
+    #[test]
+    fn empty_series_interpolates_to_empty() {
+        let s = series(&[]);
+        let g = s.interpolate_to_grid("t", "v", 10).unwrap();
+        assert!(g.is_empty());
+    }
+}

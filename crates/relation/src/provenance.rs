@@ -1,0 +1,217 @@
+//! Why-provenance for revenue sharing.
+//!
+//! §3.2.3 of the paper: "if `f()` is a relational function, then we can
+//! leverage the vast research in provenance to approach the revenue sharing
+//! problem". We implement the restriction of semiring provenance [Green et
+//! al., PODS'07] sufficient for that purpose: every mashup row carries the
+//! *set of source rows* (why-provenance monomial) that produced it. Joins
+//! union the sets of both inputs, aggregates union all contributing rows,
+//! selections/projections preserve them. `dmp-valuation::sharing` consumes
+//! these sets to split a row's allocated revenue among contributing
+//! datasets.
+
+use std::fmt;
+
+/// Identifies a dataset registered with the market.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DatasetId(pub u64);
+
+impl fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One source row: `(dataset, row index within that dataset)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProvAtom {
+    /// Source dataset.
+    pub dataset: DatasetId,
+    /// Row index within the source dataset at registration time.
+    pub row: u64,
+}
+
+impl ProvAtom {
+    /// Construct an atom.
+    pub fn new(dataset: DatasetId, row: u64) -> Self {
+        ProvAtom { dataset, row }
+    }
+}
+
+/// A why-provenance monomial: the sorted, deduplicated set of source rows
+/// that jointly produced a mashup row.
+///
+/// Stored as a boxed slice to keep `Row` small; empty provenance (e.g. for
+/// synthesized rows) allocates nothing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Provenance(Box<[ProvAtom]>);
+
+impl Provenance {
+    /// No provenance (synthesized data).
+    pub fn empty() -> Self {
+        Provenance(Box::from([]))
+    }
+
+    /// Provenance of a base-table row.
+    pub fn leaf(dataset: DatasetId, row: u64) -> Self {
+        Provenance(Box::from([ProvAtom::new(dataset, row)]))
+    }
+
+    /// Build from an arbitrary atom collection (sorted + deduped).
+    pub fn from_atoms(mut atoms: Vec<ProvAtom>) -> Self {
+        atoms.sort_unstable();
+        atoms.dedup();
+        Provenance(atoms.into_boxed_slice())
+    }
+
+    /// The atoms, sorted ascending.
+    pub fn atoms(&self) -> &[ProvAtom] {
+        &self.0
+    }
+
+    /// Number of distinct source rows.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff no source rows are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Union of two monomials (what a join does): merge of two sorted sets.
+    pub fn merge(&self, other: &Provenance) -> Provenance {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.0, &other.0);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Provenance(out.into_boxed_slice())
+    }
+
+    /// Union of many monomials (what an aggregate does).
+    pub fn merge_all<'a>(provs: impl IntoIterator<Item = &'a Provenance>) -> Provenance {
+        let mut atoms: Vec<ProvAtom> = Vec::new();
+        for p in provs {
+            atoms.extend_from_slice(&p.0);
+        }
+        Provenance::from_atoms(atoms)
+    }
+
+    /// The distinct datasets mentioned, in ascending order.
+    pub fn datasets(&self) -> Vec<DatasetId> {
+        let mut ds: Vec<DatasetId> = self.0.iter().map(|a| a.dataset).collect();
+        ds.dedup(); // atoms are sorted by (dataset, row)
+        ds
+    }
+
+    /// Count of atoms contributed by each dataset, ascending by dataset.
+    pub fn dataset_counts(&self) -> Vec<(DatasetId, usize)> {
+        let mut out: Vec<(DatasetId, usize)> = Vec::new();
+        for a in self.0.iter() {
+            match out.last_mut() {
+                Some((d, c)) if *d == a.dataset => *c += 1,
+                _ => out.push((a.dataset, 1)),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, a) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}:{}", a.dataset, a.row)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_has_one_atom() {
+        let p = Provenance::leaf(DatasetId(3), 7);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.atoms()[0], ProvAtom::new(DatasetId(3), 7));
+    }
+
+    #[test]
+    fn merge_unions_and_dedups() {
+        let a = Provenance::from_atoms(vec![
+            ProvAtom::new(DatasetId(1), 0),
+            ProvAtom::new(DatasetId(2), 5),
+        ]);
+        let b = Provenance::from_atoms(vec![
+            ProvAtom::new(DatasetId(2), 5),
+            ProvAtom::new(DatasetId(1), 9),
+        ]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.datasets(), vec![DatasetId(1), DatasetId(2)]);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = Provenance::leaf(DatasetId(1), 1);
+        assert_eq!(a.merge(&Provenance::empty()), a);
+        assert_eq!(Provenance::empty().merge(&a), a);
+    }
+
+    #[test]
+    fn merge_all_spans_inputs() {
+        let ps = [Provenance::leaf(DatasetId(1), 0),
+            Provenance::leaf(DatasetId(1), 1),
+            Provenance::leaf(DatasetId(2), 0)];
+        let m = Provenance::merge_all(ps.iter());
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.dataset_counts(),
+            vec![(DatasetId(1), 2), (DatasetId(2), 1)]
+        );
+    }
+
+    #[test]
+    fn from_atoms_sorts() {
+        let p = Provenance::from_atoms(vec![
+            ProvAtom::new(DatasetId(9), 1),
+            ProvAtom::new(DatasetId(1), 2),
+        ]);
+        assert!(p.atoms()[0].dataset < p.atoms()[1].dataset);
+    }
+
+    #[test]
+    fn display_lists_atoms() {
+        let p = Provenance::leaf(DatasetId(4), 2);
+        assert_eq!(p.to_string(), "[d4:2]");
+    }
+}

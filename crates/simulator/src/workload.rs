@@ -1,0 +1,222 @@
+//! Market workload generation (§6.1: "modeling workloads to simulate
+//! different strategy distributions of players"). Produces a synthetic
+//! data lake partitioned into topics, seller inventories over it, and a
+//! buyer demand stream with Zipf-distributed topic popularity and
+//! configurable valuation distributions.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use dmp_relation::{DataType, Relation, RelationBuilder, Value};
+
+/// Workload parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of sellers (each owns one table per topic it serves).
+    pub n_sellers: usize,
+    /// Number of buyers.
+    pub n_buyers: usize,
+    /// Topic clusters in the lake.
+    pub n_topics: usize,
+    /// Rows per seller table.
+    pub rows: usize,
+    /// Mean buyer valuation.
+    pub valuation_mean: f64,
+    /// Zipf skew for topic demand (0 = uniform, 1+ = head-heavy).
+    pub zipf_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            n_sellers: 10,
+            n_buyers: 20,
+            n_topics: 4,
+            rows: 100,
+            valuation_mean: 50.0,
+            zipf_s: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One buyer's demand: wanted attributes + true valuation.
+#[derive(Debug, Clone)]
+pub struct Demand {
+    /// Buyer name.
+    pub buyer: String,
+    /// Attributes requested (query-by-example).
+    pub attributes: Vec<String>,
+    /// The buyer's private true valuation for a satisfying mashup.
+    pub valuation: f64,
+    /// Topic index the demand belongs to.
+    pub topic: usize,
+}
+
+/// A generated workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Per-seller inventories: `(seller name, tables)`.
+    pub inventories: Vec<(String, Vec<Relation>)>,
+    /// Buyer demand stream.
+    pub demands: Vec<Demand>,
+    /// Topic count (for reports).
+    pub n_topics: usize,
+}
+
+/// Zipf sampler over `n` ranks with skew `s` (rank 0 most popular).
+pub fn zipf(n: usize, s: f64, rng: &mut impl Rng) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    let weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut draw = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        draw -= w;
+        if draw <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// The attribute names a topic's tables expose.
+pub fn topic_attributes(topic: usize) -> Vec<String> {
+    vec![
+        format!("topic{topic}_id"),
+        format!("metric_{topic}"),
+        format!("tag_{topic}"),
+    ]
+}
+
+/// Build a seller table for a topic: shared join-key domain plus topic
+/// metric/tag columns (ground-truth joinable within the topic).
+pub fn topic_table(seller: usize, topic: usize, rows: usize, rng: &mut impl Rng) -> Relation {
+    let mut b = RelationBuilder::new(format!("s{seller}_topic{topic}"))
+        .column(format!("topic{topic}_id"), DataType::Int)
+        .column(format!("metric_{topic}"), DataType::Float)
+        .column(format!("tag_{topic}"), DataType::Str);
+    for r in 0..rows {
+        b = b.row(vec![
+            Value::Int(r as i64),
+            Value::Float(rng.gen_range(0.0..100.0)),
+            Value::str(format!("t{topic}v{}", r % 10)),
+        ]);
+    }
+    b.build().expect("well-formed")
+}
+
+/// Generate a full workload.
+pub fn generate(cfg: &WorkloadConfig) -> Workload {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let n_topics = cfg.n_topics.max(1);
+
+    let mut inventories = Vec::with_capacity(cfg.n_sellers);
+    for s in 0..cfg.n_sellers {
+        // Each seller serves 1–2 topics.
+        let first = s % n_topics;
+        let mut tables = vec![topic_table(s, first, cfg.rows, &mut rng)];
+        if rng.gen_bool(0.5) {
+            let second = (first + 1 + rng.gen_range(0..n_topics.max(2) - 1)) % n_topics;
+            if second != first {
+                tables.push(topic_table(s, second, cfg.rows, &mut rng));
+            }
+        }
+        inventories.push((format!("seller{s}"), tables));
+    }
+
+    let mut demands = Vec::with_capacity(cfg.n_buyers);
+    for b in 0..cfg.n_buyers {
+        let topic = zipf(n_topics, cfg.zipf_s, &mut rng);
+        // Valuation: lognormal-ish around the mean.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let valuation = (cfg.valuation_mean * (0.4 * z).exp()).max(1.0);
+        demands.push(Demand {
+            buyer: format!("buyer{b}"),
+            attributes: topic_attributes(topic),
+            valuation,
+            topic,
+        });
+    }
+
+    Workload { inventories, demands, n_topics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_shapes() {
+        let w = generate(&WorkloadConfig::default());
+        assert_eq!(w.inventories.len(), 10);
+        assert_eq!(w.demands.len(), 20);
+        assert!(w.inventories.iter().all(|(_, t)| !t.is_empty()));
+        assert!(w.demands.iter().all(|d| d.valuation >= 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&WorkloadConfig::default());
+        let b = generate(&WorkloadConfig::default());
+        assert_eq!(a.demands.len(), b.demands.len());
+        for (x, y) in a.demands.iter().zip(&b.demands) {
+            assert_eq!(x.topic, y.topic);
+            assert!((x.valuation - y.valuation).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 5];
+        for _ in 0..5_000 {
+            counts[zipf(5, 1.2, &mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1], "{counts:?}");
+        assert!(counts[1] > counts[3], "{counts:?}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..8_000 {
+            counts[zipf(4, 0.0, &mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 - 2_000.0).abs() < 300.0, "{c}");
+        }
+    }
+
+    #[test]
+    fn zipf_degenerate_n() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        assert_eq!(zipf(0, 1.0, &mut rng), 0);
+        assert_eq!(zipf(1, 1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn topic_tables_are_joinable_within_topic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = topic_table(0, 2, 50, &mut rng);
+        let b = topic_table(1, 2, 50, &mut rng);
+        let j = a
+            .join(&b, &[("topic2_id", "topic2_id")], dmp_relation::ops::JoinKind::Inner)
+            .unwrap();
+        assert_eq!(j.len(), 50);
+    }
+
+    #[test]
+    fn demands_reference_existing_attribute_names() {
+        let w = generate(&WorkloadConfig::default());
+        for d in &w.demands {
+            assert!(d.attributes.iter().any(|a| a.contains("_id")));
+        }
+    }
+}

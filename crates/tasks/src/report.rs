@@ -1,0 +1,152 @@
+//! Report-style tasks: attribute coverage and volume. These back the
+//! plain data-acquisition WTP-functions ("I need a table with these
+//! columns, reasonably complete") that don't train any model.
+
+use dmp_relation::Relation;
+
+use crate::task::{Satisfaction, Task};
+
+/// Satisfaction = (fraction of required attributes present with null
+/// ratio ≤ `max_missing`) × (row-count factor capped at 1).
+#[derive(Debug, Clone)]
+pub struct CoverageTask {
+    /// Required attribute names.
+    pub attributes: Vec<String>,
+    /// Maximum tolerated null ratio per attribute.
+    pub max_missing: f64,
+    /// Rows at which the volume factor saturates.
+    pub target_rows: usize,
+}
+
+impl CoverageTask {
+    /// Coverage over attributes with defaults (10 % nulls, 1 row).
+    pub fn new<S: Into<String>>(attributes: impl IntoIterator<Item = S>) -> Self {
+        CoverageTask {
+            attributes: attributes.into_iter().map(Into::into).collect(),
+            max_missing: 0.1,
+            target_rows: 1,
+        }
+    }
+
+    /// Require at least `rows` rows for full satisfaction.
+    pub fn with_target_rows(mut self, rows: usize) -> Self {
+        self.target_rows = rows.max(1);
+        self
+    }
+
+    /// Tolerate `ratio` nulls per column.
+    pub fn with_max_missing(mut self, ratio: f64) -> Self {
+        self.max_missing = ratio.clamp(0.0, 1.0);
+        self
+    }
+}
+
+impl Task for CoverageTask {
+    fn name(&self) -> &str {
+        "coverage"
+    }
+
+    fn evaluate(&self, mashup: &Relation) -> Satisfaction {
+        if self.attributes.is_empty() {
+            return Satisfaction::new(1.0);
+        }
+        let mut covered = 0usize;
+        for attr in &self.attributes {
+            if mashup.schema().contains(attr)
+                && mashup.null_ratio(attr).unwrap_or(1.0) <= self.max_missing
+            {
+                covered += 1;
+            }
+        }
+        let attr_frac = covered as f64 / self.attributes.len() as f64;
+        let volume = (mashup.len() as f64 / self.target_rows as f64).min(1.0);
+        Satisfaction::new(attr_frac * volume)
+    }
+}
+
+/// Freshness task: satisfaction decays linearly with the relation's age
+/// relative to a horizon. Age is supplied externally (the arbiter knows
+/// registration times; relations don't carry wall-clock).
+#[derive(Debug, Clone)]
+pub struct FreshnessScore {
+    /// Age (logical ticks) at which satisfaction reaches zero.
+    pub horizon: u64,
+}
+
+impl FreshnessScore {
+    /// Score an age.
+    pub fn score(&self, age: u64) -> Satisfaction {
+        if self.horizon == 0 {
+            return Satisfaction::new(if age == 0 { 1.0 } else { 0.0 });
+        }
+        Satisfaction::new(1.0 - age as f64 / self.horizon as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_relation::{DataType, RelationBuilder, Value};
+
+    fn rel(null_every: usize, rows: usize) -> Relation {
+        let mut b = RelationBuilder::new("t")
+            .column("a", DataType::Int)
+            .column("b", DataType::Str);
+        for i in 0..rows {
+            b = b.row(vec![
+                if null_every > 0 && i % null_every == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i as i64)
+                },
+                Value::str("x"),
+            ]);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_coverage_full_volume() {
+        let t = CoverageTask::new(["a", "b"]);
+        assert_eq!(t.evaluate(&rel(0, 10)).value(), 1.0);
+    }
+
+    #[test]
+    fn missing_attribute_halves() {
+        let t = CoverageTask::new(["a", "zz"]);
+        assert_eq!(t.evaluate(&rel(0, 10)).value(), 0.5);
+    }
+
+    #[test]
+    fn nulls_past_threshold_drop_attribute() {
+        let t = CoverageTask::new(["a"]).with_max_missing(0.05);
+        // every 2nd row null: 50% nulls > 5%
+        assert_eq!(t.evaluate(&rel(2, 10)).value(), 0.0);
+        let lenient = CoverageTask::new(["a"]).with_max_missing(0.6);
+        assert_eq!(lenient.evaluate(&rel(2, 10)).value(), 1.0);
+    }
+
+    #[test]
+    fn volume_scales_linearly_up_to_target() {
+        let t = CoverageTask::new(["a"]).with_target_rows(20);
+        assert_eq!(t.evaluate(&rel(0, 10)).value(), 0.5);
+        assert_eq!(t.evaluate(&rel(0, 40)).value(), 1.0);
+    }
+
+    #[test]
+    fn empty_attribute_list_trivially_satisfied() {
+        let t = CoverageTask::new(Vec::<String>::new());
+        assert_eq!(t.evaluate(&rel(0, 1)).value(), 1.0);
+    }
+
+    #[test]
+    fn freshness_decays() {
+        let f = FreshnessScore { horizon: 100 };
+        assert_eq!(f.score(0).value(), 1.0);
+        assert_eq!(f.score(50).value(), 0.5);
+        assert_eq!(f.score(200).value(), 0.0);
+        let strict = FreshnessScore { horizon: 0 };
+        assert_eq!(strict.score(0).value(), 1.0);
+        assert_eq!(strict.score(1).value(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Synthetic labeled-data generators, including the paper's intro
+//! example (b1 / Seller 1 / Seller 2) with controlled ground truth —
+//! the simulated substitute for proprietary buyer data (DESIGN.md,
+//! substitutions table).
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use dmp_relation::{DataType, Relation, RelationBuilder, Value};
+
+/// Standard normal via Box–Muller.
+fn gauss(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Two-class Gaussian blobs in 2-D with configurable separation:
+/// `(x1, x2, label)`. Separation ≥ 2.5 is near-linearly-separable.
+pub fn gaussian_blobs(n: usize, _classes: usize, separation: f64, seed: u64) -> Relation {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = RelationBuilder::new("blobs")
+        .column("x1", DataType::Float)
+        .column("x2", DataType::Float)
+        .column("label", DataType::Int);
+    for i in 0..n {
+        let class = (i % 2) as i64;
+        let cx = class as f64 * separation;
+        b = b.row(vec![
+            Value::Float(cx + gauss(&mut rng)),
+            Value::Float(cx + gauss(&mut rng)),
+            Value::Int(class),
+        ]);
+    }
+    b.build().expect("well-formed")
+}
+
+/// Linear regression data: `target = Σ w_j x_j + 1.5 + noise·N(0,1)` with
+/// fixed weights `w_j = j+1`, columns `(x0..x{d-1}, target)`.
+pub fn linear_data(n: usize, d: usize, noise: f64, seed: u64) -> Relation {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut builder = RelationBuilder::new("linear");
+    for j in 0..d {
+        builder = builder.column(format!("x{j}"), DataType::Float);
+    }
+    builder = builder.column("target", DataType::Float);
+    for _ in 0..n {
+        let xs: Vec<f64> = (0..d).map(|_| gauss(&mut rng)).collect();
+        let y: f64 = xs
+            .iter()
+            .enumerate()
+            .map(|(j, x)| (j + 1) as f64 * x)
+            .sum::<f64>()
+            + 1.5
+            + noise * gauss(&mut rng);
+        let mut row: Vec<Value> = xs.into_iter().map(Value::Float).collect();
+        row.push(Value::Float(y));
+        builder = builder.row(row);
+    }
+    builder.build().expect("well-formed")
+}
+
+/// The paper's intro example, synthesized with ground truth:
+///
+/// * Seller 1 owns `s1 = ⟨a, b, c⟩`;
+/// * Seller 2 owns `s2 = ⟨a, b′, f(d)⟩` with `f(d) = 1.8·d + 32` (the
+///   Celsius→Fahrenheit `f`) and `b′` a noisy copy of `b`;
+/// * buyer b1 owns labels keyed by `a` and wants features ⟨a, b, d⟩ to
+///   train a classifier to ≥ 80 % accuracy.
+///
+/// The label depends mostly on `d`, so s1 alone cannot reach the 80 %
+/// threshold while the joined mashup (with `d` recovered through the
+/// inverse mapping) can — exactly the economics of Challenge-1/3.
+#[derive(Debug, Clone)]
+pub struct IntroExample {
+    /// Seller 1's dataset ⟨a, b, c⟩.
+    pub s1: Relation,
+    /// Seller 2's dataset ⟨a, b_prime, fd⟩.
+    pub s2: Relation,
+    /// Buyer's owned data ⟨a, label⟩.
+    pub buyer_owned: Relation,
+}
+
+/// Generate the intro example with `n` entities.
+pub fn intro_example(n: usize, seed: u64) -> IntroExample {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut s1 = RelationBuilder::new("s1")
+        .column("a", DataType::Int)
+        .column("b", DataType::Float)
+        .column("c", DataType::Str);
+    let mut s2 = RelationBuilder::new("s2")
+        .column("a", DataType::Int)
+        .column("b_prime", DataType::Float)
+        .column("fd", DataType::Float);
+    let mut owned = RelationBuilder::new("b1_owned")
+        .column("a", DataType::Int)
+        .column("label", DataType::Int);
+
+    for i in 0..n {
+        let a = i as i64;
+        let b = gauss(&mut rng);
+        let d = gauss(&mut rng);
+        // Label driven mostly by d; b contributes weakly.
+        let logit = 0.6 * b + 2.5 * d + 0.3 * gauss(&mut rng);
+        let label = (logit > 0.0) as i64;
+        s1 = s1.row(vec![
+            Value::Int(a),
+            Value::Float(b),
+            Value::str(format!("cat{}", i % 5)),
+        ]);
+        s2 = s2.row(vec![
+            Value::Int(a),
+            // b' agrees with b most of the time, with occasional conflicts
+            Value::Float(if i % 10 == 0 { b + 1.0 } else { b }),
+            Value::Float(1.8 * d + 32.0),
+        ]);
+        owned = owned.row(vec![Value::Int(a), Value::Int(label)]);
+    }
+
+    IntroExample {
+        s1: s1.build().expect("well-formed"),
+        s2: s2.build().expect("well-formed"),
+        buyer_owned: owned.build().expect("well-formed"),
+    }
+}
+
+/// A synthetic "data lake" for discovery/DoD benchmarks: `n_tables`
+/// tables over `n_topics` topic clusters. Tables within a topic share a
+/// join key domain (`<topic>_id`) plus topic-specific attribute columns,
+/// so ground-truth join edges exist within topics and not across them.
+pub fn synthetic_lake(n_tables: usize, n_topics: usize, rows: usize, seed: u64) -> Vec<Relation> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_tables);
+    for t in 0..n_tables {
+        let topic = t % n_topics.max(1);
+        let mut b = RelationBuilder::new(format!("topic{topic}_table{t}"))
+            .column(format!("topic{topic}_id"), DataType::Int)
+            .column(format!("attr_{t}_x"), DataType::Float)
+            .column(format!("attr_{t}_y"), DataType::Str);
+        for r in 0..rows {
+            b = b.row(vec![
+                // overlapping key domains within a topic
+                Value::Int((r as i64) + (t as i64 % 3) * (rows as i64 / 4)),
+                Value::Float(rng.gen_range(-1.0..1.0)),
+                Value::str(format!("t{topic}v{}", r % 20)),
+            ]);
+        }
+        out.push(b.build().expect("well-formed"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::ClassifierTask;
+    use dmp_relation::ops::JoinKind;
+
+    #[test]
+    fn blobs_have_expected_shape() {
+        let r = gaussian_blobs(100, 2, 2.0, 1);
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.schema().len(), 3);
+        let labels: Vec<i64> = r.column("label").unwrap().filter_map(Value::as_i64).collect();
+        assert!(labels.contains(&0) && labels.contains(&1));
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = gaussian_blobs(50, 2, 1.0, 9);
+        let b = gaussian_blobs(50, 2, 1.0, 9);
+        for (x, y) in a.rows().iter().zip(b.rows()) {
+            assert_eq!(x.values(), y.values());
+        }
+    }
+
+    #[test]
+    fn intro_example_s1_alone_is_weak_joined_is_strong() {
+        let ex = intro_example(600, 42);
+        let task = ClassifierTask::logistic("label");
+
+        // s1 ⋈ owned: features a, b only.
+        let s1_mashup = ex
+            .s1
+            .join(&ex.buyer_owned, &[("a", "a")], JoinKind::Inner)
+            .unwrap()
+            .project(&["b", "label"])
+            .unwrap();
+        let weak = task.accuracy(&s1_mashup).unwrap();
+
+        // full mashup: recover d = (fd − 32) / 1.8, then b + d features.
+        let joined = ex
+            .s1
+            .join(&ex.s2, &[("a", "a")], JoinKind::Inner)
+            .unwrap()
+            .join(&ex.buyer_owned, &[("a", "a")], JoinKind::Inner)
+            .unwrap();
+        let with_d = joined
+            .map_column("fd", |v| match v.as_f64() {
+                Some(f) => Value::Float((f - 32.0) / 1.8),
+                None => Value::Null,
+            })
+            .unwrap()
+            .project(&["b", "fd", "label"])
+            .unwrap();
+        let strong = task.accuracy(&with_d).unwrap();
+
+        assert!(weak < 0.8, "s1 alone should miss the 80% bar, got {weak}");
+        assert!(strong >= 0.8, "full mashup should clear 80%, got {strong}");
+        assert!(strong > weak + 0.1, "weak {weak} vs strong {strong}");
+    }
+
+    #[test]
+    fn lake_tables_share_keys_within_topic() {
+        let lake = synthetic_lake(6, 2, 50, 3);
+        assert_eq!(lake.len(), 6);
+        // tables 0 and 2 are topic 0; they share the key column name.
+        assert!(lake[0].schema().contains("topic0_id"));
+        assert!(lake[2].schema().contains("topic0_id"));
+        assert!(lake[1].schema().contains("topic1_id"));
+    }
+
+    #[test]
+    fn linear_data_columns() {
+        let r = linear_data(20, 4, 0.1, 2);
+        assert_eq!(r.schema().len(), 5);
+        assert!(r.schema().contains("target"));
+    }
+}

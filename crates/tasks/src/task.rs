@@ -1,0 +1,84 @@
+//! The task abstraction: a WTP-function's "package" component made
+//! executable. The WTP-Evaluator runs `evaluate` on each candidate mashup
+//! and maps the resulting satisfaction through the buyer's price curve.
+
+use dmp_relation::Relation;
+
+/// Degree of satisfaction in [0, 1] (§3.2.2.1: "a metric to measure the
+/// degree of satisfaction that a dataset achieves for a given task").
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Satisfaction(f64);
+
+impl Satisfaction {
+    /// Construct, clamping into [0, 1].
+    pub fn new(v: f64) -> Self {
+        Satisfaction(if v.is_nan() { 0.0 } else { v.clamp(0.0, 1.0) })
+    }
+
+    /// Zero satisfaction.
+    pub fn zero() -> Self {
+        Satisfaction(0.0)
+    }
+
+    /// The raw value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for Satisfaction {
+    fn from(v: f64) -> Self {
+        Satisfaction::new(v)
+    }
+}
+
+/// An executable data task. Implementations must be deterministic given
+/// their configured seed, so the arbiter can re-run them for audits (the
+/// ex post mechanism of §3.2.2.2 depends on that).
+pub trait Task: Send + Sync {
+    /// A short human-readable name for logs and receipts.
+    fn name(&self) -> &str;
+
+    /// Run the task against a candidate mashup and measure satisfaction.
+    fn evaluate(&self, mashup: &Relation) -> Satisfaction;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(Satisfaction::new(1.5).value(), 1.0);
+        assert_eq!(Satisfaction::new(-0.2).value(), 0.0);
+        assert_eq!(Satisfaction::new(f64::NAN).value(), 0.0);
+        assert_eq!(Satisfaction::from(0.5).value(), 0.5);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        assert_eq!(Satisfaction::zero().value(), 0.0);
+    }
+
+    struct Fixed(f64);
+    impl Task for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn evaluate(&self, _: &Relation) -> Satisfaction {
+            Satisfaction::new(self.0)
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        use dmp_relation::{DataType, RelationBuilder};
+        let rel = RelationBuilder::new("t")
+            .column("x", DataType::Int)
+            .build()
+            .unwrap();
+        let task: Box<dyn Task> = Box::new(Fixed(0.7));
+        assert_eq!(task.evaluate(&rel).value(), 0.7);
+        assert_eq!(task.name(), "fixed");
+    }
+}

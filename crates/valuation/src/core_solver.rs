@@ -1,0 +1,203 @@
+//! The core of a coalitional game — the alternative solution concept the
+//! paper cites ("other work suggests using a different metric, the core
+//! [102] which is also apt for coalitional games", §8.2).
+//!
+//! An allocation `x` is in the **core** iff it is efficient
+//! (`Σx = v(N)`) and no coalition can profitably defect
+//! (`x(S) ≥ v(S)` for all `S`). The core can be empty; the **least core**
+//! relaxes the constraints to `x(S) ≥ v(S) − ε` with the smallest
+//! feasible `ε`.
+//!
+//! Implementation: coalition constraints are checked by enumeration
+//! (small `n`), and least-core feasibility for a candidate `ε` is decided
+//! by Agmon–Motzkin alternating projections onto the violated half-spaces
+//! (projecting back onto the efficiency hyperplane each step); `ε` itself
+//! is found by bisection. Deterministic and dependency-free, accurate to
+//! the requested tolerance on the games the experiments use.
+
+use crate::shapley::CharacteristicFn;
+
+/// Check core membership of an allocation (exact, by enumeration).
+pub fn is_in_core(game: &CharacteristicFn, alloc: &[f64], tol: f64) -> bool {
+    let n = game.n();
+    if alloc.len() != n {
+        return false;
+    }
+    let total: f64 = alloc.iter().sum();
+    if (total - game.grand_value()).abs() > tol {
+        return false;
+    }
+    max_violation(game, alloc) <= tol
+}
+
+/// The largest coalition-rationality violation `max_S v(S) − x(S)`
+/// (0 if none). Exact by enumeration.
+pub fn max_violation(game: &CharacteristicFn, alloc: &[f64]) -> f64 {
+    let n = game.n();
+    let size = 1u64 << n;
+    let mut worst: f64 = 0.0;
+    for mask in 1..size {
+        let xs: f64 = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| alloc[i])
+            .sum();
+        worst = worst.max(game.value(mask) - xs);
+    }
+    worst
+}
+
+/// Try to find an efficient allocation with `x(S) ≥ v(S) − eps` for all
+/// coalitions, via Agmon–Motzkin projections. Returns the allocation on
+/// success.
+fn feasible_allocation(
+    game: &CharacteristicFn,
+    eps: f64,
+    tol: f64,
+    max_iters: usize,
+) -> Option<Vec<f64>> {
+    let n = game.n();
+    let vn = game.grand_value();
+    // Start from the uniform efficient allocation.
+    let mut x = vec![vn / n as f64; n];
+    let size = 1u64 << n;
+
+    for _ in 0..max_iters {
+        // Most violated coalition constraint.
+        let mut worst_mask = 0u64;
+        let mut worst_gap = tol;
+        for mask in 1..size - 1 {
+            let members = mask.count_ones() as f64;
+            let xs: f64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| x[i])
+                .sum();
+            let gap = (game.value(mask) - eps - xs) / members.sqrt();
+            if gap > worst_gap {
+                worst_gap = gap;
+                worst_mask = mask;
+            }
+        }
+        if worst_mask == 0 {
+            return Some(x);
+        }
+        // Project onto the violated half-space: raise members uniformly…
+        let members: Vec<usize> = (0..n).filter(|i| worst_mask & (1 << i) != 0).collect();
+        let xs: f64 = members.iter().map(|&i| x[i]).sum();
+        let need = game.value(worst_mask) - eps - xs;
+        let bump = need / members.len() as f64;
+        for &i in &members {
+            x[i] += bump;
+        }
+        // …then restore efficiency by lowering everyone uniformly.
+        let excess: f64 = x.iter().sum::<f64>() - vn;
+        let cut = excess / n as f64;
+        for xi in &mut x {
+            *xi -= cut;
+        }
+    }
+    None
+}
+
+/// Compute the least core: the smallest `ε` (within `tol`) admitting an
+/// efficient allocation with `x(S) ≥ v(S) − ε`, plus such an allocation.
+pub fn least_core(game: &CharacteristicFn, tol: f64) -> (Vec<f64>, f64) {
+    let n = game.n();
+    assert!((1..=16).contains(&n), "least core solver targets small games");
+    // Upper bound: violation of the uniform allocation.
+    let vn = game.grand_value();
+    let uniform = vec![vn / n as f64; n];
+    let mut hi = max_violation(game, &uniform).max(tol);
+    let mut lo = -hi.max(1.0); // the least core ε can be negative (strict core)
+    let mut best = (uniform, hi);
+
+    for _ in 0..60 {
+        if hi - lo <= tol {
+            break;
+        }
+        let mid = 0.5 * (lo + hi);
+        match feasible_allocation(game, mid, tol * 0.1, 8_000) {
+            Some(x) => {
+                best = (x, mid);
+                hi = mid;
+            }
+            None => {
+                lo = mid;
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Additive game: core contains exactly the weight vector.
+    fn additive(weights: &'static [f64]) -> CharacteristicFn {
+        CharacteristicFn::new(weights.len(), move |mask| {
+            weights
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, w)| w)
+                .sum()
+        })
+    }
+
+    /// 3-player majority game: v(S) = 1 iff |S| ≥ 2. Empty core; least
+    /// core ε = 1/3 at the symmetric allocation.
+    fn majority() -> CharacteristicFn {
+        CharacteristicFn::new(3, |mask| if mask.count_ones() >= 2 { 1.0 } else { 0.0 })
+    }
+
+    #[test]
+    fn additive_game_core_membership() {
+        let game = additive(&[2.0, 3.0, 5.0]);
+        assert!(is_in_core(&game, &[2.0, 3.0, 5.0], 1e-9));
+        // shifting value away from player 2 violates {2}'s rationality
+        assert!(!is_in_core(&game, &[3.0, 3.0, 4.0], 1e-9));
+        // inefficient allocations are never in the core
+        assert!(!is_in_core(&game, &[1.0, 1.0, 1.0], 1e-9));
+    }
+
+    #[test]
+    fn majority_game_core_is_empty() {
+        let game = majority();
+        // The symmetric allocation violates every 2-coalition by 1/3.
+        let x = [1.0 / 3.0; 3];
+        assert!(!is_in_core(&game, &x, 1e-9));
+        assert!((max_violation(&game, &x) - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_core_of_majority_is_one_third() {
+        let (x, eps) = least_core(&majority(), 1e-4);
+        assert!((eps - 1.0 / 3.0).abs() < 5e-3, "eps = {eps}");
+        for xi in &x {
+            assert!((xi - 1.0 / 3.0).abs() < 0.05, "alloc {x:?}");
+        }
+    }
+
+    #[test]
+    fn least_core_of_additive_is_nonpositive() {
+        // The core is non-empty, so the least-core ε ≤ 0.
+        let (x, eps) = least_core(&additive(&[1.0, 2.0]), 1e-4);
+        assert!(eps <= 1e-3, "eps = {eps}");
+        let total: f64 = x.iter().sum();
+        assert!((total - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn least_core_allocation_is_efficient() {
+        let (x, _) = least_core(&majority(), 1e-4);
+        let total: f64 = x.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_violation_zero_for_generous_allocation() {
+        let game = majority();
+        // Give everyone 1.0 (inefficient but violates nothing).
+        assert_eq!(max_violation(&game, &[1.0, 1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Market-design simulation under adversarial behavior (§6.1, Fig. 1
+//! (3)): before deploying a design, test it against shading buyers,
+//! colluders, spammers, overpricers and faulty sellers.
+//!
+//! ```text
+//! cargo run --release --example adversarial_simulation
+//! ```
+
+use data_market_platform::mechanism::design::MarketDesign;
+use data_market_platform::simulator::report::{f2, pct, render_table};
+use data_market_platform::simulator::scenario::Scenario;
+
+fn main() {
+    let mut rows = Vec::new();
+    for (name, design) in [
+        ("posted-price(20)", MarketDesign::posted_price_baseline(20.0)),
+        ("rsop digital-goods", MarketDesign::external_revenue(21)),
+        ("vickrey-reserve", MarketDesign::scarce_licenses(3, 10.0)),
+    ] {
+        for frac in [0.0, 0.3, 0.6] {
+            let result = Scenario::adversarial(17, frac, design.clone()).run();
+            rows.push(vec![
+                name.to_string(),
+                pct(frac),
+                result.metrics.transactions.to_string(),
+                f2(result.metrics.revenue),
+                f2(result.metrics.welfare),
+                pct(result.metrics.fill_rate),
+                f2(result.metrics.seller_gini),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "market designs under adversarial mixes (8 rounds, 30 buyers, 10 sellers)",
+            &["design", "adversarial", "tx", "revenue", "welfare", "fill", "seller gini"],
+            &rows,
+        )
+    );
+    println!(
+        "reading: welfare degrades as the adversarial share grows; the\n\
+         simulator quantifies *how fast* per design — the evidence the\n\
+         paper's evaluation plan wants before deployment."
+    );
+}

@@ -1,0 +1,99 @@
+//! An internal data market (§3.3): teams inside one organization break
+//! down data silos. The design optimizes *social welfare* — data flows to
+//! whoever values it, compensation is bonus points, and nobody pays for
+//! access.
+//!
+//! ```text
+//! cargo run --release --example internal_market
+//! ```
+
+use data_market_platform::core::market::{DataMarket, MarketConfig};
+use data_market_platform::mechanism::wtp::PriceCurve;
+use data_market_platform::relation::{DataType, RelationBuilder, Value};
+
+fn main() {
+    let market = DataMarket::new(MarketConfig::internal());
+
+    // Three teams publish their silos through the batch interface.
+    let growth = market.seller("team-growth");
+    let mut b = RelationBuilder::new("signups")
+        .column("user_id", DataType::Int)
+        .column("channel", DataType::Str);
+    for i in 0..300 {
+        b = b.row(vec![
+            Value::Int(i),
+            Value::str(["ads", "organic", "referral"][i as usize % 3]),
+        ]);
+    }
+    growth.share(b.build().unwrap()).unwrap();
+
+    let payments = market.seller("team-payments");
+    let mut b = RelationBuilder::new("payments")
+        .column("user_id", DataType::Int)
+        .column("revenue", DataType::Float);
+    for i in 0..300 {
+        b = b.row(vec![Value::Int(i), Value::Float((i % 50) as f64 * 1.2)]);
+    }
+    payments.share(b.build().unwrap()).unwrap();
+
+    let support = market.seller("team-support");
+    let mut b = RelationBuilder::new("tickets")
+        .column("user_id", DataType::Int)
+        .column("tickets", DataType::Int);
+    for i in 0..300 {
+        b = b.row(vec![Value::Int(i), Value::Int(i % 7)]);
+    }
+    support.share(b.build().unwrap()).unwrap();
+
+    // The finance team needs a cross-silo mashup: revenue by channel with
+    // support load. It never talks to the other teams — the arbiter
+    // discovers, joins and delivers.
+    let finance = market.buyer("team-finance");
+    finance
+        .wtp(["user_id", "channel", "revenue", "tickets"])
+        .price_curve(PriceCurve::Linear { min_satisfaction: 0.5, max_price: 30.0 })
+        .min_rows(100)
+        .submit()
+        .unwrap();
+
+    let report = market.run_round();
+    println!(
+        "round {}: {} mashup(s) delivered, total money charged: {:.2}",
+        report.round,
+        report.sales.len(),
+        report.revenue
+    );
+    for d in finance.deliveries() {
+        println!(
+            "finance received {} rows x {} columns spanning {} silos",
+            d.relation.len(),
+            d.relation.schema().len(),
+            d.datasets.len()
+        );
+        // Mashups compose further: revenue by channel.
+        let by_channel = d
+            .relation
+            .aggregate(
+                &["channel"],
+                &[
+                    data_market_platform::relation::ops::AggSpec::new(
+                        "revenue",
+                        data_market_platform::relation::ops::AggFun::Sum,
+                        "total_revenue",
+                    ),
+                    data_market_platform::relation::ops::AggSpec::new(
+                        "tickets",
+                        data_market_platform::relation::ops::AggFun::Sum,
+                        "total_tickets",
+                    ),
+                ],
+            )
+            .unwrap();
+        println!("{by_channel}");
+    }
+
+    // Bonus points flowed to the contributing teams (the §3.3 incentive).
+    for team in ["team-growth", "team-payments", "team-support"] {
+        println!("{team}: {:.1} bonus points", market.balance(team));
+    }
+}

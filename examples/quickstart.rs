@@ -1,0 +1,65 @@
+//! Quickstart: deploy a data market, share a dataset, buy it, and watch
+//! the money flow back to the seller.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use data_market_platform::core::market::{DataMarket, MarketConfig};
+use data_market_platform::mechanism::design::MarketDesign;
+use data_market_platform::mechanism::wtp::PriceCurve;
+use data_market_platform::relation::{DataType, RelationBuilder, Value};
+
+fn main() {
+    // 1. Deploy a market: external (money) with a posted-price design.
+    let market = DataMarket::new(
+        MarketConfig::external(7).with_design(MarketDesign::posted_price_baseline(25.0)),
+    );
+
+    // 2. A seller shares a small weather dataset.
+    let seller = market.seller("weather-co");
+    let mut b = RelationBuilder::new("city_temps")
+        .column("city", DataType::Str)
+        .column("temp_c", DataType::Float);
+    for (city, t) in [("chicago", 3.5), ("boston", 1.0), ("austin", 21.0), ("seattle", 9.5)] {
+        b = b.row(vec![Value::str(city), Value::Float(t)]);
+    }
+    let dataset = seller.share(b.build().expect("valid rows")).expect("no PII");
+    println!("seller registered dataset {dataset}");
+
+    // 3. A buyer states its need through a WTP-function: the attributes
+    //    it wants and what a satisfying mashup is worth to it.
+    let buyer = market.buyer("analytics-inc");
+    buyer.deposit(100.0);
+    let offer = buyer
+        .wtp(["city", "temp_c"])
+        .price_curve(PriceCurve::Linear { min_satisfaction: 0.5, max_price: 60.0 })
+        .submit()
+        .expect("offer accepted");
+    println!("buyer submitted offer {offer}");
+
+    // 4. The arbiter runs a market round: discovery, mashup building,
+    //    WTP evaluation, pricing, settlement, revenue sharing.
+    let report = market.run_round();
+    println!(
+        "round {}: {} sale(s), revenue {:.2}",
+        report.round,
+        report.sales.len(),
+        report.revenue
+    );
+
+    // 5. Inspect outcomes.
+    for d in buyer.deliveries() {
+        println!("buyer received mashup with {} rows:", d.relation.len());
+        println!("{}", d.relation);
+    }
+    println!("seller balance: {:.2}", seller.balance());
+    println!("buyer balance:  {:.2}", buyer.balance());
+    let acct = seller.accountability(dataset).expect("own dataset");
+    println!(
+        "accountability: sold in {:?}, total revenue {:.2}",
+        acct.mashups, acct.revenue
+    );
+    assert!(market.audit_log().verify_chain(), "audit chain intact");
+    println!("audit chain verified ({} entries)", market.audit_log().len());
+}

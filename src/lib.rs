@@ -1,0 +1,30 @@
+//! # data-market-platform
+//!
+//! Facade crate for the full-system Rust reproduction of *Data Market
+//! Platforms: Trading Data Assets to Solve Data Problems* (Fernandez,
+//! Subramaniam, Franklin — PVLDB 13(11), 2020).
+//!
+//! Re-exports every subsystem crate under one roof:
+//!
+//! ```
+//! use data_market_platform as dmp;
+//! let rel = dmp::relation::RelationBuilder::new("quickstart")
+//!     .column("k", dmp::relation::DataType::Int)
+//!     .row(vec![dmp::relation::Value::Int(1)])
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(rel.len(), 1);
+//! ```
+//!
+//! See the `examples/` directory for end-to-end walkthroughs and
+//! DESIGN.md / EXPERIMENTS.md for the paper-reproduction map.
+
+pub use dmp_core as core;
+pub use dmp_discovery as discovery;
+pub use dmp_integration as integration;
+pub use dmp_mechanism as mechanism;
+pub use dmp_privacy as privacy;
+pub use dmp_relation as relation;
+pub use dmp_simulator as simulator;
+pub use dmp_tasks as tasks;
+pub use dmp_valuation as valuation;

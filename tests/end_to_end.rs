@@ -1,0 +1,186 @@
+//! Cross-crate integration: the full DMMS lifecycle of Fig. 2, driven
+//! through the public facade — discovery, integration, evaluation,
+//! pricing, settlement, revenue sharing, accountability and audit.
+
+use data_market_platform::core::market::{DataMarket, MarketConfig, OfferState};
+use data_market_platform::mechanism::design::MarketDesign;
+use data_market_platform::mechanism::wtp::PriceCurve;
+use data_market_platform::relation::{DataType, RelationBuilder, Value};
+use data_market_platform::tasks::synth::intro_example;
+
+fn posted_market(price: f64) -> DataMarket {
+    DataMarket::new(
+        MarketConfig::external(11).with_design(MarketDesign::posted_price_baseline(price)),
+    )
+}
+
+#[test]
+fn paper_intro_example_full_lifecycle() {
+    let ex = intro_example(600, 42);
+    let market = posted_market(40.0);
+
+    let s1 = market.seller("seller1");
+    let id1 = s1.share(ex.s1).unwrap();
+    let s2 = market.seller("seller2");
+    let id2 = s2.share(ex.s2).unwrap();
+
+    let b1 = market.buyer("b1");
+    b1.deposit(500.0);
+    let offer = b1
+        .wtp(["a", "b", "c", "fd"])
+        .classification("label")
+        .pay_steps(&[(0.8, 100.0), (0.9, 150.0)])
+        .with_owned_data(ex.buyer_owned)
+        .min_rows(50)
+        .submit()
+        .unwrap();
+
+    let report = market.run_round();
+
+    // A sale happened at the posted price, with accuracy above the bar.
+    assert_eq!(report.sales.len(), 1);
+    let sale = &report.sales[0];
+    assert!(sale.satisfaction >= 0.8, "accuracy {}", sale.satisfaction);
+    assert_eq!(sale.price, 40.0);
+
+    // Money: buyer debited, both sellers credited, books balance.
+    assert!((market.balance("b1") - 460.0).abs() < 1e-9);
+    let seller_total = market.balance("seller1") + market.balance("seller2");
+    assert!((seller_total - 40.0).abs() < 1e-9);
+    assert!(market.balance("seller1") > 0.0);
+    assert!(market.balance("seller2") > 0.0);
+
+    // The offer is fulfilled and the delivery carries the mashup.
+    assert!(matches!(market.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    let delivery = &b1.deliveries()[0];
+    assert!(delivery.relation.schema().contains("label"));
+    assert!(delivery.relation.len() >= 50);
+
+    // Accountability: both sellers can see the sale and their revenue.
+    for (seller, id) in [(&s1, id1), (&s2, id2)] {
+        let acct = seller.accountability(id).unwrap();
+        assert_eq!(acct.mashups, vec![format!("offer{offer}")]);
+        assert!(acct.revenue > 0.0);
+    }
+
+    // Trust: the audit chain verifies and records the whole story.
+    assert!(market.audit_log().verify_chain());
+    assert!(market.audit_log().len() >= 5);
+    assert!(!market.audit_log().events_for_dataset(id1).is_empty());
+}
+
+#[test]
+fn pending_offers_retry_across_rounds_as_supply_arrives() {
+    let market = posted_market(10.0);
+    let buyer = market.buyer("b");
+    buyer.deposit(100.0);
+    let offer = buyer
+        .wtp(["late_attr"])
+        .price_curve(PriceCurve::Constant(20.0))
+        .submit()
+        .unwrap();
+
+    // Round 1: nothing to sell.
+    let r1 = market.run_round();
+    assert!(r1.sales.is_empty());
+    assert_eq!(market.offer(offer).unwrap().state, OfferState::Pending);
+    assert!(r1
+        .unmet
+        .missing_attributes
+        .iter()
+        .any(|(a, _)| a == "late_attr"));
+
+    // An opportunistic seller reads the demand report and fills the gap.
+    let demand = market.demand_report();
+    assert_eq!(demand.missing_attributes[0].0, "late_attr");
+    let seller = market.seller("opportunist");
+    let mut b = RelationBuilder::new("gap_filler").column("late_attr", DataType::Int);
+    for i in 0..20 {
+        b = b.row(vec![Value::Int(i)]);
+    }
+    seller.share(b.build().unwrap()).unwrap();
+
+    // Round 2: the pending offer clears.
+    let r2 = market.run_round();
+    assert_eq!(r2.sales.len(), 1);
+    assert!(matches!(market.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    assert!(seller.balance() > 0.0);
+}
+
+#[test]
+fn conservation_of_money_across_many_rounds() {
+    let market = posted_market(7.0);
+    let mut total_deposited = 0.0;
+    for i in 0..3 {
+        let seller = market.seller(&format!("s{i}"));
+        let mut b = RelationBuilder::new(format!("t{i}"))
+            .column(format!("k{i}"), DataType::Int)
+            .column(format!("v{i}"), DataType::Float);
+        for r in 0..30 {
+            b = b.row(vec![Value::Int(r), Value::Float(r as f64)]);
+        }
+        seller.share(b.build().unwrap()).unwrap();
+    }
+    for i in 0..5 {
+        let buyer = market.buyer(&format!("b{i}"));
+        buyer.deposit(50.0);
+        total_deposited += 50.0;
+        buyer
+            .wtp([format!("k{}", i % 3), format!("v{}", i % 3)])
+            .price_curve(PriceCurve::Constant(15.0))
+            .submit()
+            .unwrap();
+    }
+    let mut revenue = 0.0;
+    for _ in 0..4 {
+        revenue += market.run_round().revenue;
+    }
+    assert!(revenue > 0.0);
+    // Sum of every account (buyers + sellers + arbiter) equals deposits.
+    let all: f64 = ["b0", "b1", "b2", "b3", "b4", "s0", "s1", "s2", "__arbiter__"]
+        .iter()
+        .map(|a| market.balance(a))
+        .sum();
+    assert!(
+        (all - total_deposited).abs() < 1e-6,
+        "supply {all} vs deposits {total_deposited}"
+    );
+}
+
+#[test]
+fn recommendations_emerge_from_purchases() {
+    let market = posted_market(5.0);
+    for (i, name) in ["alpha", "beta"].iter().enumerate() {
+        let seller = market.seller(&format!("s_{name}"));
+        let mut b = RelationBuilder::new(format!("{name}_data"))
+            .column(format!("{name}_key"), DataType::Int)
+            .column(format!("{name}_val"), DataType::Float);
+        for r in 0..20 {
+            b = b.row(vec![Value::Int(r + i as i64), Value::Float(r as f64)]);
+        }
+        seller.share(b.build().unwrap()).unwrap();
+    }
+    // Two buyers buy both products; a third buys only alpha.
+    for name in ["b1", "b2"] {
+        let buyer = market.buyer(name);
+        buyer.deposit(100.0);
+        for p in ["alpha", "beta"] {
+            buyer
+                .wtp([format!("{p}_key"), format!("{p}_val")])
+                .price_curve(PriceCurve::Constant(10.0))
+                .submit()
+                .unwrap();
+        }
+    }
+    let b3 = market.buyer("b3");
+    b3.deposit(100.0);
+    b3.wtp(["alpha_key", "alpha_val"])
+        .price_curve(PriceCurve::Constant(10.0))
+        .submit()
+        .unwrap();
+    market.run_round();
+
+    // b3 should be recommended the beta dataset its co-purchasers bought.
+    let recs = b3.recommendations(3);
+    assert!(!recs.is_empty(), "CF should find the co-purchase pattern");
+}

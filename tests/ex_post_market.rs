@@ -1,0 +1,144 @@
+//! Integration: the ex post elicitation market (§3.2.2.2) — buyers get
+//! data before paying, report realized value, and the audit/penalty
+//! mechanism keeps them honest.
+
+use data_market_platform::core::market::{DataMarket, MarketConfig, OfferState};
+use data_market_platform::mechanism::design::MarketDesign;
+use data_market_platform::mechanism::elicitation::{ElicitationProtocol, ExPostMechanism};
+use data_market_platform::mechanism::wtp::PriceCurve;
+use data_market_platform::relation::builder::keyed_rel;
+
+fn ex_post_market(audit_prob: f64) -> DataMarket {
+    let mut design = MarketDesign::posted_price_baseline(10.0);
+    design.elicitation = ElicitationProtocol::ExPost(ExPostMechanism {
+        audit_prob,
+        penalty_mult: 2.5,
+        exclusion_rounds: 3,
+        round_value: 0.0,
+    });
+    DataMarket::new(MarketConfig::external(99).with_design(design))
+}
+
+#[test]
+fn delivery_precedes_payment() {
+    let market = ex_post_market(1.0);
+    let seller = market.seller("s");
+    seller.share(keyed_rel("goods", &[(1, "x"), (2, "y")])).unwrap();
+    let buyer = market.buyer("b");
+    buyer.deposit(100.0);
+    let offer = buyer
+        .wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(30.0))
+        .submit()
+        .unwrap();
+
+    let report = market.run_round();
+    assert_eq!(report.deliveries.len(), 1);
+    assert_eq!(report.revenue, 0.0, "no money moves before the report");
+    assert!(matches!(
+        market.offer(offer).unwrap().state,
+        OfferState::AwaitingReport { .. }
+    ));
+    // The deposit (max price) is escrowed.
+    assert!((buyer.balance() - 70.0).abs() < 1e-9);
+    // The buyer already has the data.
+    let delivery = &buyer.deliveries()[0];
+    assert_eq!(delivery.relation.len(), 2);
+    assert!(delivery.settlement.is_none());
+}
+
+#[test]
+fn truthful_report_settles_cleanly() {
+    let market = ex_post_market(1.0);
+    let seller = market.seller("s");
+    seller.share(keyed_rel("goods", &[(1, "x")])).unwrap();
+    let buyer = market.buyer("b");
+    buyer.deposit(100.0);
+    buyer
+        .wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(30.0))
+        .submit()
+        .unwrap();
+    let report = market.run_round();
+    let delivery_id = report.deliveries[0];
+
+    // The true value for a fully-satisfying mashup is the curve price.
+    let settlement = buyer.report_value(delivery_id, 30.0).unwrap();
+    assert!(settlement.audited);
+    assert_eq!(settlement.penalty, 0.0);
+    assert!((settlement.paid - 30.0).abs() < 1e-9);
+    // Seller got paid; escrow residue refunded; books balance.
+    assert!(seller.balance() > 0.0);
+    assert!((buyer.balance() + seller.balance() + market.balance("__arbiter__") - 100.0).abs() < 1e-6);
+    // Reputation intact.
+    assert_eq!(market.participant("b").unwrap().reputation, 1.0);
+}
+
+#[test]
+fn underreporting_is_caught_and_penalized() {
+    let market = ex_post_market(1.0); // always audited
+    let seller = market.seller("s");
+    seller.share(keyed_rel("goods", &[(1, "x")])).unwrap();
+    let buyer = market.buyer("cheater");
+    buyer.deposit(200.0);
+    buyer
+        .wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(50.0))
+        .submit()
+        .unwrap();
+    let report = market.run_round();
+    let delivery_id = report.deliveries[0];
+
+    // True value ≈ 50 (full coverage); the buyer reports 10.
+    let settlement = buyer.report_value(delivery_id, 10.0).unwrap();
+    assert!(settlement.audited);
+    assert!(settlement.penalty > 0.0, "under-report must be penalized");
+
+    // Reputation hit + exclusion.
+    let p = market.participant("cheater").unwrap();
+    assert!(p.reputation < 1.0);
+    assert!(p.excluded_until > market.round());
+
+    // Excluded buyers cannot submit new offers.
+    let err = buyer
+        .wtp(["k"])
+        .price_curve(PriceCurve::Constant(5.0))
+        .submit();
+    assert!(err.is_err());
+}
+
+#[test]
+fn double_reporting_rejected() {
+    let market = ex_post_market(0.0);
+    market.seller("s").share(keyed_rel("g", &[(1, "x")])).unwrap();
+    let buyer = market.buyer("b");
+    buyer.deposit(100.0);
+    buyer
+        .wtp(["k"])
+        .price_curve(PriceCurve::Constant(20.0))
+        .submit()
+        .unwrap();
+    let report = market.run_round();
+    let id = report.deliveries[0];
+    buyer.report_value(id, 20.0).unwrap();
+    assert!(buyer.report_value(id, 20.0).is_err());
+}
+
+#[test]
+fn report_capped_by_deposit_keeps_books_balanced() {
+    let market = ex_post_market(0.0);
+    market.seller("s").share(keyed_rel("g", &[(1, "x")])).unwrap();
+    let buyer = market.buyer("b");
+    buyer.deposit(100.0);
+    buyer
+        .wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(30.0))
+        .submit()
+        .unwrap();
+    let report = market.run_round();
+    // Over-reporting beyond the escrowed cap is clamped.
+    let settlement = buyer.report_value(report.deliveries[0], 9_999.0).unwrap();
+    assert!(settlement.paid <= 30.0 + 1e-9);
+    let total = buyer.balance() + market.balance("s") + market.balance("__arbiter__");
+    assert!((total - 100.0).abs() < 1e-6);
+}

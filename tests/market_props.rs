@@ -1,0 +1,163 @@
+//! Whole-market property tests: for *random* markets (random supply,
+//! random demands, random prices), the platform invariants must hold —
+//! money conservation, audit-chain integrity, budget-balanced revenue
+//! shares, and offer-state sanity.
+
+use proptest::prelude::*;
+
+use data_market_platform::core::market::{DataMarket, MarketConfig, OfferState};
+use data_market_platform::mechanism::design::MarketDesign;
+use data_market_platform::mechanism::wtp::{PriceCurve, WtpFunction};
+use data_market_platform::relation::{DataType, RelationBuilder, Value};
+
+/// Random market inputs.
+#[derive(Debug, Clone)]
+struct MarketInput {
+    posted_price: f64,
+    tables: Vec<(u8, Vec<i64>)>, // (schema variant, key values)
+    demands: Vec<(u8, f64, f64)>, // (variant wanted, max price, deposit)
+    rounds: u8,
+}
+
+fn inputs() -> impl Strategy<Value = MarketInput> {
+    (
+        1.0f64..50.0,
+        prop::collection::vec((0u8..3, prop::collection::vec(0i64..30, 1..20)), 1..5),
+        prop::collection::vec((0u8..3, 1.0f64..80.0, 0.0f64..120.0), 1..8),
+        1u8..4,
+    )
+        .prop_map(|(posted_price, tables, demands, rounds)| MarketInput {
+            posted_price,
+            tables,
+            demands,
+            rounds,
+        })
+}
+
+fn variant_cols(v: u8) -> (String, String) {
+    (format!("key_{v}"), format!("val_{v}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn market_invariants_hold_for_random_markets(input in inputs()) {
+        let market = DataMarket::new(
+            MarketConfig::external(5)
+                .with_design(MarketDesign::posted_price_baseline(input.posted_price)),
+        );
+
+        // Supply.
+        for (i, (variant, keys)) in input.tables.iter().enumerate() {
+            let seller = market.seller(&format!("s{i}"));
+            let (kc, vc) = variant_cols(*variant);
+            let mut b = RelationBuilder::new(format!("t{i}"))
+                .column(&kc, DataType::Int)
+                .column(&vc, DataType::Float);
+            for k in keys {
+                b = b.row(vec![Value::Int(*k), Value::Float(*k as f64 * 0.5)]);
+            }
+            let _ = seller.share(b.build().unwrap());
+        }
+
+        // Demand.
+        let mut deposited = 0.0;
+        for (i, (variant, max_price, deposit)) in input.demands.iter().enumerate() {
+            let buyer = market.buyer(&format!("b{i}"));
+            buyer.deposit(*deposit);
+            deposited += *deposit;
+            let (kc, vc) = variant_cols(*variant);
+            let wtp = WtpFunction::simple(
+                format!("b{i}"),
+                [kc, vc],
+                PriceCurve::Linear { min_satisfaction: 0.3, max_price: *max_price },
+            );
+            let _ = market.submit_wtp(wtp);
+        }
+
+        // Rounds.
+        let mut revenue = 0.0;
+        let mut fees = 0.0;
+        for _ in 0..input.rounds {
+            let report = market.run_round();
+            revenue += report.revenue;
+            fees += report.fees;
+            // Every sale's price respects the posted-price design.
+            for sale in &report.sales {
+                prop_assert!(sale.price <= input.posted_price + 1e-9);
+                prop_assert!(sale.satisfaction >= 0.0 && sale.satisfaction <= 1.0);
+            }
+        }
+        prop_assert!(fees <= revenue + 1e-9);
+
+        // Conservation: every account (buyers, sellers, arbiter) sums to
+        // exactly what was deposited.
+        let mut total = market.balance("__arbiter__");
+        for i in 0..input.tables.len() {
+            total += market.balance(&format!("s{i}"));
+        }
+        for i in 0..input.demands.len() {
+            total += market.balance(&format!("b{i}"));
+        }
+        prop_assert!(
+            (total - deposited).abs() < 1e-6,
+            "supply {total} != deposits {deposited}"
+        );
+
+        // Transaction records are budget-balanced: shares + fee = price.
+        for tx in market.transactions() {
+            let shared: f64 = tx.shares.iter().map(|s| s.amount).sum();
+            prop_assert!(
+                (shared + tx.fee - tx.price).abs() < 1e-6,
+                "tx {}: shares {shared} + fee {} != price {}",
+                tx.id,
+                tx.fee,
+                tx.price
+            );
+        }
+
+        // Offer states are consistent: fulfilled offers reference real
+        // transactions; no offer is in a dangling state.
+        let tx_ids: Vec<u64> = market.transactions().iter().map(|t| t.id).collect();
+        for offer in market.offers() {
+            match offer.state {
+                OfferState::Fulfilled { tx } => prop_assert!(tx_ids.contains(&tx)),
+                OfferState::Pending | OfferState::Expired => {}
+                OfferState::AwaitingReport { .. } => {
+                    prop_assert!(false, "ex ante market cannot await reports")
+                }
+            }
+        }
+
+        // The audit chain always verifies.
+        prop_assert!(market.audit_log().verify_chain());
+    }
+
+    /// Buyers can never be charged more than their declared maximum,
+    /// whatever the posted price.
+    #[test]
+    fn never_charged_above_declared_max(posted in 1.0f64..100.0, max_price in 1.0f64..100.0) {
+        let market = DataMarket::new(
+            MarketConfig::external(5).with_design(MarketDesign::posted_price_baseline(posted)),
+        );
+        let seller = market.seller("s");
+        let mut b = RelationBuilder::new("t").column("k", DataType::Int);
+        for i in 0..10 {
+            b = b.row(vec![Value::Int(i)]);
+        }
+        seller.share(b.build().unwrap()).unwrap();
+        let buyer = market.buyer("b");
+        buyer.deposit(1_000.0);
+        market
+            .submit_wtp(WtpFunction::simple("b", ["k"], PriceCurve::Constant(max_price)))
+            .unwrap();
+        let report = market.run_round();
+        for sale in &report.sales {
+            prop_assert!(sale.price <= max_price + 1e-9);
+            prop_assert!(sale.price <= posted + 1e-9);
+        }
+        // A sale happens exactly when the buyer's max covers the posted price.
+        prop_assert_eq!(!report.sales.is_empty(), max_price >= posted);
+    }
+}
