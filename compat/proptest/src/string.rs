@@ -1,0 +1,212 @@
+//! Regex-subset string generation for string-literal strategies.
+//!
+//! Supports the constructs this workspace's tests actually use, plus a
+//! little headroom: literal chars, `[...]` classes with ranges, the
+//! escapes `\d` `\w` `\s` `\PC` (printable, i.e. non-control), `.`, and
+//! the quantifiers `*` `+` `?` `{m}` `{m,n}`. Unbounded quantifiers cap
+//! repetition at 32. Unsupported syntax falls back to treating the
+//! offending char as a literal.
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// One generatable unit of the pattern.
+enum Piece {
+    /// Choose uniformly from these chars.
+    Class(Vec<char>),
+    /// Exactly this char.
+    Literal(char),
+}
+
+/// Repetition bounds for a piece.
+struct Quant {
+    lo: usize,
+    hi: usize,
+}
+
+const UNBOUNDED_CAP: usize = 32;
+
+fn printable_pool() -> Vec<char> {
+    // ASCII printable plus a few multibyte chars so `\PC*` exercises
+    // non-ASCII handling downstream.
+    let mut pool: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+    pool.extend(['é', 'ß', 'λ', '中', '🙂']);
+    pool
+}
+
+fn digit_pool() -> Vec<char> {
+    ('0'..='9').collect()
+}
+
+fn word_pool() -> Vec<char> {
+    let mut pool: Vec<char> = ('a'..='z').collect();
+    pool.extend('A'..='Z');
+    pool.extend('0'..='9');
+    pool.push('_');
+    pool
+}
+
+fn space_pool() -> Vec<char> {
+    vec![' ', '\t', '\n']
+}
+
+/// Parse a `[...]` class body starting after `[`; returns (chars, next index).
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut pool = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            if lo <= hi {
+                pool.extend((lo..=hi).filter(|c| c.is_ascii() || lo > '\u{7f}'));
+            }
+            i += 3;
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            pool.push(chars[i + 1]);
+            i += 2;
+        } else {
+            pool.push(chars[i]);
+            i += 1;
+        }
+    }
+    (pool, i + 1) // skip ']'
+}
+
+/// Parse a quantifier at `i`, if any; returns (bounds, next index).
+fn parse_quant(chars: &[char], i: usize) -> (Quant, usize) {
+    match chars.get(i) {
+        Some('*') => (
+            Quant {
+                lo: 0,
+                hi: UNBOUNDED_CAP,
+            },
+            i + 1,
+        ),
+        Some('+') => (
+            Quant {
+                lo: 1,
+                hi: UNBOUNDED_CAP,
+            },
+            i + 1,
+        ),
+        Some('?') => (Quant { lo: 0, hi: 1 }, i + 1),
+        Some('{') => {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p);
+            match close {
+                Some(end) => {
+                    let body: String = chars[i + 1..end].iter().collect();
+                    let parts: Vec<&str> = body.splitn(2, ',').collect();
+                    let lo = parts[0].trim().parse().unwrap_or(1);
+                    let hi = if parts.len() == 2 {
+                        parts[1].trim().parse().unwrap_or(UNBOUNDED_CAP)
+                    } else {
+                        lo
+                    };
+                    (Quant { lo, hi: hi.max(lo) }, end + 1)
+                }
+                None => (Quant { lo: 1, hi: 1 }, i),
+            }
+        }
+        _ => (Quant { lo: 1, hi: 1 }, i),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<(Piece, Quant)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let piece = match chars[i] {
+            '[' => {
+                let (pool, next) = parse_class(&chars, i + 1);
+                i = next;
+                Piece::Class(pool)
+            }
+            '.' => {
+                i += 1;
+                Piece::Class(printable_pool())
+            }
+            '\\' if i + 1 < chars.len() => {
+                let esc = chars[i + 1];
+                i += 2;
+                match esc {
+                    'd' => Piece::Class(digit_pool()),
+                    'w' => Piece::Class(word_pool()),
+                    's' => Piece::Class(space_pool()),
+                    'P' | 'p' => {
+                        // `\PC` / `\p{..}`-style: treat as "printable".
+                        if chars.get(i) == Some(&'C') {
+                            i += 1;
+                        } else if chars.get(i) == Some(&'{') {
+                            while i < chars.len() && chars[i] != '}' {
+                                i += 1;
+                            }
+                            i += 1;
+                        }
+                        Piece::Class(printable_pool())
+                    }
+                    other => Piece::Literal(other),
+                }
+            }
+            c => {
+                i += 1;
+                Piece::Literal(c)
+            }
+        };
+        let (quant, next) = parse_quant(&chars, i);
+        i = next;
+        out.push((piece, quant));
+    }
+    out
+}
+
+/// Generate a string matching the supported-regex `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut s = String::new();
+    for (piece, quant) in parse(pattern) {
+        let n = rng.gen_range(quant.lo..=quant.hi);
+        for _ in 0..n {
+            match &piece {
+                Piece::Literal(c) => s.push(*c),
+                Piece::Class(pool) if pool.is_empty() => {}
+                Piece::Class(pool) => s.push(pool[rng.gen_range(0..pool.len())]),
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn class_with_bounds() {
+        let mut rng = rng_for("class");
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z]{1,20}", &mut rng);
+            assert!(!s.is_empty() && s.chars().count() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = rng_for("pc");
+        for _ in 0..200 {
+            let s = generate_matching("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = rng_for("lit");
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a\\.b", &mut rng), "a.b");
+        let d = generate_matching("\\d{3}", &mut rng);
+        assert_eq!(d.len(), 3);
+        assert!(d.chars().all(|c| c.is_ascii_digit()));
+    }
+}

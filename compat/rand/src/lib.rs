@@ -1,0 +1,285 @@
+//! Shim for the `rand` 0.8 API subset used in this workspace. The build
+//! environment has no network access and an empty cargo registry, so
+//! external crates are vendored as minimal API-compatible shims under
+//! `compat/` (see the workspace README).
+//!
+//! [`rngs::StdRng`] is a xoshiro256++ generator seeded via SplitMix64 —
+//! a high-quality, fast, fully deterministic PRNG. The stream differs
+//! from upstream rand's ChaCha12-based `StdRng`, which is fine here:
+//! the workspace relies on *determinism for a fixed seed*, never on a
+//! specific upstream stream.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of random `u64`s (the shim's single core primitive).
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte buffer with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types producible uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled element type.
+    type Output;
+    /// Draw uniformly from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),+ $(,)?) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % (span + 1)) as $t)
+            }
+        }
+    )+};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = <$t as Standard>::draw(rng);
+                let v = self.start + u * (self.end - self.start);
+                // Guard against rounding up to the exclusive endpoint
+                // (next_down handles negative and zero endpoints too).
+                if v < self.end { v } else { self.end.next_down() }
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + <$t as Standard>::draw(rng) * (hi - lo)
+            }
+        }
+    )+};
+}
+
+float_sample_range!(f32, f64);
+
+/// The user-facing random-value interface (rand 0.8 style).
+pub trait Rng: RngCore {
+    /// A uniformly random value of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// A uniformly random value in `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (rand 0.8 style).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-2.5f64..4.5);
+            assert!((-2.5..4.5).contains(&y));
+            let z = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn float_range_endpoint_guard_handles_nonpositive_ends() {
+        let mut rng = StdRng::seed_from_u64(21);
+        // Ranges ending at and below zero: the rounding fallback must
+        // stay inside the half-open range (no NaN, no v >= end).
+        for _ in 0..10_000 {
+            let a = rng.gen_range(-1.0f64..0.0);
+            assert!((-1.0..0.0).contains(&a), "{a}");
+            let b = rng.gen_range(-3.0f64..-1.0);
+            assert!((-3.0..-1.0).contains(&b), "{b}");
+        }
+        // Denormal-width range forces the v == end fallback directly.
+        let lo = f64::from_bits((-1.5e-43f64).to_bits());
+        let hi = lo + (lo.abs() * 0.2);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(lo..hi);
+            assert!(v >= lo && v < hi, "{v} outside [{lo}, {hi})");
+            assert!(!v.is_nan());
+        }
+    }
+
+    #[test]
+    fn gen_range_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+}

@@ -1,0 +1,220 @@
+//! Shim for the `rayon` API subset used in this workspace, backed by
+//! `std::thread::scope`. The build environment has no network access
+//! and an empty cargo registry, so external crates are vendored as
+//! minimal API-compatible shims under `compat/` (see the workspace
+//! README).
+//!
+//! Supported shape: `slice.par_iter().map(f).collect::<Vec<_>>()` (plus
+//! `filter_map` and [`join`]). Work is split into contiguous chunks —
+//! one per available core — and results are written back **in input
+//! order**, so `collect` is deterministic regardless of scheduling.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon-shim: join worker panicked"))
+    })
+}
+
+fn worker_count(items: usize) -> usize {
+    // Honor rayon's own env convention so thread count can be forced —
+    // e.g. RAYON_NUM_THREADS=4 on a single-core box to genuinely
+    // exercise cross-thread behavior.
+    let configured = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    configured
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(items)
+        .max(1)
+}
+
+/// Order-preserving parallel map over a slice.
+fn par_map_slice<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        for (src, dst) in items.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            let f = &f;
+            s.spawn(move || {
+                for (slot, item) in dst.iter_mut().zip(src) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("rayon-shim: worker panicked"))
+        .collect()
+}
+
+/// Entry point: `.par_iter()` on slices and `Vec`s.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A borrowed parallel iterator over a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map + filter in one pass, preserving input order.
+    pub fn filter_map<R, F>(self, f: F) -> ParFilterMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> Option<R> + Sync,
+    {
+        ParFilterMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// Result of [`ParIter::filter_map`].
+pub struct ParFilterMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The subset of rayon's `ParallelIterator` this workspace needs:
+/// terminal `collect` on mapped parallel iterators.
+pub trait ParallelIterator {
+    /// Produced item type.
+    type Item: Send;
+
+    /// Evaluate in parallel, preserving input order.
+    fn to_vec(self) -> Vec<Self::Item>;
+
+    /// Collect into any `FromIterator` container (input order).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C
+    where
+        Self: Sized,
+    {
+        self.to_vec().into_iter().collect()
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+    fn to_vec(self) -> Vec<R> {
+        par_map_slice(self.items, self.f)
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for ParFilterMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> Option<R> + Sync,
+{
+    type Item = R;
+    fn to_vec(self) -> Vec<R> {
+        par_map_slice(self.items, self.f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_filter_map_preserves_order() {
+        let v: Vec<u64> = (0..100).collect();
+        let evens: Vec<u64> = v
+            .par_iter()
+            .filter_map(|x| if x % 2 == 0 { Some(*x) } else { None })
+            .collect();
+        assert_eq!(evens, (0..100).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u32> = Vec::new();
+        let out: Vec<u32> = v.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,7 +1,11 @@
 //! F2: the end-to-end DMMS round (WTP -> mashups -> evaluation ->
-//! pricing -> settlement) on markets of increasing size.
+//! pricing -> settlement) on markets of increasing size, plus the
+//! rayon-parallel vs sequential candidate-stage comparison.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dmp_core::arbiter::pipeline::{
+    CandidateStage, ClearingStage, ExpiryStage, RoundStage, SettlementStage,
+};
 use dmp_core::market::{DataMarket, MarketConfig};
 use dmp_mechanism::design::MarketDesign;
 use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
@@ -31,7 +35,10 @@ fn setup(n_sellers: usize, n_buyers: usize) -> DataMarket {
         let _ = market.submit_wtp(WtpFunction::simple(
             d.buyer.clone(),
             d.attributes.iter().cloned(),
-            PriceCurve::Linear { min_satisfaction: 0.2, max_price: d.valuation },
+            PriceCurve::Linear {
+                min_satisfaction: 0.2,
+                max_price: d.valuation,
+            },
         ));
     }
     market
@@ -55,5 +62,34 @@ fn bench_round(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_round);
+fn bench_candidate_stage_parallelism(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dmms/candidate_stage");
+    group.sample_size(10);
+    for (label, candidate_stage) in [
+        ("sequential", CandidateStage::sequential()),
+        ("rayon", CandidateStage::default()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &candidate_stage,
+            |bench, &candidate_stage| {
+                bench.iter_with_setup(
+                    || {
+                        let stages: Vec<Box<dyn RoundStage>> = vec![
+                            Box::new(ExpiryStage),
+                            Box::new(candidate_stage),
+                            Box::new(ClearingStage),
+                            Box::new(SettlementStage),
+                        ];
+                        (setup(12, 24), stages)
+                    },
+                    |(market, stages)| black_box(market.run_round_with(&stages).sales.len()),
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round, bench_candidate_stage_parallelism);
 criterion_main!(benches);

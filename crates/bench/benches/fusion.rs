@@ -11,7 +11,11 @@ fn sources(n_sources: usize, objects: usize) -> Vec<Relation> {
                 .column("obj", DataType::Int)
                 .column("val", DataType::Int);
             for i in 0..objects {
-                let v = if (i + s) % 10 == 0 { 99 } else { (i % 7) as i64 };
+                let v = if (i + s) % 10 == 0 {
+                    99
+                } else {
+                    (i % 7) as i64
+                };
                 b = b.row(vec![Value::Int(i as i64), Value::Int(v)]);
             }
             b.source(DatasetId(s as u64)).build().unwrap()
@@ -30,12 +34,21 @@ fn bench_fusion(c: &mut Criterion) {
         let fused = align(&refs, "obj", "val").unwrap();
         group.bench_with_input(BenchmarkId::new("majority_resolve", n), &n, |b, _| {
             b.iter(|| {
-                black_box(resolve(&fused, "val", &FusionStrategy::MajorityVote).unwrap().len())
+                black_box(
+                    resolve(&fused, "val", &FusionStrategy::MajorityVote)
+                        .unwrap()
+                        .len(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("truth_discovery", n), &n, |b, _| {
             b.iter(|| {
-                black_box(TruthDiscovery::default().run(&fused, "val").unwrap().iterations)
+                black_box(
+                    TruthDiscovery::default()
+                        .run(&fused, "val")
+                        .unwrap()
+                        .iterations,
+                )
             })
         });
     }

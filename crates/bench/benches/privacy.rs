@@ -48,9 +48,21 @@ fn bench_k_anonymize(c: &mut Criterion) {
     }
     let rel = b.build().unwrap();
     c.bench_function("privacy/k_anonymize_2k_k5", |bench| {
-        bench.iter(|| black_box(k_anonymize(&rel, &["age", "zip"], 5).unwrap().relation.len()))
+        bench.iter(|| {
+            black_box(
+                k_anonymize(&rel, &["age", "zip"], 5)
+                    .unwrap()
+                    .relation
+                    .len(),
+            )
+        })
     });
 }
 
-criterion_group!(benches, bench_laplace, bench_perturb_column, bench_k_anonymize);
+criterion_group!(
+    benches,
+    bench_laplace,
+    bench_perturb_column,
+    bench_k_anonymize
+);
 criterion_main!(benches);

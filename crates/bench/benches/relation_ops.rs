@@ -27,7 +27,11 @@ fn bench_join(c: &mut Criterion) {
         let right = table(n, 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                black_box(left.join(&right, &[("k", "k")], JoinKind::Inner).unwrap().len())
+                black_box(
+                    left.join(&right, &[("k", "k")], JoinKind::Inner)
+                        .unwrap()
+                        .len(),
+                )
             })
         });
     }
@@ -63,5 +67,11 @@ fn bench_distinct_provenance(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_join, bench_aggregate, bench_select, bench_distinct_provenance);
+criterion_group!(
+    benches,
+    bench_join,
+    bench_aggregate,
+    bench_select,
+    bench_distinct_provenance
+);
 criterion_main!(benches);

@@ -37,9 +37,7 @@ use dmp_tasks::synth::{gaussian_blobs, intro_example, synthetic_lake};
 use dmp_tasks::Task;
 use dmp_valuation::banzhaf::leave_one_out;
 use dmp_valuation::knn_shapley::{knn_shapley, knn_utility, LabeledPoint};
-use dmp_valuation::shapley::{
-    exact_shapley, max_abs_error, monte_carlo_shapley, CharacteristicFn,
-};
+use dmp_valuation::shapley::{exact_shapley, max_abs_error, monte_carlo_shapley, CharacteristicFn};
 use dmp_valuation::sharing::total_shared;
 
 fn main() {
@@ -111,7 +109,14 @@ fn main() {
 fn f1_pipeline() {
     let mut t = ExperimentTable::new(
         "F1  Fig.1 pipeline: design -> simulate -> deploy",
-        &["design", "sim tx", "sim revenue", "sim welfare", "deploy tx", "deploy revenue"],
+        &[
+            "design",
+            "sim tx",
+            "sim revenue",
+            "sim welfare",
+            "deploy tx",
+            "deploy revenue",
+        ],
     );
     for (name, market) in [
         ("internal-welfare", MarketConfig::internal()),
@@ -142,7 +147,10 @@ fn f1_pipeline() {
             let wtp = WtpFunction::simple(
                 d.buyer.clone(),
                 d.attributes.iter().cloned(),
-                PriceCurve::Linear { min_satisfaction: 0.2, max_price: d.valuation },
+                PriceCurve::Linear {
+                    min_satisfaction: 0.2,
+                    max_price: d.valuation,
+                },
             );
             let _ = deployed.submit_wtp(wtp);
         }
@@ -192,7 +200,10 @@ fn f2_dmms_pipeline() {
             let _ = market.submit_wtp(WtpFunction::simple(
                 d.buyer.clone(),
                 d.attributes.iter().cloned(),
-                PriceCurve::Linear { min_satisfaction: 0.2, max_price: d.valuation },
+                PriceCurve::Linear {
+                    min_satisfaction: 0.2,
+                    max_price: d.valuation,
+                },
             ));
         }
         let (report, ms) = time_ms(|| market.run_round());
@@ -211,7 +222,15 @@ fn f2_dmms_pipeline() {
 fn f3_mashup_builder() {
     let mut t = ExperimentTable::new(
         "F3  Mashup Builder: index build + DoD vs lake size",
-        &["tables", "columns", "ingest ms", "index ms", "join edges", "dod ms", "candidates"],
+        &[
+            "tables",
+            "columns",
+            "ingest ms",
+            "index ms",
+            "join edges",
+            "dod ms",
+            "candidates",
+        ],
     );
     for n_tables in [50usize, 200, 500] {
         let lake = synthetic_lake(n_tables, 8, 50, 9);
@@ -260,7 +279,10 @@ fn e1_truthfulness() {
                 ..MarketDesign::posted_price_baseline(0.0)
             },
         ),
-        ("posted-price(50)", MarketDesign::posted_price_baseline(50.0)),
+        (
+            "posted-price(50)",
+            MarketDesign::posted_price_baseline(50.0),
+        ),
         ("vickrey top-1", MarketDesign::scarce_licenses(1, 0.0)),
         ("rsop digital-goods", MarketDesign::external_revenue(13)),
     ];
@@ -269,7 +291,11 @@ fn e1_truthfulness() {
         t.row(vec![
             name.into(),
             f2(report.max_gain),
-            if report.is_ic { "yes".into() } else { "NO".into() },
+            if report.is_ic {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.print();
@@ -297,7 +323,9 @@ fn e2_intro_example() {
         let b1 = market.buyer("b1");
         b1.deposit(1_000.0);
         let mut wtp = WtpFunction::simple("b1", ["a", "b", "c", "fd"], curve.clone());
-        wtp.task = TaskKind::Classification { label: "label".into() };
+        wtp.task = TaskKind::Classification {
+            label: "label".into(),
+        };
         wtp.owned_data = Some(ex.buyer_owned.clone());
         wtp.min_rows = 50;
         market.submit_wtp(wtp).unwrap();
@@ -308,7 +336,11 @@ fn e2_intro_example() {
             .map(|s| (s.satisfaction, s.price))
             .unwrap_or((0.0, 0.0));
         t.row(vec![
-            if only_s1 { "s1 only".into() } else { "s1 + s2 mashup".into() },
+            if only_s1 {
+                "s1 only".into()
+            } else {
+                "s1 + s2 mashup".into()
+            },
             f3(accuracy),
             f2(price),
             f2(market.balance("seller1")),
@@ -354,7 +386,11 @@ fn e3_ex_post() {
             f2(l),
             f2(q * l),
             f2(opt),
-            if (opt - 100.0).abs() < 1e-6 { "yes".into() } else { "NO".into() },
+            if (opt - 100.0).abs() < 1e-6 {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     t.print();
@@ -423,7 +459,11 @@ fn e4_shapley() {
         tc.row(vec![
             n.to_string(),
             f2(ms),
-            if (total - vn).abs() < 1e-6 { "sum=v(N) ok".into() } else { "FAIL".into() },
+            if (total - vn).abs() < 1e-6 {
+                "sum=v(N) ok".into()
+            } else {
+                "FAIL".into()
+            },
         ]);
     }
     tc.print();
@@ -431,7 +471,12 @@ fn e4_shapley() {
     // (d) leave-one-out mis-credits substitutes.
     let mut td = ExperimentTable::new(
         "E4d  Substitute datasets: Shapley vs leave-one-out credit",
-        &["method", "dataset A", "dataset B (duplicate)", "dataset C (unique)"],
+        &[
+            "method",
+            "dataset A",
+            "dataset B (duplicate)",
+            "dataset C (unique)",
+        ],
     );
     // A and B are perfect substitutes; C is unique.
     let game = CharacteristicFn::new(3, |mask| {
@@ -442,7 +487,12 @@ fn e4_shapley() {
     let phi = exact_shapley(&game);
     td.row(vec!["shapley".into(), f3(phi[0]), f3(phi[1]), f3(phi[2])]);
     let loo = leave_one_out(&game);
-    td.row(vec!["leave-one-out".into(), f3(loo[0]), f3(loo[1]), f3(loo[2])]);
+    td.row(vec![
+        "leave-one-out".into(),
+        f3(loo[0]),
+        f3(loo[1]),
+        f3(loo[2]),
+    ]);
     td.print();
 }
 
@@ -476,8 +526,16 @@ fn e5_revenue_sharing() {
         ),
     ] {
         let shares = dmp_core::arbiter::revenue::dataset_shares(&design, &full.relation, 100.0);
-        let s1 = shares.iter().find(|s| s.dataset == id1).map(|s| s.amount).unwrap_or(0.0);
-        let s2 = shares.iter().find(|s| s.dataset == id2).map(|s| s.amount).unwrap_or(0.0);
+        let s1 = shares
+            .iter()
+            .find(|s| s.dataset == id1)
+            .map(|s| s.amount)
+            .unwrap_or(0.0);
+        let s2 = shares
+            .iter()
+            .find(|s| s.dataset == id2)
+            .map(|s| s.amount)
+            .unwrap_or(0.0);
         t.row(vec![name.into(), f2(s1), f2(s2), f2(total_shared(&shares))]);
     }
     t.print();
@@ -487,7 +545,14 @@ fn e5_revenue_sharing() {
 fn e6_adversarial() {
     let mut t = ExperimentTable::new(
         "E6  Robustness: welfare/revenue vs adversarial fraction",
-        &["design", "adversarial", "welfare", "revenue", "honest seller rev", "fill rate"],
+        &[
+            "design",
+            "adversarial",
+            "welfare",
+            "revenue",
+            "honest seller rev",
+            "fill rate",
+        ],
     );
     for (dname, design) in [
         ("posted(20)", MarketDesign::posted_price_baseline(20.0)),
@@ -566,7 +631,11 @@ fn e8_extrinsic_value() {
         } else {
             paid.iter().sum::<f64>() / paid.len() as f64
         };
-        ta.row(vec![n_buyers.to_string(), f2(mean), f2(outcome.measure.revenue)]);
+        ta.row(vec![
+            n_buyers.to_string(),
+            f2(mean),
+            f2(outcome.measure.revenue),
+        ]);
     }
     ta.print();
 
@@ -722,7 +791,10 @@ fn e11_opportunists() {
             cfg,
             w,
             vec![BuyerStrategy::Truthful],
-            vec![SellerStrategy::Honest, SellerStrategy::Arbitrageur { budget: 100.0 }],
+            vec![
+                SellerStrategy::Honest,
+                SellerStrategy::Arbitrageur { budget: 100.0 },
+            ],
         );
         sim.run(5);
         let relisted = sim
@@ -733,7 +805,11 @@ fn e11_opportunists() {
             .filter(|e| e.name.contains("curated"))
             .count();
         tb.row(vec![
-            if resale { "resale allowed".into() } else { "standard licenses".into() },
+            if resale {
+                "resale allowed".into()
+            } else {
+                "standard licenses".into()
+            },
             relisted.to_string(),
             sim.market().metadata().len().to_string(),
         ]);
@@ -771,7 +847,13 @@ fn e12_market_kinds() {
 fn e13_fusion() {
     let mut t = ExperimentTable::new(
         "E13  Fusion: value accuracy vs source error rate (200 objects)",
-        &["sources", "err rate", "single src", "majority", "truth discovery"],
+        &[
+            "sources",
+            "err rate",
+            "single src",
+            "majority",
+            "truth discovery",
+        ],
     );
     let mut rng = rand::rngs::StdRng::seed_from_u64(47);
     for (n_sources, err) in [(3usize, 0.1f64), (5, 0.2), (9, 0.3), (9, 0.4)] {
@@ -866,7 +948,11 @@ fn e14_negotiation() {
         t.row(vec![
             "after mapping table".into(),
             f2(best_cov),
-            if best_cov >= 1.0 { "-".into() } else { "d".into() },
+            if best_cov >= 1.0 {
+                "-".into()
+            } else {
+                "d".into()
+            },
             cands.len().to_string(),
         ]);
     }
@@ -893,7 +979,10 @@ fn e15_recommendations() {
         let buyer = format!("buyer{b}");
         let bought: Vec<DatasetId> = picks[..3].iter().map(|&p| DatasetId(base + p)).collect();
         holdout.insert(buyer.clone(), DatasetId(base + picks[3]));
-        history.push(Purchase { buyer, datasets: bought });
+        history.push(Purchase {
+            buyer,
+            datasets: bought,
+        });
     }
     let mut cf_hits = 0usize;
     let mut pop_hits = 0usize;
@@ -909,8 +998,14 @@ fn e15_recommendations() {
         "E15  Recommendations: hit-rate@3 on held-out purchases",
         &["method", "hit rate"],
     );
-    t.row(vec!["item-based CF".into(), pct(cf_hits as f64 / n_buyers as f64)]);
-    t.row(vec!["popularity".into(), pct(pop_hits as f64 / n_buyers as f64)]);
+    t.row(vec![
+        "item-based CF".into(),
+        pct(cf_hits as f64 / n_buyers as f64),
+    ]);
+    t.row(vec![
+        "popularity".into(),
+        pct(pop_hits as f64 / n_buyers as f64),
+    ]);
     t.print();
 }
 
@@ -918,7 +1013,12 @@ fn e15_recommendations() {
 fn e16_licensing() {
     let mut t = ExperimentTable::new(
         "E16  Licensing: exclusivity tax and denial-of-access",
-        &["license", "buyer1 price", "buyer2 same-round", "buyer2 after hold"],
+        &[
+            "license",
+            "buyer1 price",
+            "buyer2 same-round",
+            "buyer2 after hold",
+        ],
     );
     for exclusive in [false, true] {
         let market = DataMarket::new(
@@ -932,7 +1032,13 @@ fn e16_licensing() {
         let id = seller.share(b.build().unwrap()).unwrap();
         if exclusive {
             seller
-                .set_license(id, License::Exclusive { tax_rate: 0.5, hold_rounds: 2 })
+                .set_license(
+                    id,
+                    License::Exclusive {
+                        tax_rate: 0.5,
+                        hold_rounds: 2,
+                    },
+                )
                 .unwrap();
         }
         let b1 = market.buyer("b1");
@@ -948,7 +1054,11 @@ fn e16_licensing() {
             .submit_wtp(WtpFunction::simple("b2", ["x"], PriceCurve::Constant(60.0)))
             .unwrap();
         let r2 = market.run_round();
-        let b2_now = if r2.sales.iter().any(|s| s.buyer == "b2") { "served" } else { "DENIED" };
+        let b2_now = if r2.sales.iter().any(|s| s.buyer == "b2") {
+            "served"
+        } else {
+            "DENIED"
+        };
         // run past the hold
         market.run_round();
         market.run_round();
@@ -961,7 +1071,11 @@ fn e16_licensing() {
             "DENIED"
         };
         t.row(vec![
-            if exclusive { "exclusive(+50%, 2 rounds)".into() } else { "standard".into() },
+            if exclusive {
+                "exclusive(+50%, 2 rounds)".into()
+            } else {
+                "standard".into()
+            },
             f2(b1_price),
             b2_now.into(),
             b2_later.into(),

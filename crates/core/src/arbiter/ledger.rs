@@ -43,7 +43,11 @@ impl Ledger {
         if amount <= 0.0 {
             return;
         }
-        *self.accounts.lock().entry(account.to_string()).or_insert(0.0) += amount;
+        *self
+            .accounts
+            .lock()
+            .entry(account.to_string())
+            .or_insert(0.0) += amount;
     }
 
     /// Current balance (0 for unknown accounts).
@@ -93,7 +97,11 @@ impl Ledger {
         let id = self.next_escrow.fetch_add(1, Ordering::Relaxed);
         self.escrows.lock().insert(
             id,
-            Escrow { from: from.to_string(), remaining: amount, state: EscrowState::Held },
+            Escrow {
+                from: from.to_string(),
+                remaining: amount,
+                state: EscrowState::Held,
+            },
         );
         Ok(id)
     }
@@ -105,7 +113,9 @@ impl Ledger {
             return Err(MarketError::Invalid("negative release".into()));
         }
         let mut escrows = self.escrows.lock();
-        let e = escrows.get_mut(&escrow).ok_or(MarketError::UnknownId(escrow))?;
+        let e = escrows
+            .get_mut(&escrow)
+            .ok_or(MarketError::UnknownId(escrow))?;
         if e.state != EscrowState::Held {
             return Err(MarketError::Invalid("escrow already closed".into()));
         }
@@ -125,7 +135,9 @@ impl Ledger {
     /// Returns the refunded amount.
     pub fn close(&self, escrow: u64) -> MarketResult<f64> {
         let mut escrows = self.escrows.lock();
-        let e = escrows.get_mut(&escrow).ok_or(MarketError::UnknownId(escrow))?;
+        let e = escrows
+            .get_mut(&escrow)
+            .ok_or(MarketError::UnknownId(escrow))?;
         if e.state != EscrowState::Held {
             return Err(MarketError::Invalid("escrow already closed".into()));
         }

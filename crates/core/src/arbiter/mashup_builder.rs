@@ -27,13 +27,9 @@ pub struct BuiltMashup {
 }
 
 /// Build up to `max` candidate mashups for a WTP-function.
-pub fn build_mashups(
-    metadata: &MetadataEngine,
-    wtp: &WtpFunction,
-    max: usize,
-) -> Vec<BuiltMashup> {
-    let mut spec = TargetSpec::with_attributes(wtp.attributes.iter().cloned())
-        .min_rows(wtp.min_rows.max(1));
+pub fn build_mashups(metadata: &MetadataEngine, wtp: &WtpFunction, max: usize) -> Vec<BuiltMashup> {
+    let mut spec =
+        TargetSpec::with_attributes(wtp.attributes.iter().cloned()).min_rows(wtp.min_rows.max(1));
     if !wtp.keywords.is_empty() {
         spec = spec.keywords(wtp.keywords.iter().cloned());
     }
@@ -45,8 +41,11 @@ pub fn build_mashups(
 
     let mut out = Vec::new();
     for cand in candidates.into_iter().take(max) {
-        let missing: Vec<String> =
-            cand.missing(&spec).into_iter().map(str::to_string).collect();
+        let missing: Vec<String> = cand
+            .missing(&spec)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
         let relation = match &wtp.owned_data {
             Some(owned) => {
                 // Natural join on whatever key columns the mashup shares
@@ -85,11 +84,8 @@ mod tests {
         let metadata = MetadataEngine::new();
         metadata.register("s1", "seller1", ex.s1);
         metadata.register("s2", "seller2", ex.s2);
-        let mut wtp = WtpFunction::simple(
-            "b1",
-            ["a", "b", "fd"],
-            PriceCurve::Step(vec![(0.8, 100.0)]),
-        );
+        let mut wtp =
+            WtpFunction::simple("b1", ["a", "b", "fd"], PriceCurve::Step(vec![(0.8, 100.0)]));
         wtp.owned_data = Some(ex.buyer_owned);
         (metadata, wtp)
     }
@@ -100,7 +96,10 @@ mod tests {
         let mashups = build_mashups(&metadata, &wtp, 4);
         assert!(!mashups.is_empty());
         let best = &mashups[0];
-        assert!(best.relation.schema().contains("label"), "owned labels joined in");
+        assert!(
+            best.relation.schema().contains("label"),
+            "owned labels joined in"
+        );
         assert!(best.relation.len() > 100);
     }
 

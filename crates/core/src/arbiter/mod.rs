@@ -12,10 +12,14 @@
 //! * [`revenue`] — the revenue allocation engine: dataset shares via
 //!   Shapley / leave-one-out / provenance;
 //! * [`services`] — arbiter services: demand reports for opportunistic
-//!   sellers and item-based collaborative-filtering recommendations.
+//!   sellers and item-based collaborative-filtering recommendations;
+//! * [`pipeline`] — the staged round pipeline wiring the above into
+//!   `DataMarket::run_round`: expiry → candidates (rayon-parallel) →
+//!   clearing → settlement.
 
 pub mod ledger;
 pub mod mashup_builder;
+pub mod pipeline;
 pub mod pricing;
 pub mod revenue;
 pub mod services;
@@ -23,5 +27,9 @@ pub mod wtp_evaluator;
 
 pub use ledger::Ledger;
 pub use mashup_builder::BuiltMashup;
+pub use pipeline::{
+    CandidateStage, ClearingStage, ExpiryStage, RoundContext, RoundReport, RoundStage,
+    SettlementStage,
+};
 pub use pricing::{RoundBid, Sale};
 pub use wtp_evaluator::Evaluation;

@@ -1,0 +1,93 @@
+//! Stage 3: the pricing engine clears the round's bids.
+
+use crate::arbiter::pricing::clear;
+use crate::market::DataMarket;
+
+use super::{RoundContext, RoundStage};
+
+/// Groups the round's bids by product (dataset combination) and clears
+/// each group under the plugged-in market design's allocation + payment
+/// rules (§3.2); license multipliers and reserve floors apply inside
+/// [`clear`]. This is the pipeline's only cross-offer barrier: every
+/// bid must be in before prices are set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClearingStage;
+
+impl RoundStage for ClearingStage {
+    fn name(&self) -> &'static str {
+        "clearing"
+    }
+
+    fn run(&self, market: &DataMarket, ctx: &mut RoundContext) {
+        ctx.sales = clear(&market.config.design, &ctx.bids);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::pipeline::{CandidateStage, ExpiryStage};
+    use crate::market::MarketConfig;
+    use dmp_mechanism::design::MarketDesign;
+    use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
+    use dmp_relation::builder::keyed_rel;
+
+    #[test]
+    fn clearing_prices_at_the_posted_price() {
+        let market = DataMarket::new(
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0)),
+        );
+        market
+            .seller("s")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let b = market.buyer("b");
+        b.deposit(100.0);
+        market
+            .submit_wtp(WtpFunction::simple(
+                "b",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+
+        let mut ctx = RoundContext::open(&market);
+        ExpiryStage.run(&market, &mut ctx);
+        CandidateStage::default().run(&market, &mut ctx);
+        ClearingStage.run(&market, &mut ctx);
+
+        assert_eq!(ctx.sales.len(), 1);
+        assert_eq!(
+            ctx.sales[0].price, 10.0,
+            "posted-price design sets the price"
+        );
+        assert!(ctx.completed_sales.is_empty(), "settlement has not run yet");
+    }
+
+    #[test]
+    fn clearing_drops_bids_below_the_reserve_floor() {
+        let market = DataMarket::new(
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0)),
+        );
+        let s = market.seller("s");
+        let id = s.share(keyed_rel("t", &[(1, "x")])).unwrap();
+        s.set_reserve(id, 15.0).unwrap(); // floor above the posted price
+        let b = market.buyer("b");
+        b.deposit(100.0);
+        market
+            .submit_wtp(WtpFunction::simple(
+                "b",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+
+        let mut ctx = RoundContext::open(&market);
+        ExpiryStage.run(&market, &mut ctx);
+        CandidateStage::default().run(&market, &mut ctx);
+        ClearingStage.run(&market, &mut ctx);
+
+        assert!(!ctx.bids.is_empty(), "a bid was made");
+        assert!(ctx.sales.is_empty(), "posted 10 cannot cover reserve 15");
+    }
+}

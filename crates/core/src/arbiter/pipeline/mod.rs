@@ -1,0 +1,237 @@
+//! The arbiter's **round pipeline** (paper Fig. 1 (4), §3): a market
+//! round is an explicit sequence of separately-testable stages instead
+//! of one monolithic function, mirroring the paper's arbiter data flow
+//!
+//! > pending WTP offers → mashup builder → WTP-evaluator →
+//! > pricing/clearing → transaction support → revenue allocation
+//!
+//! The stages, in default order:
+//!
+//! 1. [`ExpiryStage`] — snapshot pending offers, expire stale ones
+//!    (intrinsic-constraint `is_live` checks, §3.2.2.1);
+//! 2. [`CandidateStage`] — per offer: build candidate mashups (DoD
+//!    engine, §5.3), run the WTP-evaluator on each, apply licensing /
+//!    contextual-integrity / exclusivity admissibility, keep *viable*
+//!    candidates (reserve-floor coverage), and pick the best bid with
+//!    seeded random tie-breaking. Per-offer work is independent, so
+//!    this stage evaluates offers **in parallel via rayon** by default;
+//!    results are merged back in offer order, and every offer draws
+//!    from its own [`RoundContext::offer_rng`] stream, so parallel and
+//!    sequential execution produce byte-identical outcomes;
+//! 3. [`ClearingStage`] — the pricing engine: group bids by product and
+//!    clear them under the plugged-in market design (§3.2);
+//! 4. [`SettlementStage`] — transaction support + revenue allocation:
+//!    ex ante sales settle immediately through the escrow ledger;
+//!    ex post (use-then-pay, §3.2.2.2) sales escrow the declared cap
+//!    and deliver, awaiting the buyer's value report.
+//!
+//! A [`RoundContext`] threads shared round state (logical time, the
+//! round seed, accumulated bids/sales/negotiations) through the stages;
+//! ledger, audit chain, metadata, and lineage are reached through the
+//! [`DataMarket`] itself. [`DataMarket::run_round`] is a thin driver
+//! over [`default_pipeline`]; custom stage lists (e.g. a sequential
+//! [`CandidateStage`] for differential testing, or an instrumented
+//! stage sandwich) run through [`DataMarket::run_round_with`].
+
+mod candidates;
+mod clearing;
+mod context;
+mod expiry;
+mod settlement;
+
+pub use candidates::CandidateStage;
+pub use clearing::ClearingStage;
+pub use context::RoundContext;
+pub use expiry::ExpiryStage;
+pub use settlement::SettlementStage;
+
+use crate::arbiter::pricing::Sale;
+use crate::arbiter::services::DemandReport;
+use crate::market::DataMarket;
+
+/// One stage of the arbiter's round pipeline.
+///
+/// Stages are stateless (configuration only); all per-round state lives
+/// in the [`RoundContext`], all persistent state in the [`DataMarket`].
+pub trait RoundStage: Send + Sync {
+    /// Stable stage name (diagnostics, tracing).
+    fn name(&self) -> &'static str;
+
+    /// Execute the stage against the market for this round.
+    fn run(&self, market: &DataMarket, ctx: &mut RoundContext);
+}
+
+/// The paper-ordered default stage list: expiry → candidates (parallel)
+/// → clearing → settlement.
+pub fn default_pipeline() -> Vec<Box<dyn RoundStage>> {
+    vec![
+        Box::new(ExpiryStage),
+        Box::new(CandidateStage::default()),
+        Box::new(ClearingStage),
+        Box::new(SettlementStage),
+    ]
+}
+
+/// What one `run_round` did.
+#[derive(Debug, Clone)]
+pub struct RoundReport {
+    /// Round number.
+    pub round: u64,
+    /// Offers considered.
+    pub considered: usize,
+    /// Sales cleared (ex ante settled; ex post delivered).
+    pub sales: Vec<Sale>,
+    /// Revenue collected this round (ex ante only).
+    pub revenue: f64,
+    /// Arbiter fees collected.
+    pub fees: f64,
+    /// Offers expired this round.
+    pub expired: usize,
+    /// Deliveries created (ex post).
+    pub deliveries: Vec<u64>,
+    /// Unmet attribute demand (for opportunistic sellers).
+    pub unmet: DemandReport,
+}
+
+/// A negotiation round request (§4.1): "if the AMS cannot find mashups
+/// that fulfill the buyer's needs, it can describe the information it
+/// lacks and ask the sellers to complete it."
+#[derive(Debug, Clone, PartialEq)]
+pub struct NegotiationRequest {
+    /// The under-served offer.
+    pub offer_id: u64,
+    /// Its buyer.
+    pub buyer: String,
+    /// Attributes the mashup builder could not source.
+    pub missing: Vec<String>,
+    /// Sellers whose datasets already participate in the best partial
+    /// mashup — the ones best placed to annotate or publish mappings.
+    pub candidate_sellers: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::market::{MarketConfig, OfferState};
+    use dmp_mechanism::design::MarketDesign;
+    use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
+    use dmp_relation::builder::keyed_rel;
+
+    fn simple_market() -> DataMarket {
+        let config =
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0));
+        DataMarket::new(config)
+    }
+
+    #[test]
+    fn default_pipeline_has_the_paper_stages_in_order() {
+        let names: Vec<&str> = default_pipeline().iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["expiry", "candidates", "clearing", "settlement"]);
+    }
+
+    #[test]
+    fn end_to_end_posted_price_sale() {
+        let market = simple_market();
+        let seller = market.seller("s1");
+        let id = seller
+            .share(keyed_rel("inventory", &[(1, "widget"), (2, "gadget")]))
+            .unwrap();
+        let buyer = market.buyer("b1");
+        buyer.deposit(100.0);
+        let wtp = WtpFunction::simple("b1", ["k", "v"], PriceCurve::Constant(25.0));
+        market.submit_wtp(wtp).unwrap();
+
+        let report = market.run_round();
+        assert_eq!(report.sales.len(), 1);
+        assert_eq!(report.revenue, 10.0); // posted price
+        assert!(market.balance("b1") < 100.0);
+        assert!(market.balance("s1") > 0.0);
+        // conservation: all money accounted for
+        assert!((market.ledger.total_supply() - 100.0).abs() < 1e-9);
+        // lineage recorded
+        assert!(market.lineage.total_revenue(id) > 0.0);
+        // audit chain intact
+        assert!(market.audit_log().verify_chain());
+    }
+
+    #[test]
+    fn internal_market_trades_for_free() {
+        let market = DataMarket::new(MarketConfig::internal());
+        market
+            .seller("teamA")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let _buyer = market.buyer("teamB"); // bonus-point grant
+        let wtp = WtpFunction::simple("teamB", ["k", "v"], PriceCurve::Constant(5.0));
+        market.submit_wtp(wtp).unwrap();
+        let report = market.run_round();
+        assert_eq!(report.sales.len(), 1);
+        assert_eq!(
+            report.revenue, 0.0,
+            "internal welfare design charges nothing"
+        );
+    }
+
+    #[test]
+    fn unfunded_buyer_cannot_settle() {
+        let market = simple_market();
+        market
+            .seller("s1")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let _buyer = market.buyer("broke");
+        let wtp = WtpFunction::simple("broke", ["k"], PriceCurve::Constant(50.0));
+        market.submit_wtp(wtp).unwrap();
+        let report = market.run_round();
+        assert!(report.sales.is_empty());
+        // offer remains pending for when funds arrive
+        assert_eq!(market.offer(0).unwrap().state, OfferState::Pending);
+    }
+
+    #[test]
+    fn demand_report_lists_unmet_attributes() {
+        let market = simple_market();
+        market
+            .seller("s")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let b = market.buyer("b");
+        b.deposit(50.0);
+        let wtp = WtpFunction::simple("b", ["nonexistent_attr"], PriceCurve::Constant(20.0));
+        market.submit_wtp(wtp).unwrap();
+        let report = market.run_round();
+        assert!(report
+            .unmet
+            .missing_attributes
+            .iter()
+            .any(|(a, _)| a == "nonexistent_attr"));
+    }
+
+    #[test]
+    fn reserve_price_blocks_underpriced_sale() {
+        let market = simple_market(); // posted price 10
+        let seller = market.seller("s1");
+        let id = seller.share(keyed_rel("t", &[(1, "x")])).unwrap();
+        seller.set_reserve(id, 15.0).unwrap();
+        let b = market.buyer("b");
+        b.deposit(100.0);
+        market
+            .submit_wtp(WtpFunction::simple(
+                "b",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+        let report = market.run_round();
+        assert!(report.sales.is_empty(), "posted 10 < reserve 15");
+    }
+
+    #[test]
+    fn rounds_advance() {
+        let market = simple_market();
+        assert_eq!(market.round(), 0);
+        market.run_round();
+        market.run_round();
+        assert_eq!(market.round(), 2);
+    }
+}

@@ -1,0 +1,450 @@
+//! Stage 4: transaction support + revenue allocation — and the ex post
+//! reporting path that settles deliveries outside the round.
+
+use std::sync::atomic::Ordering;
+
+use rand::Rng;
+
+use dmp_mechanism::elicitation::ElicitationProtocol;
+
+use crate::arbiter::mashup_builder::BuiltMashup;
+use crate::arbiter::pricing::Sale;
+use crate::arbiter::revenue::dataset_shares;
+use crate::arbiter::services::Purchase;
+use crate::error::{MarketError, MarketResult};
+use crate::market::{
+    DataMarket, Delivery, OfferState, Settlement, TransactionRecord, ARBITER_ACCOUNT,
+};
+use crate::trust::AuditEvent;
+
+use super::{RoundContext, RoundStage};
+
+/// Settles the round's cleared sales. Under **ex ante** elicitation the
+/// buyer pays now: escrow, fee split, provenance-based revenue shares,
+/// lineage, licensing holds. Under **ex post** (use-then-pay,
+/// §3.2.2.2) the buyer's declared cap is escrowed and the mashup is
+/// delivered; payment happens later through
+/// [`DataMarket::report_value`]. A sale whose buyer cannot fund the
+/// escrow simply stays pending — no partial state is left behind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SettlementStage;
+
+impl RoundStage for SettlementStage {
+    fn name(&self) -> &'static str {
+        "settlement"
+    }
+
+    fn run(&self, market: &DataMarket, ctx: &mut RoundContext) {
+        let ex_post = matches!(
+            market.config.design.elicitation,
+            ElicitationProtocol::ExPost(_)
+        );
+        let sales = std::mem::take(&mut ctx.sales);
+        for sale in sales {
+            let mashup = match ctx.best_mashups.get(&sale.offer_id) {
+                Some(m) => m.clone(),
+                None => continue,
+            };
+            if ex_post {
+                match market.deliver_ex_post(&sale, &mashup) {
+                    Ok(delivery_id) => {
+                        ctx.deliveries.push(delivery_id);
+                        ctx.completed_sales.push(sale);
+                    }
+                    Err(_) => { /* deposit unavailable: offer stays pending */ }
+                }
+            } else {
+                match market.settle(&sale, &mashup, ctx.round) {
+                    Ok(record) => {
+                        ctx.revenue += record.price;
+                        ctx.fees += record.fee;
+                        ctx.completed_sales.push(sale);
+                    }
+                    Err(_) => { /* insufficient funds: offer stays pending */ }
+                }
+            }
+        }
+    }
+}
+
+impl DataMarket {
+    /// Ex ante settlement: move money, split revenue, record everything.
+    pub(crate) fn settle(
+        &self,
+        sale: &Sale,
+        mashup: &BuiltMashup,
+        round: u64,
+    ) -> MarketResult<TransactionRecord> {
+        let fee = sale.price * self.config.design.arbiter_fee.clamp(0.0, 1.0);
+        let to_sellers = sale.price - fee;
+        let shares = dataset_shares(&self.config.design, &mashup.relation, to_sellers);
+
+        // Atomic-ish: verify funds, then transfer piecewise.
+        let escrow = self.ledger.hold(&sale.buyer, sale.price)?;
+        if fee > 0.0 {
+            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
+        }
+        for share in &shares {
+            let owner = match self.metadata.get(share.dataset) {
+                Some(e) => e.owner,
+                None => ARBITER_ACCOUNT.to_string(), // provenance-free residual
+            };
+            self.ledger.release(escrow, &owner, share.amount)?;
+        }
+        self.ledger.close(escrow)?; // refund rounding residue, if any
+
+        let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        let record = TransactionRecord {
+            id: tx,
+            offer_id: sale.offer_id,
+            buyer: sale.buyer.clone(),
+            price: sale.price,
+            fee,
+            satisfaction: sale.satisfaction,
+            datasets: mashup.datasets.clone(),
+            shares: shares.clone(),
+            round,
+        };
+        self.finish_transaction(&record, mashup, round);
+
+        // Deliver the data as a settled delivery record.
+        let delivery_id = self.next_delivery.fetch_add(1, Ordering::Relaxed);
+        self.deliveries.lock().push(Delivery {
+            id: delivery_id,
+            offer_id: sale.offer_id,
+            buyer: sale.buyer.clone(),
+            relation: mashup.relation.clone(),
+            satisfaction: sale.satisfaction,
+            escrow: u64::MAX,
+            datasets: mashup.datasets.clone(),
+            settlement: Some(Settlement {
+                paid: sale.price,
+                penalty: 0.0,
+                audited: false,
+            }),
+        });
+        self.set_offer_state(sale.offer_id, OfferState::Fulfilled { tx });
+        self.transactions.lock().push(record.clone());
+        Ok(record)
+    }
+
+    /// Shared bookkeeping after money moved.
+    fn finish_transaction(&self, record: &TransactionRecord, mashup: &BuiltMashup, round: u64) {
+        // Platform-minted contribution rewards (bonus points / credits):
+        // sellers are compensated even when the design charges buyers
+        // nothing, split like the revenue shares would be.
+        if self.config.contribution_reward > 0.0 {
+            let reward_shares = dataset_shares(
+                &self.config.design,
+                &mashup.relation,
+                self.config.contribution_reward,
+            );
+            for share in &reward_shares {
+                if let Some(e) = self.metadata.get(share.dataset) {
+                    self.ledger.deposit(&e.owner, share.amount);
+                }
+            }
+        }
+        self.audit.record(AuditEvent::TransactionSettled {
+            tx: record.id,
+            buyer: record.buyer.clone(),
+            price: record.price,
+        });
+        for share in &record.shares {
+            self.lineage.record(
+                share.dataset,
+                dmp_discovery::LineageEvent::SoldInMashup {
+                    mashup: format!("offer{}", record.offer_id),
+                    revenue: share.amount,
+                },
+            );
+        }
+        for &d in &mashup.datasets {
+            self.lineage.record(
+                d,
+                dmp_discovery::LineageEvent::UsedInMashup {
+                    mashup: format!("offer{}", record.offer_id),
+                    rows_contributed: mashup.relation.len(),
+                },
+            );
+        }
+        self.purchases.lock().push(Purchase {
+            buyer: record.buyer.clone(),
+            datasets: mashup.datasets.clone(),
+        });
+        // Start exclusivity holds.
+        let licenses = self.licenses.lock();
+        let mut holds = self.exclusive_holds.lock();
+        for &d in &mashup.datasets {
+            if let Some(l) = licenses.get(&d) {
+                if l.is_exclusive() {
+                    holds.insert(d, (record.buyer.clone(), round + l.hold_rounds() as u64));
+                }
+            }
+        }
+    }
+
+    /// Ex post delivery: escrow the buyer's declared cap, hand over data.
+    pub(crate) fn deliver_ex_post(&self, sale: &Sale, mashup: &BuiltMashup) -> MarketResult<u64> {
+        let offer = self
+            .offer(sale.offer_id)
+            .ok_or(MarketError::UnknownId(sale.offer_id))?;
+        let deposit = offer.wtp.max_price().max(sale.price);
+        let escrow = self.ledger.hold(&sale.buyer, deposit)?;
+        let delivery_id = self.next_delivery.fetch_add(1, Ordering::Relaxed);
+        self.deliveries.lock().push(Delivery {
+            id: delivery_id,
+            offer_id: sale.offer_id,
+            buyer: sale.buyer.clone(),
+            relation: mashup.relation.clone(),
+            satisfaction: sale.satisfaction,
+            escrow,
+            datasets: mashup.datasets.clone(),
+            settlement: None,
+        });
+        self.set_offer_state(
+            sale.offer_id,
+            OfferState::AwaitingReport {
+                delivery: delivery_id,
+            },
+        );
+        Ok(delivery_id)
+    }
+
+    /// Buyer reports the value realized from an ex post delivery; the
+    /// market settles, possibly audits, penalizes detected
+    /// under-reporting, and distributes revenue.
+    pub fn report_value(&self, delivery_id: u64, reported: f64) -> MarketResult<Settlement> {
+        let mech = match &self.config.design.elicitation {
+            ElicitationProtocol::ExPost(m) => m.clone(),
+            ElicitationProtocol::ExAnte => {
+                return Err(MarketError::Invalid(
+                    "market uses ex ante elicitation; nothing to report".into(),
+                ))
+            }
+        };
+        let (offer_id, buyer, satisfaction, escrow, mashup_rel, datasets) = {
+            let deliveries = self.deliveries.lock();
+            let d = deliveries
+                .iter()
+                .find(|d| d.id == delivery_id)
+                .ok_or(MarketError::UnknownId(delivery_id))?;
+            if d.settlement.is_some() {
+                return Err(MarketError::Invalid("delivery already settled".into()));
+            }
+            (
+                d.offer_id,
+                d.buyer.clone(),
+                d.satisfaction,
+                d.escrow,
+                d.relation.clone(),
+                d.datasets.clone(),
+            )
+        };
+        let offer = self
+            .offer(offer_id)
+            .ok_or(MarketError::UnknownId(offer_id))?;
+        let deposit = self
+            .ledger
+            .escrow_remaining(escrow)
+            .ok_or(MarketError::UnknownId(escrow))?;
+        // Reports are capped by the escrowed deposit (the declared cap).
+        let reported = reported.max(0.0).min(deposit);
+
+        // Audit: the arbiter re-runs the packaged task (it already knows
+        // the measured satisfaction) and compares the implied value.
+        let audited = self.rng.lock().gen::<f64>() < mech.audit_prob;
+        let true_value = offer.wtp.curve.price(satisfaction);
+        let mut penalty = 0.0;
+        if audited && reported + 1e-9 < true_value {
+            penalty = mech.penalty_mult * (true_value - reported);
+            let round = self.round();
+            if let Some(p) = self.participants.lock().get_mut(&buyer) {
+                p.reputation = (p.reputation * 0.5).max(0.0);
+                p.excluded_until = round + mech.exclusion_rounds as u64;
+            }
+        }
+        self.audit.record(AuditEvent::ExPostAudit {
+            delivery: delivery_id,
+            underreported: penalty > 0.0,
+        });
+
+        // Pay from escrow: sellers first, then fee + penalty (capped by
+        // what the deposit can still cover).
+        let fee_rate = self.config.design.arbiter_fee.clamp(0.0, 1.0);
+        let base = reported;
+        let to_sellers = base * (1.0 - fee_rate);
+        let fee = (base * fee_rate + penalty).min(deposit - to_sellers);
+        let shares = dataset_shares(&self.config.design, &mashup_rel, to_sellers);
+        for share in &shares {
+            let owner = match self.metadata.get(share.dataset) {
+                Some(e) => e.owner,
+                None => ARBITER_ACCOUNT.to_string(),
+            };
+            self.ledger.release(escrow, &owner, share.amount)?;
+        }
+        if fee > 0.0 {
+            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
+        }
+        self.ledger.close(escrow)?;
+
+        let settlement = Settlement {
+            paid: base,
+            penalty,
+            audited,
+        };
+        let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
+        let record = TransactionRecord {
+            id: tx,
+            offer_id,
+            buyer: buyer.clone(),
+            price: base,
+            fee,
+            satisfaction,
+            datasets: datasets.clone(),
+            shares,
+            round: self.round(),
+        };
+        let built = BuiltMashup {
+            relation: mashup_rel,
+            datasets,
+            coverage: 1.0,
+            confidence: 1.0,
+            missing: Vec::new(),
+        };
+        self.finish_transaction(&record, &built, self.round());
+        self.transactions.lock().push(record);
+        self.set_offer_state(offer_id, OfferState::Fulfilled { tx });
+        if let Some(d) = self
+            .deliveries
+            .lock()
+            .iter_mut()
+            .find(|d| d.id == delivery_id)
+        {
+            d.settlement = Some(settlement);
+        }
+        Ok(settlement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::pipeline::{CandidateStage, ClearingStage, ExpiryStage};
+    use crate::market::MarketConfig;
+    use dmp_mechanism::design::MarketDesign;
+    use dmp_mechanism::elicitation::ExPostMechanism;
+    use dmp_mechanism::wtp::{PriceCurve, WtpFunction};
+    use dmp_relation::builder::keyed_rel;
+
+    fn staged_ctx(market: &DataMarket) -> RoundContext {
+        let mut ctx = RoundContext::open(market);
+        ExpiryStage.run(market, &mut ctx);
+        CandidateStage::default().run(market, &mut ctx);
+        ClearingStage.run(market, &mut ctx);
+        ctx
+    }
+
+    #[test]
+    fn ex_ante_settlement_moves_money_and_fulfills_the_offer() {
+        let market = DataMarket::new(
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0)),
+        );
+        market
+            .seller("s")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let b = market.buyer("b");
+        b.deposit(100.0);
+        let offer = market
+            .submit_wtp(WtpFunction::simple(
+                "b",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+
+        let mut ctx = staged_ctx(&market);
+        SettlementStage.run(&market, &mut ctx);
+
+        assert_eq!(ctx.completed_sales.len(), 1);
+        assert!((ctx.revenue - 10.0).abs() < 1e-9);
+        assert!(market.balance("s") > 0.0);
+        assert!((market.balance("b") - 90.0).abs() < 1e-9);
+        assert!(matches!(
+            market.offer(offer).unwrap().state,
+            OfferState::Fulfilled { .. }
+        ));
+    }
+
+    #[test]
+    fn ex_post_settlement_escrows_and_awaits_the_report() {
+        let mut design = MarketDesign::posted_price_baseline(10.0);
+        design.elicitation = ElicitationProtocol::ExPost(ExPostMechanism {
+            audit_prob: 1.0,
+            penalty_mult: 2.0,
+            exclusion_rounds: 1,
+            round_value: 0.0,
+        });
+        let market = DataMarket::new(MarketConfig::external(3).with_design(design));
+        market
+            .seller("s")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let b = market.buyer("b");
+        b.deposit(100.0);
+        let offer = market
+            .submit_wtp(WtpFunction::simple(
+                "b",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+
+        let mut ctx = staged_ctx(&market);
+        SettlementStage.run(&market, &mut ctx);
+
+        assert_eq!(ctx.deliveries.len(), 1);
+        assert_eq!(ctx.revenue, 0.0, "no money moves before the report");
+        assert!(matches!(
+            market.offer(offer).unwrap().state,
+            OfferState::AwaitingReport { .. }
+        ));
+        // The declared cap (30) is escrowed out of the buyer's balance.
+        assert!((market.balance("b") - 70.0).abs() < 1e-9);
+
+        // Reporting settles the delivery through the escrow.
+        let settlement = market.report_value(ctx.deliveries[0], 30.0).unwrap();
+        assert!((settlement.paid - 30.0).abs() < 1e-9);
+        assert_eq!(settlement.penalty, 0.0);
+        assert!(market.balance("s") > 0.0);
+    }
+
+    #[test]
+    fn unfunded_ex_ante_sale_leaves_no_partial_state() {
+        let market = DataMarket::new(
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0)),
+        );
+        market
+            .seller("s")
+            .share(keyed_rel("t", &[(1, "x")]))
+            .unwrap();
+        let _ = market.buyer("broke"); // no deposit
+        let offer = market
+            .submit_wtp(WtpFunction::simple(
+                "broke",
+                ["k", "v"],
+                PriceCurve::Constant(30.0),
+            ))
+            .unwrap();
+
+        let mut ctx = staged_ctx(&market);
+        assert_eq!(ctx.sales.len(), 1, "the bid clears");
+        SettlementStage.run(&market, &mut ctx);
+
+        assert!(ctx.completed_sales.is_empty());
+        assert_eq!(ctx.revenue, 0.0);
+        assert_eq!(market.offer(offer).unwrap().state, OfferState::Pending);
+        assert!(market.transactions().is_empty());
+    }
+}

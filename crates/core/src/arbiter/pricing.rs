@@ -129,7 +129,10 @@ mod tests {
         ];
         let sales = clear(&design, &bids);
         let s1 = sales.iter().find(|s| s.offer_id == 1).unwrap();
-        assert!((s1.price - 60.0).abs() < 1e-9, "second price within product 1");
+        assert!(
+            (s1.price - 60.0).abs() < 1e-9,
+            "second price within product 1"
+        );
         let s3 = sales.iter().find(|s| s.offer_id == 3).unwrap();
         assert!(s3.price <= 10.0);
     }

@@ -92,8 +92,7 @@ fn coverage_shapley(mashup: &Relation, datasets: &[DatasetId], samples: usize) -
         exact_shapley(&game)
     } else {
         // Seed derived from the mashup shape keeps settlements replayable.
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(0x9e37 ^ (mashup.len() as u64) << 8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x9e37 ^ (mashup.len() as u64) << 8);
         monte_carlo_shapley(&game, samples.max(32), &mut rng)
     }
 }

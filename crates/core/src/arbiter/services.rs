@@ -35,10 +35,8 @@ pub fn recommend(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId
     }
     if bought_by_target.is_empty() {
         // Cold start: most-purchased datasets.
-        let mut pop: Vec<(DatasetId, usize)> = buyers_of
-            .iter()
-            .map(|(&d, b)| (d, b.len()))
-            .collect();
+        let mut pop: Vec<(DatasetId, usize)> =
+            buyers_of.iter().map(|(&d, b)| (d, b.len())).collect();
         pop.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         return pop.into_iter().take(k).map(|(d, _)| d).collect();
     }
@@ -99,7 +97,9 @@ pub struct DemandReport {
 }
 
 /// Build a demand report from per-offer missing-attribute lists.
-pub fn demand_report<'a>(missing_per_offer: impl IntoIterator<Item = &'a [String]>) -> DemandReport {
+pub fn demand_report<'a>(
+    missing_per_offer: impl IntoIterator<Item = &'a [String]>,
+) -> DemandReport {
     let mut counts: HashMap<&str, usize> = HashMap::new();
     for missing in missing_per_offer {
         for attr in missing {
@@ -111,7 +111,9 @@ pub fn demand_report<'a>(missing_per_offer: impl IntoIterator<Item = &'a [String
         .map(|(a, c)| (a.to_string(), c))
         .collect();
     v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    DemandReport { missing_attributes: v }
+    DemandReport {
+        missing_attributes: v,
+    }
 }
 
 #[cfg(test)]
@@ -124,10 +126,22 @@ mod tests {
 
     fn history() -> Vec<Purchase> {
         vec![
-            Purchase { buyer: "a".into(), datasets: vec![d(1), d(2)] },
-            Purchase { buyer: "b".into(), datasets: vec![d(1), d(2), d(3)] },
-            Purchase { buyer: "c".into(), datasets: vec![d(2), d(3)] },
-            Purchase { buyer: "e".into(), datasets: vec![d(4)] },
+            Purchase {
+                buyer: "a".into(),
+                datasets: vec![d(1), d(2)],
+            },
+            Purchase {
+                buyer: "b".into(),
+                datasets: vec![d(1), d(2), d(3)],
+            },
+            Purchase {
+                buyer: "c".into(),
+                datasets: vec![d(2), d(3)],
+            },
+            Purchase {
+                buyer: "e".into(),
+                datasets: vec![d(4)],
+            },
         ]
     }
 
@@ -160,11 +174,7 @@ mod tests {
 
     #[test]
     fn demand_report_counts_and_ranks() {
-        let offers: Vec<Vec<String>> = vec![
-            vec!["e".into(), "f".into()],
-            vec!["e".into()],
-            vec![],
-        ];
+        let offers: Vec<Vec<String>> = vec![vec!["e".into(), "f".into()], vec!["e".into()], vec![]];
         let report = demand_report(offers.iter().map(|v| v.as_slice()));
         assert_eq!(
             report.missing_attributes,

@@ -5,9 +5,7 @@
 
 use dmp_mechanism::wtp::{TaskKind, WtpFunction};
 use dmp_relation::Relation;
-use dmp_tasks::{
-    ClassifierTask, QueryCompletenessTask, RegressionTask, Satisfaction, Task,
-};
+use dmp_tasks::{ClassifierTask, QueryCompletenessTask, RegressionTask, Satisfaction, Task};
 
 /// Result of evaluating one mashup against one WTP-function.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,12 +23,16 @@ pub fn make_task(kind: &TaskKind, attributes: &[String]) -> Box<dyn Task> {
     match kind {
         TaskKind::Classification { label } => Box::new(ClassifierTask::logistic(label.clone())),
         TaskKind::Regression { target } => Box::new(RegressionTask::new(target.clone())),
-        TaskKind::AggregateCompleteness { group_by, expected_groups } => {
-            Box::new(QueryCompletenessTask::new(group_by.clone(), *expected_groups))
-        }
-        TaskKind::AttributeCoverage => {
-            Box::new(dmp_tasks::report::CoverageTask::new(attributes.iter().cloned()))
-        }
+        TaskKind::AggregateCompleteness {
+            group_by,
+            expected_groups,
+        } => Box::new(QueryCompletenessTask::new(
+            group_by.clone(),
+            *expected_groups,
+        )),
+        TaskKind::AttributeCoverage => Box::new(dmp_tasks::report::CoverageTask::new(
+            attributes.iter().cloned(),
+        )),
     }
 }
 
@@ -38,12 +40,18 @@ pub fn make_task(kind: &TaskKind, attributes: &[String]) -> Box<dyn Task> {
 /// bid when intrinsic mashup-level constraints reject the candidate.
 pub fn evaluate(wtp: &WtpFunction, mashup: &Relation) -> Evaluation {
     if !wtp.constraints.admits_mashup(mashup) {
-        return Evaluation { satisfaction: 0.0, bid: 0.0 };
+        return Evaluation {
+            satisfaction: 0.0,
+            bid: 0.0,
+        };
     }
     let task = make_task(&wtp.task, &wtp.attributes);
     let satisfaction: Satisfaction = task.evaluate(mashup);
     let bid = wtp.curve.price(satisfaction.value());
-    Evaluation { satisfaction: satisfaction.value(), bid }
+    Evaluation {
+        satisfaction: satisfaction.value(),
+        bid,
+    }
 }
 
 #[cfg(test)]
@@ -61,21 +69,26 @@ mod tests {
             ["x1", "x2"],
             PriceCurve::Step(vec![(0.8, 100.0), (0.9, 150.0)]),
         );
-        wtp.task = TaskKind::Classification { label: "label".into() };
+        wtp.task = TaskKind::Classification {
+            label: "label".into(),
+        };
         let ev = evaluate(&wtp, &rel);
-        assert!(ev.satisfaction > 0.9, "separable blobs: {}", ev.satisfaction);
+        assert!(
+            ev.satisfaction > 0.9,
+            "separable blobs: {}",
+            ev.satisfaction
+        );
         assert_eq!(ev.bid, 150.0);
     }
 
     #[test]
     fn hard_task_bids_zero_below_threshold() {
         let rel = gaussian_blobs(400, 2, 0.05, 2); // overlapping classes
-        let mut wtp = WtpFunction::simple(
-            "b1",
-            ["x1", "x2"],
-            PriceCurve::Step(vec![(0.95, 100.0)]),
-        );
-        wtp.task = TaskKind::Classification { label: "label".into() };
+        let mut wtp =
+            WtpFunction::simple("b1", ["x1", "x2"], PriceCurve::Step(vec![(0.95, 100.0)]));
+        wtp.task = TaskKind::Classification {
+            label: "label".into(),
+        };
         let ev = evaluate(&wtp, &rel);
         assert_eq!(ev.bid, 0.0, "satisfaction {} below 0.95", ev.satisfaction);
     }
@@ -89,10 +102,14 @@ mod tests {
             .source(DatasetId(1))
             .build()
             .unwrap();
-        let wtp = WtpFunction::simple("b1", ["a", "b"], PriceCurve::Linear {
-            min_satisfaction: 0.0,
-            max_price: 50.0,
-        });
+        let wtp = WtpFunction::simple(
+            "b1",
+            ["a", "b"],
+            PriceCurve::Linear {
+                min_satisfaction: 0.0,
+                max_price: 50.0,
+            },
+        );
         let ev = evaluate(&wtp, &rel);
         assert!((ev.satisfaction - 1.0).abs() < 1e-9);
         assert!((ev.bid - 50.0).abs() < 1e-9);
@@ -125,11 +142,18 @@ mod tests {
             }
         }
         let rel = b.source(DatasetId(2)).build().unwrap();
-        let mut wtp = WtpFunction::simple("b1", ["state"], PriceCurve::Linear {
-            min_satisfaction: 0.0,
-            max_price: 100.0,
-        });
-        wtp.task = TaskKind::AggregateCompleteness { group_by: "state".into(), expected_groups: 6 };
+        let mut wtp = WtpFunction::simple(
+            "b1",
+            ["state"],
+            PriceCurve::Linear {
+                min_satisfaction: 0.0,
+                max_price: 100.0,
+            },
+        );
+        wtp.task = TaskKind::AggregateCompleteness {
+            group_by: "state".into(),
+            expected_groups: 6,
+        };
         let ev = evaluate(&wtp, &rel);
         assert!((ev.satisfaction - 0.5).abs() < 1e-9);
         assert!((ev.bid - 50.0).abs() < 1e-9);

@@ -16,7 +16,10 @@ pub struct BuyerHandle<'m> {
 
 impl<'m> BuyerHandle<'m> {
     pub(crate) fn new(market: &'m DataMarket, name: &str) -> Self {
-        BuyerHandle { market, name: name.to_string() }
+        BuyerHandle {
+            market,
+            name: name.to_string(),
+        }
     }
 
     /// The buyer principal.
@@ -36,7 +39,10 @@ impl<'m> BuyerHandle<'m> {
 
     /// Start building a WTP-function (fluent interface; §4.3: "a BMP must
     /// help buyers define it").
-    pub fn wtp<S: Into<String>>(&self, attributes: impl IntoIterator<Item = S>) -> WtpBuilder<'m, '_> {
+    pub fn wtp<S: Into<String>>(
+        &self,
+        attributes: impl IntoIterator<Item = S>,
+    ) -> WtpBuilder<'m, '_> {
         WtpBuilder {
             buyer: self,
             wtp: WtpFunction::simple(self.name.clone(), attributes, PriceCurve::Constant(0.0)),
@@ -113,13 +119,17 @@ pub struct WtpBuilder<'m, 'b> {
 impl<'m, 'b> WtpBuilder<'m, 'b> {
     /// Set the task package to classification on a label column.
     pub fn classification(mut self, label: impl Into<String>) -> Self {
-        self.wtp.task = TaskKind::Classification { label: label.into() };
+        self.wtp.task = TaskKind::Classification {
+            label: label.into(),
+        };
         self
     }
 
     /// Set the task package to regression on a target column.
     pub fn regression(mut self, target: impl Into<String>) -> Self {
-        self.wtp.task = TaskKind::Regression { target: target.into() };
+        self.wtp.task = TaskKind::Regression {
+            target: target.into(),
+        };
         self
     }
 
@@ -235,7 +245,9 @@ mod tests {
     #[test]
     fn end_to_end_delivery_visible_to_buyer() {
         let m = market();
-        m.seller("s").share(keyed_rel("t", &[(1, "x"), (2, "y")])).unwrap();
+        m.seller("s")
+            .share(keyed_rel("t", &[(1, "x"), (2, "y")]))
+            .unwrap();
         let b = m.buyer("b1");
         b.deposit(100.0);
         let offer = b
@@ -244,7 +256,10 @@ mod tests {
             .submit()
             .unwrap();
         m.run_round();
-        assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+        assert!(matches!(
+            m.offer(offer).unwrap().state,
+            OfferState::Fulfilled { .. }
+        ));
         let deliveries = b.deliveries();
         assert_eq!(deliveries.len(), 1);
         let data = b.take_delivery(deliveries[0].id).unwrap();
@@ -257,7 +272,10 @@ mod tests {
         m.seller("s").share(keyed_rel("t", &[(1, "x")])).unwrap();
         let b = m.buyer("b1");
         b.deposit(100.0);
-        b.wtp(["k"]).price_curve(PriceCurve::Constant(20.0)).submit().unwrap();
+        b.wtp(["k"])
+            .price_curve(PriceCurve::Constant(20.0))
+            .submit()
+            .unwrap();
         m.run_round();
         let id = b.deliveries()[0].id;
         let eve = m.buyer("eve");

@@ -1,0 +1,80 @@
+//! Market configuration: deployment flavor, plugged-in design,
+//! currency, and arbiter knobs (paper §3.3 presets).
+
+use dmp_mechanism::design::MarketDesign;
+
+use crate::currency::Currency;
+
+/// Market deployment flavor (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarketKind {
+    /// Within one organization; welfare goal, bonus points.
+    Internal,
+    /// Across organizations; revenue goal, money.
+    External,
+    /// Data-for-data economies; credits earned by sharing.
+    Barter,
+}
+
+/// Full market configuration.
+#[derive(Debug, Clone)]
+pub struct MarketConfig {
+    /// Deployment flavor.
+    pub kind: MarketKind,
+    /// The plugged-in market design (Fig. 1 (2)).
+    pub design: MarketDesign,
+    /// Incentive denomination.
+    pub currency: Currency,
+    /// Seed for audit draws and other market-side randomness.
+    pub seed: u64,
+    /// Candidate mashups considered per offer per round.
+    pub max_candidates: usize,
+    /// Platform-minted reward paid to contributing sellers per
+    /// transaction regardless of the price (the §3.3 bonus-point
+    /// incentive for internal markets where buyers pay nothing).
+    pub contribution_reward: f64,
+}
+
+impl MarketConfig {
+    /// Internal market preset: welfare design + bonus points.
+    pub fn internal() -> Self {
+        MarketConfig {
+            kind: MarketKind::Internal,
+            design: MarketDesign::internal_welfare(),
+            currency: Currency::BonusPoints,
+            seed: 7,
+            max_candidates: 4,
+            contribution_reward: 10.0,
+        }
+    }
+
+    /// External market preset: revenue design + money.
+    pub fn external(seed: u64) -> Self {
+        MarketConfig {
+            kind: MarketKind::External,
+            design: MarketDesign::external_revenue(seed),
+            currency: Currency::Money,
+            seed,
+            max_candidates: 4,
+            contribution_reward: 0.0,
+        }
+    }
+
+    /// Barter market preset: transactions goal + data credits.
+    pub fn barter() -> Self {
+        MarketConfig {
+            kind: MarketKind::Barter,
+            design: MarketDesign::posted_price_baseline(5.0),
+            currency: Currency::DataCredits,
+            seed: 7,
+            max_candidates: 4,
+            contribution_reward: 5.0,
+        }
+    }
+
+    /// Replace the design (plug'n'play).
+    pub fn with_design(mut self, design: MarketDesign) -> Self {
+        self.design = design;
+        self
+    }
+}

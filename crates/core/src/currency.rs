@@ -63,7 +63,10 @@ pub struct Incentive {
 impl Incentive {
     /// Construct, clamping negatives to zero.
     pub fn new(currency: Currency, amount: f64) -> Self {
-        Incentive { currency, amount: amount.max(0.0) }
+        Incentive {
+            currency,
+            amount: amount.max(0.0),
+        }
     }
 }
 

@@ -48,7 +48,11 @@ impl fmt::Display for MarketError {
             MarketError::UnknownDataset(d) => write!(f, "unknown dataset {d}"),
             MarketError::UnknownParticipant(p) => write!(f, "unknown participant {p}"),
             MarketError::UnknownId(i) => write!(f, "unknown id {i}"),
-            MarketError::InsufficientFunds { account, needed, available } => write!(
+            MarketError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => write!(
                 f,
                 "insufficient funds in {account}: need {needed}, have {available}"
             ),

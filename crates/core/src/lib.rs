@@ -22,6 +22,7 @@
 
 pub mod arbiter;
 pub mod buyer;
+pub mod config;
 pub mod currency;
 pub mod error;
 pub mod license;

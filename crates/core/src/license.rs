@@ -7,8 +7,7 @@
 //! restrict *who* may receive data *for what purpose*.
 
 /// A license attached to a dataset by its seller.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum License {
     /// Non-exclusive use; no resale.
     #[default]
@@ -57,7 +56,6 @@ impl License {
     }
 }
 
-
 /// A contextual-integrity policy: information flows are appropriate only
 /// within their originating context, to permitted recipient roles, and
 /// never for forbidden purposes.
@@ -100,7 +98,10 @@ impl ContextualIntegrityPolicy {
             return false;
         }
         self.allowed_roles.is_empty()
-            || self.allowed_roles.iter().any(|r| r.eq_ignore_ascii_case(role))
+            || self
+                .allowed_roles
+                .iter()
+                .any(|r| r.eq_ignore_ascii_case(role))
     }
 }
 
@@ -110,7 +111,10 @@ mod tests {
 
     #[test]
     fn exclusive_tax_raises_price() {
-        let l = License::Exclusive { tax_rate: 0.5, hold_rounds: 3 };
+        let l = License::Exclusive {
+            tax_rate: 0.5,
+            hold_rounds: 3,
+        };
         assert!((l.price_multiplier() - 1.5).abs() < 1e-12);
         assert!(l.is_exclusive());
         assert_eq!(l.hold_rounds(), 3);
@@ -134,7 +138,10 @@ mod tests {
 
     #[test]
     fn negative_tax_clamped() {
-        let l = License::Exclusive { tax_rate: -0.9, hold_rounds: 1 };
+        let l = License::Exclusive {
+            tax_rate: -0.9,
+            hold_rounds: 1,
+        };
         assert_eq!(l.price_multiplier(), 1.0);
     }
 

@@ -2,113 +2,37 @@
 //! wired to a plug'n'play [`MarketDesign`]. Internal, external and barter
 //! markets are the same platform with different configs (§3.3).
 //!
-//! A market round (`run_round`) executes the full arbiter pipeline:
-//! pending WTP offers → mashup builder → WTP-evaluator → pricing engine →
-//! transaction support → revenue allocation engine, with licensing,
+//! A market round ([`DataMarket::run_round`]) drives the staged arbiter
+//! pipeline in [`crate::arbiter::pipeline`]: expiry → candidate
+//! building/evaluation → clearing → settlement, with licensing,
 //! reserves, contextual integrity, privacy accounting, lineage and the
-//! audit chain enforced along the way.
+//! audit chain enforced along the way. This module owns the market's
+//! *state* (offer book, ledger, participants, licenses) and its public
+//! API; the round *logic* lives stage-by-stage in the pipeline module.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
-use rand::Rng;
 use rand::SeedableRng;
 
-use dmp_discovery::{LineageEvent, LineageLog, MetadataEngine};
-use dmp_mechanism::design::MarketDesign;
-use dmp_mechanism::elicitation::ElicitationProtocol;
+use dmp_discovery::{LineageLog, MetadataEngine};
 use dmp_mechanism::wtp::WtpFunction;
 use dmp_privacy::PrivacyBudget;
 use dmp_relation::{DatasetId, Relation};
 use dmp_valuation::sharing::DatasetShare;
 
 use crate::arbiter::ledger::Ledger;
-use crate::arbiter::mashup_builder::{build_mashups, BuiltMashup};
-use crate::arbiter::pricing::{clear, RoundBid, Sale};
-use crate::arbiter::revenue::dataset_shares;
+use crate::arbiter::pipeline::{self, RoundStage};
 use crate::arbiter::services::{demand_report, DemandReport, Purchase};
-use crate::arbiter::wtp_evaluator::evaluate;
 use crate::buyer::BuyerHandle;
-use crate::currency::Currency;
 use crate::error::{MarketError, MarketResult};
 use crate::license::{ContextualIntegrityPolicy, License};
 use crate::seller::SellerHandle;
 use crate::trust::{AuditEvent, AuditLog, DisputeManager};
 
-/// Market deployment flavor (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum MarketKind {
-    /// Within one organization; welfare goal, bonus points.
-    Internal,
-    /// Across organizations; revenue goal, money.
-    External,
-    /// Data-for-data economies; credits earned by sharing.
-    Barter,
-}
-
-/// Full market configuration.
-#[derive(Debug, Clone)]
-pub struct MarketConfig {
-    /// Deployment flavor.
-    pub kind: MarketKind,
-    /// The plugged-in market design (Fig. 1 (2)).
-    pub design: MarketDesign,
-    /// Incentive denomination.
-    pub currency: Currency,
-    /// Seed for audit draws and other market-side randomness.
-    pub seed: u64,
-    /// Candidate mashups considered per offer per round.
-    pub max_candidates: usize,
-    /// Platform-minted reward paid to contributing sellers per
-    /// transaction regardless of the price (the §3.3 bonus-point
-    /// incentive for internal markets where buyers pay nothing).
-    pub contribution_reward: f64,
-}
-
-impl MarketConfig {
-    /// Internal market preset: welfare design + bonus points.
-    pub fn internal() -> Self {
-        MarketConfig {
-            kind: MarketKind::Internal,
-            design: MarketDesign::internal_welfare(),
-            currency: Currency::BonusPoints,
-            seed: 7,
-            max_candidates: 4,
-            contribution_reward: 10.0,
-        }
-    }
-
-    /// External market preset: revenue design + money.
-    pub fn external(seed: u64) -> Self {
-        MarketConfig {
-            kind: MarketKind::External,
-            design: MarketDesign::external_revenue(seed),
-            currency: Currency::Money,
-            seed,
-            max_candidates: 4,
-            contribution_reward: 0.0,
-        }
-    }
-
-    /// Barter market preset: transactions goal + data credits.
-    pub fn barter() -> Self {
-        MarketConfig {
-            kind: MarketKind::Barter,
-            design: MarketDesign::posted_price_baseline(5.0),
-            currency: Currency::DataCredits,
-            seed: 7,
-            max_candidates: 4,
-            contribution_reward: 5.0,
-        }
-    }
-
-    /// Replace the design (plug'n'play).
-    pub fn with_design(mut self, design: MarketDesign) -> Self {
-        self.design = design;
-        self
-    }
-}
+pub use crate::arbiter::pipeline::{NegotiationRequest, RoundReport};
+pub use crate::config::{MarketConfig, MarketKind};
 
 /// Offer lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -212,43 +136,6 @@ pub struct Participant {
     pub excluded_until: u64,
 }
 
-/// What one `run_round` did.
-#[derive(Debug, Clone)]
-pub struct RoundReport {
-    /// Round number.
-    pub round: u64,
-    /// Offers considered.
-    pub considered: usize,
-    /// Sales cleared (ex ante settled; ex post delivered).
-    pub sales: Vec<Sale>,
-    /// Revenue collected this round (ex ante only).
-    pub revenue: f64,
-    /// Arbiter fees collected.
-    pub fees: f64,
-    /// Offers expired this round.
-    pub expired: usize,
-    /// Deliveries created (ex post).
-    pub deliveries: Vec<u64>,
-    /// Unmet attribute demand (for opportunistic sellers).
-    pub unmet: DemandReport,
-}
-
-/// A negotiation round request (§4.1): "if the AMS cannot find mashups
-/// that fulfill the buyer's needs, it can describe the information it
-/// lacks and ask the sellers to complete it."
-#[derive(Debug, Clone, PartialEq)]
-pub struct NegotiationRequest {
-    /// The under-served offer.
-    pub offer_id: u64,
-    /// Its buyer.
-    pub buyer: String,
-    /// Attributes the mashup builder could not source.
-    pub missing: Vec<String>,
-    /// Sellers whose datasets already participate in the best partial
-    /// mashup — the ones best placed to annotate or publish mappings.
-    pub candidate_sellers: Vec<String>,
-}
-
 /// The account name the arbiter accrues fees into.
 pub const ARBITER_ACCOUNT: &str = "__arbiter__";
 
@@ -262,11 +149,13 @@ pub struct DataMarket {
     pub(crate) audit: AuditLog,
     pub(crate) disputes: DisputeManager,
     clock: AtomicU64,
-    round: AtomicU64,
+    pub(crate) round_counter: AtomicU64,
     next_offer: AtomicU64,
-    next_tx: AtomicU64,
-    next_delivery: AtomicU64,
-    pub(crate) offers: Mutex<Vec<Offer>>,
+    pub(crate) next_tx: AtomicU64,
+    pub(crate) next_delivery: AtomicU64,
+    /// Offer book, keyed by offer id (ordered ⇒ deterministic rounds,
+    /// O(log n) state updates instead of the former linear scans).
+    pub(crate) offers: Mutex<BTreeMap<u64, Offer>>,
     pub(crate) transactions: Mutex<Vec<TransactionRecord>>,
     pub(crate) deliveries: Mutex<Vec<Delivery>>,
     pub(crate) purchases: Mutex<Vec<Purchase>>,
@@ -275,9 +164,9 @@ pub struct DataMarket {
     pub(crate) ci_policies: Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>,
     pub(crate) exclusive_holds: Mutex<HashMap<DatasetId, (String, u64)>>,
     pub(crate) participants: Mutex<HashMap<String, Participant>>,
-    last_missing: Mutex<Vec<Vec<String>>>,
-    last_negotiations: Mutex<Vec<NegotiationRequest>>,
-    rng: Mutex<rand::rngs::StdRng>,
+    pub(crate) last_missing: Mutex<Vec<Vec<String>>>,
+    pub(crate) last_negotiations: Mutex<Vec<NegotiationRequest>>,
+    pub(crate) rng: Mutex<rand::rngs::StdRng>,
 }
 
 impl DataMarket {
@@ -293,11 +182,11 @@ impl DataMarket {
             audit: AuditLog::new(),
             disputes: DisputeManager::new(),
             clock: AtomicU64::new(0),
-            round: AtomicU64::new(0),
+            round_counter: AtomicU64::new(0),
             next_offer: AtomicU64::new(0),
             next_tx: AtomicU64::new(0),
             next_delivery: AtomicU64::new(0),
-            offers: Mutex::new(Vec::new()),
+            offers: Mutex::new(BTreeMap::new()),
             transactions: Mutex::new(Vec::new()),
             deliveries: Mutex::new(Vec::new()),
             purchases: Mutex::new(Vec::new()),
@@ -328,7 +217,7 @@ impl DataMarket {
 
     /// Completed rounds.
     pub fn round(&self) -> u64 {
-        self.round.load(Ordering::Relaxed)
+        self.round_counter.load(Ordering::Relaxed)
     }
 
     /// Enroll a participant with a role; grants enrollment funds.
@@ -338,12 +227,15 @@ impl DataMarket {
         if grant > 0.0 {
             self.ledger.deposit(&name, grant);
         }
-        self.participants.lock().entry(name.clone()).or_insert(Participant {
-            name,
-            role: role.into(),
-            reputation: 1.0,
-            excluded_until: 0,
-        });
+        self.participants
+            .lock()
+            .entry(name.clone())
+            .or_insert(Participant {
+                name,
+                role: role.into(),
+                reputation: 1.0,
+                excluded_until: 0,
+            });
     }
 
     /// Participant lookup.
@@ -388,14 +280,14 @@ impl DataMarket {
         self.transactions.lock().clone()
     }
 
-    /// Fetch an offer.
+    /// Fetch an offer (O(log n) in the id-keyed offer book).
     pub fn offer(&self, id: u64) -> Option<Offer> {
-        self.offers.lock().iter().find(|o| o.id == id).cloned()
+        self.offers.lock().get(&id).cloned()
     }
 
-    /// All offers (cloned snapshot).
+    /// All offers (cloned snapshot, in id order).
     pub fn offers(&self) -> Vec<Offer> {
-        self.offers.lock().clone()
+        self.offers.lock().values().cloned().collect()
     }
 
     /// All deliveries (cloned snapshot).
@@ -407,7 +299,7 @@ impl DataMarket {
     pub fn awaiting_reports(&self) -> Vec<(u64, u64, String)> {
         self.offers
             .lock()
-            .iter()
+            .values()
             .filter_map(|o| match o.state {
                 OfferState::AwaitingReport { delivery } => {
                     Some((o.id, delivery, o.wtp.buyer.clone()))
@@ -439,14 +331,18 @@ impl DataMarket {
         }
         let id = self.next_offer.fetch_add(1, Ordering::Relaxed);
         let at = self.tick();
-        self.audit.record(AuditEvent::WtpSubmitted { offer: id, buyer });
-        self.offers.lock().push(Offer {
+        self.audit
+            .record(AuditEvent::WtpSubmitted { offer: id, buyer });
+        self.offers.lock().insert(
             id,
-            wtp,
-            purpose: purpose.into(),
-            submitted_at: at,
-            state: OfferState::Pending,
-        });
+            Offer {
+                id,
+                wtp,
+                purpose: purpose.into(),
+                submitted_at: at,
+                state: OfferState::Pending,
+            },
+        );
         Ok(id)
     }
 
@@ -455,477 +351,36 @@ impl DataMarket {
         self.submit_wtp_for_purpose(wtp, "analytics")
     }
 
-    /// Is a mashup's dataset set admissible for this buyer/offer?
-    fn admissible(&self, mashup: &BuiltMashup, offer: &Offer, now: u64, round: u64) -> bool {
-        let buyer_role = self
-            .participants
-            .lock()
-            .get(&offer.wtp.buyer)
-            .map(|p| p.role.clone())
-            .unwrap_or_default();
-        let licenses = self.licenses.lock();
-        let holds = self.exclusive_holds.lock();
-        let policies = self.ci_policies.lock();
-        for &d in &mashup.datasets {
-            let entry = match self.metadata.get(d) {
-                Some(e) => e,
-                None => return false,
-            };
-            if !offer
-                .wtp
-                .constraints
-                .admits_dataset(entry.registered_at, &entry.owner, now)
-            {
-                return false;
-            }
-            if let Some((holder, until)) = holds.get(&d) {
-                if *until >= round && holder != &offer.wtp.buyer {
-                    return false; // exclusively held by someone else
-                }
-            }
-            if let Some(policy) = policies.get(&d) {
-                if !policy.permits(&buyer_role, &offer.purpose) {
-                    return false;
-                }
-            }
-            let _ = licenses.get(&d); // license checked at pricing time
-        }
-        true
-    }
-
-    /// License multiplier for a dataset set: the max of individual
-    /// multipliers (one exclusive dataset taxes the whole mashup).
-    fn license_multiplier(&self, datasets: &[DatasetId]) -> f64 {
-        let licenses = self.licenses.lock();
-        datasets
-            .iter()
-            .map(|d| licenses.get(d).cloned().unwrap_or_default().price_multiplier())
-            .fold(1.0, f64::max)
-    }
-
-    fn reserve_floor(&self, datasets: &[DatasetId]) -> f64 {
-        let reserves = self.reserves.lock();
-        datasets.iter().map(|d| reserves.get(d).copied().unwrap_or(0.0)).sum()
-    }
-
-    /// Execute one full market round.
+    /// Execute one full market round through the default arbiter
+    /// pipeline (expiry → candidates → clearing → settlement).
     pub fn run_round(&self) -> RoundReport {
-        let round = self.round.fetch_add(1, Ordering::Relaxed) + 1;
-        let now = self.tick();
-
-        // Phase 1: build + evaluate candidate mashups per pending offer.
-        let pending: Vec<Offer> = self
-            .offers
-            .lock()
-            .iter()
-            .filter(|o| o.state == OfferState::Pending)
-            .cloned()
-            .collect();
-        let considered = pending.len();
-
-        let mut bids: Vec<RoundBid> = Vec::new();
-        let mut best_mashups: HashMap<u64, BuiltMashup> = HashMap::new();
-        let mut missing: Vec<Vec<String>> = Vec::new();
-        let mut negotiations: Vec<NegotiationRequest> = Vec::new();
-        let mut expired = 0usize;
-
-        for offer in &pending {
-            if !offer.wtp.constraints.is_live(now) {
-                self.set_offer_state(offer.id, OfferState::Expired);
-                expired += 1;
-                continue;
-            }
-            let mashups = build_mashups(&self.metadata, &offer.wtp, self.config.max_candidates);
-            // Prefer *viable* candidates: ones whose seller reserve floor
-            // the buyer's bid can possibly cover — otherwise a single
-            // overpriced dataset would block an offer that an equivalent
-            // cheaper mashup could serve. Ties between equally-priced
-            // candidates break randomly, so equivalent suppliers share
-            // demand instead of the first-registered seller capturing it.
-            let mut evaluated: Vec<(BuiltMashup, f64, f64, bool)> = Vec::new();
-            for m in mashups {
-                if !self.admissible(&m, offer, now, round) {
-                    continue;
-                }
-                let ev = evaluate(&offer.wtp, &m.relation);
-                if ev.bid <= 0.0 {
-                    continue;
-                }
-                let mult = self.license_multiplier(&m.datasets).max(1.0);
-                let viable = ev.bid * mult + 1e-9 >= self.reserve_floor(&m.datasets);
-                evaluated.push((m, ev.satisfaction, ev.bid, viable));
-            }
-            let any_viable = evaluated.iter().any(|(_, _, _, v)| *v);
-            if any_viable {
-                evaluated.retain(|(_, _, _, v)| *v);
-            }
-            let best_bid = evaluated
-                .iter()
-                .map(|(_, _, b, _)| *b)
-                .fold(f64::NEG_INFINITY, f64::max);
-            let tied: Vec<usize> = evaluated
-                .iter()
-                .enumerate()
-                .filter(|(_, (_, _, b, _))| (*b - best_bid).abs() < 1e-9)
-                .map(|(i, _)| i)
-                .collect();
-            let best: Option<(BuiltMashup, f64, f64)> = if tied.is_empty() {
-                None
-            } else {
-                let pick = tied[self.rng.lock().gen_range(0..tied.len())];
-                let (m, s, b, _) = evaluated.swap_remove(pick);
-                Some((m, s, b))
-            };
-            match best {
-                Some((m, satisfaction, bid)) => {
-                    self.audit.record(AuditEvent::MashupBuilt {
-                        offer: offer.id,
-                        datasets: m.datasets.clone(),
-                    });
-                    if !m.missing.is_empty() {
-                        missing.push(m.missing.clone());
-                        let mut owners: Vec<String> = m
-                            .datasets
-                            .iter()
-                            .filter_map(|&d| self.metadata.get(d).map(|e| e.owner))
-                            .collect();
-                        owners.sort();
-                        owners.dedup();
-                        negotiations.push(NegotiationRequest {
-                            offer_id: offer.id,
-                            buyer: offer.wtp.buyer.clone(),
-                            missing: m.missing.clone(),
-                            candidate_sellers: owners,
-                        });
-                    }
-                    bids.push(RoundBid {
-                        offer_id: offer.id,
-                        buyer: offer.wtp.buyer.clone(),
-                        bid,
-                        satisfaction,
-                        datasets: m.datasets.clone(),
-                        reserve_floor: self.reserve_floor(&m.datasets),
-                        license_multiplier: self.license_multiplier(&m.datasets),
-                    });
-                    best_mashups.insert(offer.id, m);
-                }
-                None => {
-                    // Nothing sellable: record the full attribute list as
-                    // unmet when no mashup exists at all.
-                    missing.push(offer.wtp.attributes.clone());
-                    negotiations.push(NegotiationRequest {
-                        offer_id: offer.id,
-                        buyer: offer.wtp.buyer.clone(),
-                        missing: offer.wtp.attributes.clone(),
-                        candidate_sellers: Vec::new(),
-                    });
-                }
-            }
-        }
-
-        // Phase 2: clear under the market design.
-        let sales = clear(&self.config.design, &bids);
-
-        // Phase 3: settle (ex ante) or deliver (ex post).
-        let mut revenue = 0.0;
-        let mut fees = 0.0;
-        let mut deliveries = Vec::new();
-        let ex_post = matches!(
-            self.config.design.elicitation,
-            ElicitationProtocol::ExPost(_)
-        );
-        let mut completed_sales = Vec::new();
-        for sale in sales {
-            let mashup = match best_mashups.get(&sale.offer_id) {
-                Some(m) => m.clone(),
-                None => continue,
-            };
-            if ex_post {
-                match self.deliver_ex_post(&sale, &mashup, round) {
-                    Ok(delivery_id) => {
-                        deliveries.push(delivery_id);
-                        completed_sales.push(sale);
-                    }
-                    Err(_) => { /* deposit unavailable: offer stays pending */ }
-                }
-            } else {
-                match self.settle(&sale, &mashup, round) {
-                    Ok(record) => {
-                        revenue += record.price;
-                        fees += record.fee;
-                        completed_sales.push(sale);
-                    }
-                    Err(_) => { /* insufficient funds: offer stays pending */ }
-                }
-            }
-        }
-
-        *self.last_missing.lock() = missing.clone();
-        *self.last_negotiations.lock() = negotiations;
-        RoundReport {
-            round,
-            considered,
-            sales: completed_sales,
-            revenue,
-            fees,
-            expired,
-            deliveries,
-            unmet: demand_report(missing.iter().map(|v| v.as_slice())),
-        }
+        self.run_round_with(&pipeline::default_pipeline())
     }
 
-    fn set_offer_state(&self, id: u64, state: OfferState) {
-        if let Some(o) = self.offers.lock().iter_mut().find(|o| o.id == id) {
+    /// Execute one market round through a custom stage list (see
+    /// [`crate::arbiter::pipeline`] for the available stages and the
+    /// contract between them).
+    pub fn run_round_with(&self, stages: &[Box<dyn RoundStage>]) -> RoundReport {
+        let mut ctx = pipeline::RoundContext::open(self);
+        for stage in stages {
+            stage.run(self, &mut ctx);
+        }
+        ctx.finish(self)
+    }
+
+    pub(crate) fn set_offer_state(&self, id: u64, state: OfferState) {
+        if let Some(o) = self.offers.lock().get_mut(&id) {
             o.state = state;
         }
     }
 
-    /// Ex ante settlement: move money, split revenue, record everything.
-    fn settle(
-        &self,
-        sale: &Sale,
-        mashup: &BuiltMashup,
-        round: u64,
-    ) -> MarketResult<TransactionRecord> {
-        let fee = sale.price * self.config.design.arbiter_fee.clamp(0.0, 1.0);
-        let to_sellers = sale.price - fee;
-        let shares = dataset_shares(&self.config.design, &mashup.relation, to_sellers);
-
-        // Atomic-ish: verify funds, then transfer piecewise.
-        let escrow = self.ledger.hold(&sale.buyer, sale.price)?;
-        if fee > 0.0 {
-            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
-        }
-        for share in &shares {
-            let owner = match self.metadata.get(share.dataset) {
-                Some(e) => e.owner,
-                None => ARBITER_ACCOUNT.to_string(), // provenance-free residual
-            };
-            self.ledger.release(escrow, &owner, share.amount)?;
-        }
-        self.ledger.close(escrow)?; // refund rounding residue, if any
-
-        let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
-        let record = TransactionRecord {
-            id: tx,
-            offer_id: sale.offer_id,
-            buyer: sale.buyer.clone(),
-            price: sale.price,
-            fee,
-            satisfaction: sale.satisfaction,
-            datasets: mashup.datasets.clone(),
-            shares: shares.clone(),
-            round,
-        };
-        self.finish_transaction(&record, mashup, round);
-
-        // Deliver the data as a settled delivery record.
-        let delivery_id = self.next_delivery.fetch_add(1, Ordering::Relaxed);
-        self.deliveries.lock().push(Delivery {
-            id: delivery_id,
-            offer_id: sale.offer_id,
-            buyer: sale.buyer.clone(),
-            relation: mashup.relation.clone(),
-            satisfaction: sale.satisfaction,
-            escrow: u64::MAX,
-            datasets: mashup.datasets.clone(),
-            settlement: Some(Settlement { paid: sale.price, penalty: 0.0, audited: false }),
-        });
-        self.set_offer_state(sale.offer_id, OfferState::Fulfilled { tx });
-        self.transactions.lock().push(record.clone());
-        Ok(record)
-    }
-
-    /// Shared bookkeeping after money moved.
-    fn finish_transaction(&self, record: &TransactionRecord, mashup: &BuiltMashup, round: u64) {
-        // Platform-minted contribution rewards (bonus points / credits):
-        // sellers are compensated even when the design charges buyers
-        // nothing, split like the revenue shares would be.
-        if self.config.contribution_reward > 0.0 {
-            let reward_shares = dataset_shares(
-                &self.config.design,
-                &mashup.relation,
-                self.config.contribution_reward,
-            );
-            for share in &reward_shares {
-                if let Some(e) = self.metadata.get(share.dataset) {
-                    self.ledger.deposit(&e.owner, share.amount);
-                }
-            }
-        }
-        self.audit.record(AuditEvent::TransactionSettled {
-            tx: record.id,
-            buyer: record.buyer.clone(),
-            price: record.price,
-        });
-        for share in &record.shares {
-            self.lineage.record(
-                share.dataset,
-                LineageEvent::SoldInMashup {
-                    mashup: format!("offer{}", record.offer_id),
-                    revenue: share.amount,
-                },
-            );
-        }
-        for &d in &mashup.datasets {
-            self.lineage.record(
-                d,
-                LineageEvent::UsedInMashup {
-                    mashup: format!("offer{}", record.offer_id),
-                    rows_contributed: mashup.relation.len(),
-                },
-            );
-        }
-        self.purchases.lock().push(Purchase {
-            buyer: record.buyer.clone(),
-            datasets: mashup.datasets.clone(),
-        });
-        // Start exclusivity holds.
-        let licenses = self.licenses.lock();
-        let mut holds = self.exclusive_holds.lock();
-        for &d in &mashup.datasets {
-            if let Some(l) = licenses.get(&d) {
-                if l.is_exclusive() {
-                    holds.insert(d, (record.buyer.clone(), round + l.hold_rounds() as u64));
-                }
-            }
-        }
-    }
-
-    /// Ex post delivery: escrow the buyer's declared cap, hand over data.
-    fn deliver_ex_post(
-        &self,
-        sale: &Sale,
-        mashup: &BuiltMashup,
-        _round: u64,
-    ) -> MarketResult<u64> {
-        let offer = self
-            .offer(sale.offer_id)
-            .ok_or(MarketError::UnknownId(sale.offer_id))?;
-        let deposit = offer.wtp.max_price().max(sale.price);
-        let escrow = self.ledger.hold(&sale.buyer, deposit)?;
-        let delivery_id = self.next_delivery.fetch_add(1, Ordering::Relaxed);
-        self.deliveries.lock().push(Delivery {
-            id: delivery_id,
-            offer_id: sale.offer_id,
-            buyer: sale.buyer.clone(),
-            relation: mashup.relation.clone(),
-            satisfaction: sale.satisfaction,
-            escrow,
-            datasets: mashup.datasets.clone(),
-            settlement: None,
-        });
-        self.set_offer_state(sale.offer_id, OfferState::AwaitingReport { delivery: delivery_id });
-        Ok(delivery_id)
-    }
-
-    /// Buyer reports the value realized from an ex post delivery; the
-    /// market settles, possibly audits, penalizes detected
-    /// under-reporting, and distributes revenue.
-    pub fn report_value(&self, delivery_id: u64, reported: f64) -> MarketResult<Settlement> {
-        let mech = match &self.config.design.elicitation {
-            ElicitationProtocol::ExPost(m) => m.clone(),
-            ElicitationProtocol::ExAnte => {
-                return Err(MarketError::Invalid(
-                    "market uses ex ante elicitation; nothing to report".into(),
-                ))
-            }
-        };
-        let (offer_id, buyer, satisfaction, escrow, mashup_rel, datasets) = {
-            let deliveries = self.deliveries.lock();
-            let d = deliveries
-                .iter()
-                .find(|d| d.id == delivery_id)
-                .ok_or(MarketError::UnknownId(delivery_id))?;
-            if d.settlement.is_some() {
-                return Err(MarketError::Invalid("delivery already settled".into()));
-            }
-            (
-                d.offer_id,
-                d.buyer.clone(),
-                d.satisfaction,
-                d.escrow,
-                d.relation.clone(),
-                d.datasets.clone(),
-            )
-        };
-        let offer = self.offer(offer_id).ok_or(MarketError::UnknownId(offer_id))?;
-        let deposit = self
-            .ledger
-            .escrow_remaining(escrow)
-            .ok_or(MarketError::UnknownId(escrow))?;
-        // Reports are capped by the escrowed deposit (the declared cap).
-        let reported = reported.max(0.0).min(deposit);
-
-        // Audit: the arbiter re-runs the packaged task (it already knows
-        // the measured satisfaction) and compares the implied value.
-        let audited = self.rng.lock().gen::<f64>() < mech.audit_prob;
-        let true_value = offer.wtp.curve.price(satisfaction);
-        let mut penalty = 0.0;
-        if audited && reported + 1e-9 < true_value {
-            penalty = mech.penalty_mult * (true_value - reported);
-            let round = self.round();
-            if let Some(p) = self.participants.lock().get_mut(&buyer) {
-                p.reputation = (p.reputation * 0.5).max(0.0);
-                p.excluded_until = round + mech.exclusion_rounds as u64;
-            }
-        }
-        self.audit.record(AuditEvent::ExPostAudit {
-            delivery: delivery_id,
-            underreported: penalty > 0.0,
-        });
-
-        // Pay from escrow: sellers first, then fee + penalty (capped by
-        // what the deposit can still cover).
-        let fee_rate = self.config.design.arbiter_fee.clamp(0.0, 1.0);
-        let base = reported;
-        let to_sellers = base * (1.0 - fee_rate);
-        let fee = (base * fee_rate + penalty).min(deposit - to_sellers);
-        let shares = dataset_shares(&self.config.design, &mashup_rel, to_sellers);
-        for share in &shares {
-            let owner = match self.metadata.get(share.dataset) {
-                Some(e) => e.owner,
-                None => ARBITER_ACCOUNT.to_string(),
-            };
-            self.ledger.release(escrow, &owner, share.amount)?;
-        }
-        if fee > 0.0 {
-            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
-        }
-        self.ledger.close(escrow)?;
-
-        let settlement = Settlement { paid: base, penalty, audited };
-        let tx = self.next_tx.fetch_add(1, Ordering::Relaxed);
-        let record = TransactionRecord {
-            id: tx,
-            offer_id,
-            buyer: buyer.clone(),
-            price: base,
-            fee,
-            satisfaction,
-            datasets: datasets.clone(),
-            shares,
-            round: self.round(),
-        };
-        let built = BuiltMashup {
-            relation: mashup_rel,
-            datasets,
-            coverage: 1.0,
-            confidence: 1.0,
-            missing: Vec::new(),
-        };
-        self.finish_transaction(&record, &built, self.round());
-        self.transactions.lock().push(record);
-        self.set_offer_state(offer_id, OfferState::Fulfilled { tx });
-        if let Some(d) = self.deliveries.lock().iter_mut().find(|d| d.id == delivery_id) {
-            d.settlement = Some(settlement);
-        }
-        Ok(settlement)
-    }
-
     /// The license attached to a dataset (Standard when unset).
     pub fn license_of(&self, dataset: DatasetId) -> License {
-        self.licenses.lock().get(&dataset).cloned().unwrap_or_default()
+        self.licenses
+            .lock()
+            .get(&dataset)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Negotiation requests from the most recent round (§4.1): what the
@@ -950,51 +405,13 @@ impl DataMarket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dmp_mechanism::design::MarketDesign;
     use dmp_mechanism::wtp::PriceCurve;
-    use dmp_relation::builder::keyed_rel;
 
     fn simple_market() -> DataMarket {
-        let config = MarketConfig::external(3)
-            .with_design(MarketDesign::posted_price_baseline(10.0));
+        let config =
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0));
         DataMarket::new(config)
-    }
-
-    #[test]
-    fn end_to_end_posted_price_sale() {
-        let market = simple_market();
-        let seller = market.seller("s1");
-        let id = seller
-            .share(keyed_rel("inventory", &[(1, "widget"), (2, "gadget")]))
-            .unwrap();
-        let buyer = market.buyer("b1");
-        buyer.deposit(100.0);
-        let wtp = WtpFunction::simple("b1", ["k", "v"], PriceCurve::Constant(25.0));
-        market.submit_wtp(wtp).unwrap();
-
-        let report = market.run_round();
-        assert_eq!(report.sales.len(), 1);
-        assert_eq!(report.revenue, 10.0); // posted price
-        assert!(market.balance("b1") < 100.0);
-        assert!(market.balance("s1") > 0.0);
-        // conservation: all money accounted for
-        assert!((market.ledger.total_supply() - 100.0).abs() < 1e-9);
-        // lineage recorded
-        assert!(market.lineage.total_revenue(id) > 0.0);
-        // audit chain intact
-        assert!(market.audit_log().verify_chain());
-    }
-
-    #[test]
-    fn unfunded_buyer_cannot_settle() {
-        let market = simple_market();
-        market.seller("s1").share(keyed_rel("t", &[(1, "x")])).unwrap();
-        let _buyer = market.buyer("broke");
-        let wtp = WtpFunction::simple("broke", ["k"], PriceCurve::Constant(50.0));
-        market.submit_wtp(wtp).unwrap();
-        let report = market.run_round();
-        assert!(report.sales.is_empty());
-        // offer remains pending for when funds arrive
-        assert_eq!(market.offer(0).unwrap().state, OfferState::Pending);
     }
 
     #[test]
@@ -1008,68 +425,31 @@ mod tests {
     }
 
     #[test]
-    fn internal_market_trades_for_free() {
-        let market = DataMarket::new(MarketConfig::internal());
-        market.seller("teamA").share(keyed_rel("t", &[(1, "x")])).unwrap();
-        let _buyer = market.buyer("teamB"); // bonus-point grant
-        let wtp = WtpFunction::simple("teamB", ["k", "v"], PriceCurve::Constant(5.0));
-        market.submit_wtp(wtp).unwrap();
-        let report = market.run_round();
-        assert_eq!(report.sales.len(), 1);
-        assert_eq!(report.revenue, 0.0, "internal welfare design charges nothing");
-    }
-
-    #[test]
-    fn expired_offers_are_dropped() {
+    fn offer_book_is_id_keyed() {
         let market = simple_market();
-        market.seller("s").share(keyed_rel("t", &[(1, "x")])).unwrap();
-        let b = market.buyer("b");
-        b.deposit(50.0);
-        let mut wtp = WtpFunction::simple("b", ["k"], PriceCurve::Constant(20.0));
-        wtp.constraints.expires_at = Some(0); // expires immediately
-        let id = market.submit_wtp(wtp).unwrap();
-        let report = market.run_round();
-        assert_eq!(report.expired, 1);
-        assert_eq!(market.offer(id).unwrap().state, OfferState::Expired);
-    }
-
-    #[test]
-    fn demand_report_lists_unmet_attributes() {
-        let market = simple_market();
-        market.seller("s").share(keyed_rel("t", &[(1, "x")])).unwrap();
-        let b = market.buyer("b");
-        b.deposit(50.0);
-        let wtp = WtpFunction::simple("b", ["nonexistent_attr"], PriceCurve::Constant(20.0));
-        market.submit_wtp(wtp).unwrap();
-        let report = market.run_round();
-        assert!(report
-            .unmet
-            .missing_attributes
-            .iter()
-            .any(|(a, _)| a == "nonexistent_attr"));
-    }
-
-    #[test]
-    fn reserve_price_blocks_underpriced_sale() {
-        let market = simple_market(); // posted price 10
-        let seller = market.seller("s1");
-        let id = seller.share(keyed_rel("t", &[(1, "x")])).unwrap();
-        seller.set_reserve(id, 15.0).unwrap();
-        let b = market.buyer("b");
-        b.deposit(100.0);
-        market
-            .submit_wtp(WtpFunction::simple("b", ["k", "v"], PriceCurve::Constant(30.0)))
-            .unwrap();
-        let report = market.run_round();
-        assert!(report.sales.is_empty(), "posted 10 < reserve 15");
-    }
-
-    #[test]
-    fn rounds_advance() {
-        let market = simple_market();
-        assert_eq!(market.round(), 0);
-        market.run_round();
-        market.run_round();
-        assert_eq!(market.round(), 2);
+        let _ = market.buyer("b");
+        let ids: Vec<u64> = (0..5)
+            .map(|i| {
+                market
+                    .submit_wtp(WtpFunction::simple(
+                        "b",
+                        ["k"],
+                        PriceCurve::Constant(1.0 + i as f64),
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        // Point lookups hit the exact offer.
+        for &id in &ids {
+            assert_eq!(market.offer(id).unwrap().id, id);
+        }
+        assert!(market.offer(999).is_none());
+        // State updates address by id, not by position.
+        market.set_offer_state(ids[3], OfferState::Expired);
+        assert_eq!(market.offer(ids[3]).unwrap().state, OfferState::Expired);
+        assert_eq!(market.offer(ids[2]).unwrap().state, OfferState::Pending);
+        // Snapshots come back in id order.
+        let snapshot: Vec<u64> = market.offers().iter().map(|o| o.id).collect();
+        assert_eq!(snapshot, ids);
     }
 }

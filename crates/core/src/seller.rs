@@ -41,7 +41,10 @@ pub struct SellerHandle<'m> {
 
 impl<'m> SellerHandle<'m> {
     pub(crate) fn new(market: &'m DataMarket, name: &str) -> Self {
-        SellerHandle { market, name: name.to_string() }
+        SellerHandle {
+            market,
+            name: name.to_string(),
+        }
     }
 
     /// The seller principal.
@@ -79,9 +82,10 @@ impl<'m> SellerHandle<'m> {
         // freshness constraints compare like with like.
         self.market.metadata.sync_clock(self.market.now());
         let id = self.market.metadata.register(name, &self.name, rel);
-        self.market
-            .audit
-            .record(AuditEvent::DatasetRegistered { dataset: id, seller: self.name.clone() });
+        self.market.audit.record(AuditEvent::DatasetRegistered {
+            dataset: id,
+            seller: self.name.clone(),
+        });
         let grant = self.market.config().currency.share_grant();
         if grant > 0.0 {
             self.market.ledger.deposit(&self.name, grant);
@@ -116,12 +120,16 @@ impl<'m> SellerHandle<'m> {
             .privacy
             .spend(id, params.epsilon)
             .map_err(|e| MarketError::PrivacyBudget(e.to_string()))?;
-        self.market
-            .lineage
-            .record(id, LineageEvent::PrivateRelease { epsilon: params.epsilon });
-        self.market
-            .audit
-            .record(AuditEvent::PrivacyRelease { dataset: id, epsilon: params.epsilon });
+        self.market.lineage.record(
+            id,
+            LineageEvent::PrivateRelease {
+                epsilon: params.epsilon,
+            },
+        );
+        self.market.audit.record(AuditEvent::PrivacyRelease {
+            dataset: id,
+            epsilon: params.epsilon,
+        });
         Ok(id)
     }
 
@@ -166,7 +174,10 @@ impl<'m> SellerHandle<'m> {
     /// the sum of its datasets' reserves.
     pub fn set_reserve(&self, dataset: DatasetId, reserve: f64) -> MarketResult<()> {
         self.assert_owner(dataset)?;
-        self.market.reserves.lock().insert(dataset, reserve.max(0.0));
+        self.market
+            .reserves
+            .lock()
+            .insert(dataset, reserve.max(0.0));
         Ok(())
     }
 
@@ -271,8 +282,7 @@ mod tests {
     fn pii_is_refused() {
         let m = market();
         let s = m.seller("alice");
-        let mut b = RelationBuilder::new("users")
-            .column("email", DataType::Str);
+        let mut b = RelationBuilder::new("users").column("email", DataType::Str);
         for i in 0..10 {
             b = b.row(vec![Value::str(format!("u{i}@mail.com"))]);
         }
@@ -295,7 +305,10 @@ mod tests {
         let released = m.metadata().relation(id).unwrap();
         let orig_vals = original.column_f64("pay").unwrap();
         let rel_vals = released.column_f64("pay").unwrap();
-        assert!(orig_vals.iter().zip(&rel_vals).any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(orig_vals
+            .iter()
+            .zip(&rel_vals)
+            .any(|(a, b)| (a - b).abs() > 1e-6));
         assert_eq!(m.lineage.privacy_spent(id), 1.0);
         assert_eq!(s.accountability(id).unwrap().privacy_spent, 1.0);
     }
@@ -313,8 +326,7 @@ mod tests {
     fn anonymized_share_registers() {
         let m = market();
         let s = m.seller("alice");
-        let mut b = RelationBuilder::new("patients")
-            .column("age", DataType::Int);
+        let mut b = RelationBuilder::new("patients").column("age", DataType::Int);
         for age in [30, 31, 32, 33, 50, 51, 52, 53] {
             b = b.row(vec![Value::Int(age)]);
         }

@@ -109,7 +109,12 @@ impl AuditLog {
         let seq = entries.len() as u64;
         let prev_hash = entries.last().map(|e| e.hash).unwrap_or(0);
         let hash = hash_event(seq, prev_hash, &event);
-        entries.push(AuditEntry { seq, prev_hash, hash, event });
+        entries.push(AuditEntry {
+            seq,
+            prev_hash,
+            hash,
+            event,
+        });
         seq
     }
 
@@ -220,7 +225,9 @@ impl DisputeManager {
         let mut ds = self.disputes.lock();
         match ds.get_mut(id as usize) {
             Some(d) if d.state == DisputeState::Open => {
-                d.state = DisputeState::Resolved { refund: refund.max(0.0) };
+                d.state = DisputeState::Resolved {
+                    refund: refund.max(0.0),
+                };
                 true
             }
             _ => false,
@@ -249,8 +256,15 @@ mod tests {
     #[test]
     fn chain_verifies_and_detects_order() {
         let log = AuditLog::new();
-        log.record(AuditEvent::WtpSubmitted { offer: 1, buyer: "b1".into() });
-        log.record(AuditEvent::TransactionSettled { tx: 1, buyer: "b1".into(), price: 9.0 });
+        log.record(AuditEvent::WtpSubmitted {
+            offer: 1,
+            buyer: "b1".into(),
+        });
+        log.record(AuditEvent::TransactionSettled {
+            tx: 1,
+            buyer: "b1".into(),
+            price: 9.0,
+        });
         assert!(log.verify_chain());
         assert_eq!(log.len(), 2);
         let entries = log.entries();
@@ -266,9 +280,18 @@ mod tests {
     fn dataset_transparency_query() {
         let log = AuditLog::new();
         let d = DatasetId(5);
-        log.record(AuditEvent::DatasetRegistered { dataset: d, seller: "s".into() });
-        log.record(AuditEvent::MashupBuilt { offer: 1, datasets: vec![d, DatasetId(6)] });
-        log.record(AuditEvent::WtpSubmitted { offer: 2, buyer: "b".into() });
+        log.record(AuditEvent::DatasetRegistered {
+            dataset: d,
+            seller: "s".into(),
+        });
+        log.record(AuditEvent::MashupBuilt {
+            offer: 1,
+            datasets: vec![d, DatasetId(6)],
+        });
+        log.record(AuditEvent::WtpSubmitted {
+            offer: 2,
+            buyer: "b".into(),
+        });
         let events = log.events_for_dataset(d);
         assert_eq!(events.len(), 2);
         assert!(log.events_for_dataset(DatasetId(99)).is_empty());
@@ -293,6 +316,9 @@ mod tests {
         let dm = DisputeManager::new();
         let id = dm.open("b", 0, "r");
         dm.resolve(id, -4.0);
-        assert_eq!(dm.get(id).unwrap().state, DisputeState::Resolved { refund: 0.0 });
+        assert_eq!(
+            dm.get(id).unwrap().state,
+            DisputeState::Resolved { refund: 0.0 }
+        );
     }
 }

@@ -34,7 +34,11 @@ fn negotiation_round_unblocks_offer() {
     let buyer = m.buyer("b1");
     buyer.deposit(100.0);
     let offer = m
-        .submit_wtp(WtpFunction::simple("b1", ["a", "d"], PriceCurve::Constant(30.0)))
+        .submit_wtp(WtpFunction::simple(
+            "b1",
+            ["a", "d"],
+            PriceCurve::Constant(30.0),
+        ))
         .unwrap();
 
     // Round 1: the mashup builder cannot source `d`.
@@ -51,7 +55,9 @@ fn negotiation_round_unblocks_offer() {
         assert_eq!(req.candidate_sellers, vec!["seller2".to_string()]);
     } else {
         // Sold as a partial mashup: the request still recorded `d`.
-        assert!(requests.iter().any(|r| r.missing.contains(&"d".to_string())));
+        assert!(requests
+            .iter()
+            .any(|r| r.missing.contains(&"d".to_string())));
         assert!(r1.sales.iter().all(|s| s.satisfaction < 1.0));
         return; // partial path exercised; the mapping path below needs Pending
     }
@@ -72,7 +78,10 @@ fn negotiation_round_unblocks_offer() {
     // Round 2: the offer clears with full coverage.
     let r2 = m.run_round();
     assert_eq!(r2.sales.len(), 1, "mapping table should unblock the offer");
-    assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    assert!(matches!(
+        m.offer(offer).unwrap().state,
+        OfferState::Fulfilled { .. }
+    ));
 }
 
 #[test]
@@ -118,6 +127,13 @@ fn annotation_response_improves_discovery() {
     // Negotiation response: the seller annotates with the topic tag.
     seller.annotate(id, "weather").unwrap();
     let r2 = m.run_round();
-    assert_eq!(r2.sales.len(), 1, "semantic annotation should unblock discovery");
-    assert!(matches!(m.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    assert_eq!(
+        r2.sales.len(),
+        1,
+        "semantic annotation should unblock discovery"
+    );
+    assert!(matches!(
+        m.offer(offer).unwrap().state,
+        OfferState::Fulfilled { .. }
+    ));
 }

@@ -83,7 +83,11 @@ impl RelationshipIndex {
             let mut next = Vec::new();
             for d in frontier {
                 for e in self.edges_of(d) {
-                    let peer = if e.left.dataset == d { e.right.dataset } else { e.left.dataset };
+                    let peer = if e.left.dataset == d {
+                        e.right.dataset
+                    } else {
+                        e.left.dataset
+                    };
                     seen.entry(peer).or_insert_with(|| {
                         next.push(peer);
                         hop
@@ -119,8 +123,8 @@ pub fn tokenize(name: &str) -> Vec<String> {
     let mut cur = String::new();
     let chars: Vec<char> = name.chars().collect();
     for (i, &c) in chars.iter().enumerate() {
-        let boundary = !c.is_alphanumeric()
-            || (c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase());
+        let boundary =
+            !c.is_alphanumeric() || (c.is_uppercase() && i > 0 && chars[i - 1].is_lowercase());
         if boundary && !cur.is_empty() {
             tokens.push(std::mem::take(&mut cur).to_lowercase());
         }
@@ -146,7 +150,10 @@ pub struct IndexBuilder {
 
 impl Default for IndexBuilder {
     fn default() -> Self {
-        IndexBuilder { min_containment: 0.8, min_jaccard: 0.5 }
+        IndexBuilder {
+            min_containment: 0.8,
+            min_jaccard: 0.5,
+        }
     }
 }
 
@@ -178,9 +185,10 @@ impl IndexBuilder {
 
     fn build_name_indexes(&self, entries: &[DatasetEntry], idx: &mut Indexes) {
         for e in entries {
-            for tok in tokenize(&e.name).into_iter().chain(
-                e.tags.iter().flat_map(|t| tokenize(t)),
-            ) {
+            for tok in tokenize(&e.name)
+                .into_iter()
+                .chain(e.tags.iter().flat_map(|t| tokenize(t)))
+            {
                 let v = idx.dataset_index.entry(tok).or_default();
                 if !v.contains(&e.id) {
                     v.push(e.id);
@@ -210,10 +218,10 @@ impl IndexBuilder {
         let cols: Vec<ColInfo<'_>> = entries
             .iter()
             .flat_map(|e| {
-                e.latest_snapshot()
-                    .profiles
-                    .iter()
-                    .map(move |p| ColInfo { dataset: e.id, profile: p })
+                e.latest_snapshot().profiles.iter().map(move |p| ColInfo {
+                    dataset: e.id,
+                    profile: p,
+                })
             })
             .collect();
 
@@ -271,7 +279,10 @@ mod tests {
             .column("cust_id", DataType::Int)
             .column("region", DataType::Str);
         for i in 0..200 {
-            b = b.row(vec![Value::Int(i), Value::str(if i % 2 == 0 { "eu" } else { "us" })]);
+            b = b.row(vec![
+                Value::Int(i),
+                Value::str(if i % 2 == 0 { "eu" } else { "us" }),
+            ]);
         }
         eng.register("customers", "alice", b.build().unwrap());
         // orders(order_id, customer -> customers.cust_id)
@@ -290,7 +301,10 @@ mod tests {
             // Non-integral floats: integral ones would canonicalize to the
             // same reprs as customer ids and legitimately register as
             // containment edges.
-            b = b.row(vec![Value::str(format!("city{i}")), Value::Float(i as f64 + 0.25)]);
+            b = b.row(vec![
+                Value::str(format!("city{i}")),
+                Value::Float(i as f64 + 0.25),
+            ]);
         }
         eng.register("weather", "carol", b.build().unwrap());
         eng

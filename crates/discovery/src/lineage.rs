@@ -60,7 +60,10 @@ impl LineageLog {
 
     /// Log with a per-dataset quota; once full, oldest events are dropped.
     pub fn with_quota(quota: usize) -> Self {
-        LineageLog { quota: Some(quota), ..Default::default() }
+        LineageLog {
+            quota: Some(quota),
+            ..Default::default()
+        }
     }
 
     /// Record an event for a dataset. Returns the event sequence number.
@@ -80,7 +83,11 @@ impl LineageLog {
 
     /// All events for a dataset, in order.
     pub fn events(&self, dataset: DatasetId) -> Vec<(u64, LineageEvent)> {
-        self.events.read().get(&dataset).cloned().unwrap_or_default()
+        self.events
+            .read()
+            .get(&dataset)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Total revenue attributed to a dataset across all sales.
@@ -130,8 +137,20 @@ mod tests {
     fn records_and_reads_in_order() {
         let log = LineageLog::new();
         let d = DatasetId(1);
-        log.record(d, LineageEvent::UsedInMashup { mashup: "m1".into(), rows_contributed: 10 });
-        log.record(d, LineageEvent::SoldInMashup { mashup: "m1".into(), revenue: 42.0 });
+        log.record(
+            d,
+            LineageEvent::UsedInMashup {
+                mashup: "m1".into(),
+                rows_contributed: 10,
+            },
+        );
+        log.record(
+            d,
+            LineageEvent::SoldInMashup {
+                mashup: "m1".into(),
+                revenue: 42.0,
+            },
+        );
         let evs = log.events(d);
         assert_eq!(evs.len(), 2);
         assert!(evs[0].0 < evs[1].0);
@@ -141,8 +160,20 @@ mod tests {
     fn revenue_accumulates() {
         let log = LineageLog::new();
         let d = DatasetId(1);
-        log.record(d, LineageEvent::SoldInMashup { mashup: "m1".into(), revenue: 10.0 });
-        log.record(d, LineageEvent::SoldInMashup { mashup: "m2".into(), revenue: 5.5 });
+        log.record(
+            d,
+            LineageEvent::SoldInMashup {
+                mashup: "m1".into(),
+                revenue: 10.0,
+            },
+        );
+        log.record(
+            d,
+            LineageEvent::SoldInMashup {
+                mashup: "m2".into(),
+                revenue: 5.5,
+            },
+        );
         assert!((log.total_revenue(d) - 15.5).abs() < 1e-12);
         assert_eq!(log.total_revenue(DatasetId(2)), 0.0);
     }
@@ -151,9 +182,27 @@ mod tests {
     fn mashups_dedupe() {
         let log = LineageLog::new();
         let d = DatasetId(1);
-        log.record(d, LineageEvent::UsedInMashup { mashup: "m1".into(), rows_contributed: 1 });
-        log.record(d, LineageEvent::SoldInMashup { mashup: "m1".into(), revenue: 1.0 });
-        log.record(d, LineageEvent::UsedInMashup { mashup: "m2".into(), rows_contributed: 2 });
+        log.record(
+            d,
+            LineageEvent::UsedInMashup {
+                mashup: "m1".into(),
+                rows_contributed: 1,
+            },
+        );
+        log.record(
+            d,
+            LineageEvent::SoldInMashup {
+                mashup: "m1".into(),
+                revenue: 1.0,
+            },
+        );
+        log.record(
+            d,
+            LineageEvent::UsedInMashup {
+                mashup: "m2".into(),
+                rows_contributed: 2,
+            },
+        );
         assert_eq!(log.mashups(d), vec!["m1".to_string(), "m2".to_string()]);
     }
 

@@ -31,7 +31,10 @@ pub struct ColumnRef {
 impl ColumnRef {
     /// Construct a reference.
     pub fn new(dataset: DatasetId, column: impl Into<String>) -> Self {
-        ColumnRef { dataset, column: column.into() }
+        ColumnRef {
+            dataset,
+            column: column.into(),
+        }
     }
 }
 
@@ -76,7 +79,9 @@ pub struct DatasetEntry {
 impl DatasetEntry {
     /// The latest snapshot (always present).
     pub fn latest_snapshot(&self) -> &ContextSnapshot {
-        self.snapshots.last().expect("entry always has >= 1 snapshot")
+        self.snapshots
+            .last()
+            .expect("entry always has >= 1 snapshot")
     }
 
     /// Profile of a specific column in the latest snapshot.
@@ -117,7 +122,12 @@ impl MetadataEngine {
     /// Register a dataset via the *share interface* (a user shares one
     /// specific dataset). Stamps leaf provenance and takes the initial
     /// context snapshot. Returns the assigned id.
-    pub fn register(&self, name: impl Into<String>, owner: impl Into<String>, rel: Relation) -> DatasetId {
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        owner: impl Into<String>,
+        rel: Relation,
+    ) -> DatasetId {
         let id = DatasetId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let name = name.into();
         let owner = owner.into();
@@ -155,7 +165,7 @@ impl MetadataEngine {
 
     /// Parallel batch registration: profiling (sketches, statistics)
     /// dominates ingestion cost, so snapshots are computed on `workers`
-    /// crossbeam-scoped threads before entries are installed. Ids are
+    /// scoped threads before entries are installed. Ids are
     /// assigned in input order, identical to [`Self::register_batch`].
     pub fn register_batch_parallel(
         &self,
@@ -181,9 +191,9 @@ impl MetadataEngine {
                 .zip(ids.iter().copied())
                 .collect::<Vec<(Relation, DatasetId)>>(),
         );
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let job = jobs.lock().pop();
                     let Some((rel, id)) = job else { break };
                     let name = rel.name().to_string();
@@ -202,8 +212,7 @@ impl MetadataEngine {
                     });
                 });
             }
-        })
-        .expect("ingestion workers do not panic");
+        });
 
         let mut map = self.entries.write();
         for e in entries.into_inner() {
@@ -258,7 +267,10 @@ impl MetadataEngine {
 
     /// The current relation of a dataset.
     pub fn relation(&self, id: DatasetId) -> Option<Arc<Relation>> {
-        self.entries.read().get(&id).map(|e| Arc::clone(&e.relation))
+        self.entries
+            .read()
+            .get(&id)
+            .map(|e| Arc::clone(&e.relation))
     }
 
     /// All dataset ids, ascending.
@@ -352,7 +364,9 @@ mod tests {
     fn update_bumps_version_and_appends_snapshot() {
         let eng = MetadataEngine::new();
         let id = eng.register("a", "alice", keyed_rel("a", &[(1, "x")]));
-        let v = eng.update(id, keyed_rel("a", &[(1, "x"), (2, "y")])).unwrap();
+        let v = eng
+            .update(id, keyed_rel("a", &[(1, "x"), (2, "y")]))
+            .unwrap();
         assert_eq!(v, 2);
         let e = eng.get(id).unwrap();
         assert_eq!(e.snapshots.len(), 2);
@@ -469,11 +483,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..25 {
                     let name = format!("t{t}_{i}");
-                    eng.register(
-                        name.clone(),
-                        "owner",
-                        keyed_rel(&name, &[(i, "v")]),
-                    );
+                    eng.register(name.clone(), "owner", keyed_rel(&name, &[(i, "v")]));
                 }
             }));
         }

@@ -45,7 +45,8 @@ impl ColumnProfile {
         let mut nulls = 0usize;
         let mut hll = HyperLogLog::default_precision();
         let mut mh = MinHash::default_width();
-        let (mut min, mut max, mut sum, mut n_num) = (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0usize);
+        let (mut min, mut max, mut sum, mut n_num) =
+            (f64::INFINITY, f64::NEG_INFINITY, 0.0, 0usize);
         let mut samples: Vec<String> = Vec::new();
 
         for row in rel.rows() {
@@ -152,7 +153,11 @@ mod tests {
             b = b.row(vec![
                 Value::Int(i),
                 Value::str(format!("user{}", i % 10)),
-                if i % 5 == 0 { Value::Null } else { Value::Float(i as f64 / 2.0) },
+                if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64 / 2.0)
+                },
             ]);
         }
         b.build().unwrap()
@@ -171,7 +176,11 @@ mod tests {
     #[test]
     fn distinct_estimation() {
         let p = ColumnProfile::compute(&rel(), "name").unwrap();
-        assert!((p.distinct_est - 10.0).abs() < 2.0, "est {}", p.distinct_est);
+        assert!(
+            (p.distinct_est - 10.0).abs() < 2.0,
+            "est {}",
+            p.distinct_est
+        );
     }
 
     #[test]
@@ -198,7 +207,10 @@ mod tests {
 
     #[test]
     fn canonical_repr_crosses_types() {
-        assert_eq!(canonical_repr(&Value::Int(2)), canonical_repr(&Value::Float(2.0)));
+        assert_eq!(
+            canonical_repr(&Value::Int(2)),
+            canonical_repr(&Value::Float(2.0))
+        );
         assert_eq!(canonical_repr(&Value::str(" Foo ")), "foo");
     }
 

@@ -79,7 +79,10 @@ impl<'a> DiscoveryEngine<'a> {
         }
         let mut hits: Vec<SearchHit> = votes
             .into_iter()
-            .map(|(column, v)| SearchHit { column, score: v as f64 / tokens.len() as f64 })
+            .map(|(column, v)| SearchHit {
+                column,
+                score: v as f64 / tokens.len() as f64,
+            })
             .collect();
         hits.sort_by(|a, b| {
             b.score
@@ -194,7 +197,11 @@ mod tests {
             .column("client", DataType::Str)
             .column("phone", DataType::Str);
         for i in 0..100 {
-            let name = if i < 90 { format!("name{i}") } else { format!("other{i}") };
+            let name = if i < 90 {
+                format!("name{i}")
+            } else {
+                format!("other{i}")
+            };
             b = b.row(vec![Value::str(name), Value::str(format!("+1-{i:04}"))]);
         }
         eng.register("crm_dump", "c", b.build().unwrap());

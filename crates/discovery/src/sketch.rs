@@ -58,7 +58,10 @@ impl MinHash {
 
     /// Create an empty signature with `k` components.
     pub fn new(k: usize) -> Self {
-        MinHash { mins: vec![u64::MAX; k.max(1)], items: 0 }
+        MinHash {
+            mins: vec![u64::MAX; k.max(1)],
+            items: 0,
+        }
     }
 
     /// Create with the platform default width.
@@ -147,7 +150,10 @@ impl HyperLogLog {
     /// Create with `p` index bits (4 ≤ p ≤ 18).
     pub fn new(p: u8) -> Self {
         let p = p.clamp(4, 18);
-        HyperLogLog { registers: vec![0; 1 << p], p }
+        HyperLogLog {
+            registers: vec![0; 1 << p],
+            p,
+        }
     }
 
     /// Create with the platform default precision.
@@ -223,7 +229,10 @@ mod tests {
         let a = MinHash::from_items(256, 0..1000);
         let b = MinHash::from_items(256, 500..1500);
         let j = a.estimate_jaccard(&b);
-        assert!((j - 1.0 / 3.0).abs() < 0.12, "estimate {j} too far from 1/3");
+        assert!(
+            (j - 1.0 / 3.0).abs() < 0.12,
+            "estimate {j} too far from 1/3"
+        );
     }
 
     #[test]

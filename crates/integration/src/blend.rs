@@ -89,7 +89,10 @@ pub fn blend(relations: &[&Relation], min_sim: f64) -> RelResult<BlendReport> {
         acc = acc.union(&projected)?;
     }
 
-    Ok(BlendReport { relation: acc.distinct().named("blend"), skipped })
+    Ok(BlendReport {
+        relation: acc.distinct().named("blend"),
+        skipped,
+    })
 }
 
 #[cfg(test)]

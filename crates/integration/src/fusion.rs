@@ -32,11 +32,7 @@ pub enum FusionStrategy {
 ///
 /// Every input must contain `key` and `value_col`. Rows with null keys are
 /// skipped. Output provenance merges all contributing rows.
-pub fn align(
-    sources: &[&Relation],
-    key: &str,
-    value_col: &str,
-) -> RelResult<Relation> {
+pub fn align(sources: &[&Relation], key: &str, value_col: &str) -> RelResult<Relation> {
     if sources.is_empty() {
         return Err(RelError::Invalid("fusion needs at least one source".into()));
     }
@@ -100,9 +96,7 @@ fn resolve_claims(claims: &[Sourced], strategy: &FusionStrategy) -> Value {
                 Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
             }
         }
-        FusionStrategy::MajorityVote => {
-            weighted_vote(claims, |_| 1.0)
-        }
+        FusionStrategy::MajorityVote => weighted_vote(claims, |_| 1.0),
         FusionStrategy::WeightedVote(weights) => {
             weighted_vote(claims, |d| weights.get(&d).copied().unwrap_or(1.0))
         }
@@ -139,7 +133,10 @@ pub struct TruthDiscovery {
 
 impl Default for TruthDiscovery {
     fn default() -> Self {
-        TruthDiscovery { max_iters: 20, tol: 1e-6 }
+        TruthDiscovery {
+            max_iters: 20,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -183,9 +180,7 @@ impl TruthDiscovery {
             // E-step: consensus per row under current weights.
             let consensus: Vec<Value> = rows_claims
                 .iter()
-                .map(|claims| {
-                    weighted_vote(claims, |d| weights.get(&d).copied().unwrap_or(0.5))
-                })
+                .map(|claims| weighted_vote(claims, |d| weights.get(&d).copied().unwrap_or(0.5)))
                 .collect();
             // M-step: source accuracy = weighted agreement with consensus.
             let mut agree: HashMap<DatasetId, (f64, f64)> = HashMap::new();
@@ -213,7 +208,11 @@ impl TruthDiscovery {
         }
 
         let resolved = resolve(rel, col, &FusionStrategy::WeightedVote(weights.clone()))?;
-        Ok(TruthResult { resolved, source_weights: weights, iterations })
+        Ok(TruthResult {
+            resolved,
+            source_weights: weights,
+            iterations,
+        })
     }
 }
 

@@ -152,10 +152,7 @@ pub fn apply_steps(
         let right = engine
             .relation(step.to_dataset)
             .ok_or_else(|| RelError::Invalid(format!("unknown dataset {}", step.to_dataset)))?;
-        if acc
-            .full_provenance()
-            .datasets()
-            .contains(&step.to_dataset)
+        if acc.full_provenance().datasets().contains(&step.to_dataset)
             && acc.schema().contains(&step.to_column)
         {
             continue; // already joined this dataset in an earlier path
@@ -202,7 +199,10 @@ mod tests {
             .column("cust_id", DataType::Int)
             .column("region", DataType::Str);
         for i in 0..100 {
-            b = b.row(vec![Value::Int(i), Value::str(if i % 2 == 0 { "eu" } else { "us" })]);
+            b = b.row(vec![
+                Value::Int(i),
+                Value::str(if i % 2 == 0 { "eu" } else { "us" }),
+            ]);
         }
         eng.register("customers", "a", b.build().unwrap());
 

@@ -58,7 +58,10 @@ impl Mapping {
                 if scale.abs() < f64::EPSILON {
                     None
                 } else {
-                    Some(Mapping::Affine { scale: 1.0 / scale, offset: -offset / scale })
+                    Some(Mapping::Affine {
+                        scale: 1.0 / scale,
+                        offset: -offset / scale,
+                    })
                 }
             }
             Mapping::Dictionary(map) => {
@@ -230,7 +233,10 @@ mod tests {
 
     #[test]
     fn affine_inverse_recovers_input() {
-        let m = Mapping::Affine { scale: 1.8, offset: 32.0 };
+        let m = Mapping::Affine {
+            scale: 1.8,
+            offset: 32.0,
+        };
         let inv = m.invert().unwrap();
         let x = vf(25.0);
         let y = m.apply(&x);
@@ -240,7 +246,10 @@ mod tests {
 
     #[test]
     fn noninvertible_affine() {
-        let m = Mapping::Affine { scale: 0.0, offset: 5.0 };
+        let m = Mapping::Affine {
+            scale: 0.0,
+            offset: 5.0,
+        };
         assert!(!m.is_invertible());
     }
 
@@ -318,7 +327,10 @@ mod tests {
             .row(vec![vf(100.0)])
             .build()
             .unwrap();
-        let m = Mapping::Affine { scale: 1.8, offset: 32.0 };
+        let m = Mapping::Affine {
+            scale: 1.8,
+            offset: 32.0,
+        };
         let out = apply_to_column(&r, "c", &m).unwrap();
         assert_eq!(out.rows()[1].get(0), &vf(212.0));
     }

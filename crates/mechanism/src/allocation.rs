@@ -23,7 +23,10 @@ pub struct Bid {
 impl Bid {
     /// Construct a bid.
     pub fn new(bidder: impl Into<String>, amount: f64) -> Self {
-        Bid { bidder: bidder.into(), amount }
+        Bid {
+            bidder: bidder.into(),
+            amount,
+        }
     }
 }
 
@@ -118,7 +121,11 @@ mod tests {
 
     #[test]
     fn top_k_ties_break_by_order() {
-        let tied = vec![Bid::new("a", 10.0), Bid::new("b", 10.0), Bid::new("c", 10.0)];
+        let tied = vec![
+            Bid::new("a", 10.0),
+            Bid::new("b", 10.0),
+            Bid::new("c", 10.0),
+        ];
         let w = AllocationRule::TopK(2).allocate(&tied);
         assert_eq!(w, vec![0, 1]);
     }
@@ -137,8 +144,16 @@ mod tests {
 
     #[test]
     fn lottery_is_deterministic_per_seed() {
-        let a = AllocationRule::Lottery { winners: 2, seed: 7 }.allocate(&bids());
-        let b = AllocationRule::Lottery { winners: 2, seed: 7 }.allocate(&bids());
+        let a = AllocationRule::Lottery {
+            winners: 2,
+            seed: 7,
+        }
+        .allocate(&bids());
+        let b = AllocationRule::Lottery {
+            winners: 2,
+            seed: 7,
+        }
+        .allocate(&bids());
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
     }

@@ -133,7 +133,11 @@ impl MarketDesign {
             .sum();
         DesignOutcome {
             payments: payments.clone(),
-            measure: OutcomeMeasure { revenue, welfare, transactions: payments.len() },
+            measure: OutcomeMeasure {
+                revenue,
+                welfare,
+                transactions: payments.len(),
+            },
         }
     }
 }
@@ -197,7 +201,11 @@ pub fn empirical_ic_check(design: &MarketDesign, valuations: &[f64], grid: &[f64
             }
         }
     }
-    IcReport { max_gain, best_deviator, is_ic: max_gain <= 1e-9 }
+    IcReport {
+        max_gain,
+        best_deviator,
+        is_ic: max_gain <= 1e-9,
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +230,11 @@ mod tests {
         };
         let vals = vec![10.0, 25.0, 40.0, 5.0];
         let report = empirical_ic_check(&design, &vals, &grid());
-        assert!(report.is_ic, "Vickrey must be IC, gain = {}", report.max_gain);
+        assert!(
+            report.is_ic,
+            "Vickrey must be IC, gain = {}",
+            report.max_gain
+        );
     }
 
     #[test]
@@ -270,7 +282,11 @@ mod tests {
     #[test]
     fn run_auction_measures_outcome() {
         let design = MarketDesign::posted_price_baseline(15.0);
-        let bids = vec![Bid::new("a", 10.0), Bid::new("b", 20.0), Bid::new("c", 30.0)];
+        let bids = vec![
+            Bid::new("a", 10.0),
+            Bid::new("b", 20.0),
+            Bid::new("c", 30.0),
+        ];
         let vals = vec![10.0, 20.0, 30.0];
         let out = design.run_auction(&bids, &vals);
         assert_eq!(out.measure.transactions, 2);
@@ -286,7 +302,10 @@ mod tests {
             MarketDesign::posted_price_baseline(1.0).goal,
             MarketGoal::Transactions
         );
-        assert_eq!(MarketDesign::scarce_licenses(2, 5.0).allocation, AllocationRule::TopK(2));
+        assert_eq!(
+            MarketDesign::scarce_licenses(2, 5.0).allocation,
+            AllocationRule::TopK(2)
+        );
     }
 
     #[test]

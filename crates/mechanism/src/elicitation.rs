@@ -65,8 +65,8 @@ impl ExPostMechanism {
             return v - r;
         }
         let gain = v - r;
-        let detection_loss = self.penalty_mult * gain
-            + self.exclusion_rounds as f64 * self.round_value;
+        let detection_loss =
+            self.penalty_mult * gain + self.exclusion_rounds as f64 * self.round_value;
         v - r - self.audit_prob * detection_loss
     }
 
@@ -94,8 +94,7 @@ impl ExPostMechanism {
                 && self.exclusion_rounds > 0
                 && self.round_value > 0.0
                 && self.audit_prob
-                    * (self.penalty_mult
-                        + self.exclusion_rounds as f64 * self.round_value)
+                    * (self.penalty_mult + self.exclusion_rounds as f64 * self.round_value)
                     >= 1.0)
     }
 
@@ -131,7 +130,10 @@ mod tests {
         };
         assert!(!m.is_truthful());
         let opt = m.optimal_report(100.0);
-        assert!(opt < 50.0, "weak mechanism should invite shading, opt = {opt}");
+        assert!(
+            opt < 50.0,
+            "weak mechanism should invite shading, opt = {opt}"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ mod tests {
 
     #[test]
     fn score_selects_goal_dimension() {
-        let m = OutcomeMeasure { revenue: 10.0, welfare: 25.0, transactions: 3 };
+        let m = OutcomeMeasure {
+            revenue: 10.0,
+            welfare: 25.0,
+            transactions: 3,
+        };
         assert_eq!(m.score(MarketGoal::Revenue), 10.0);
         assert_eq!(m.score(MarketGoal::Welfare), 25.0);
         assert_eq!(m.score(MarketGoal::Transactions), 3.0);
@@ -83,8 +87,16 @@ mod tests {
 
     #[test]
     fn add_accumulates() {
-        let a = OutcomeMeasure { revenue: 1.0, welfare: 2.0, transactions: 1 };
-        let b = OutcomeMeasure { revenue: 3.0, welfare: 4.0, transactions: 2 };
+        let a = OutcomeMeasure {
+            revenue: 1.0,
+            welfare: 2.0,
+            transactions: 1,
+        };
+        let b = OutcomeMeasure {
+            revenue: 3.0,
+            welfare: 4.0,
+            transactions: 2,
+        };
         let c = a.add(&b);
         assert_eq!(c.revenue, 4.0);
         assert_eq!(c.welfare, 6.0);

@@ -77,10 +77,7 @@ impl PaymentRule {
     /// into `bids`.
     pub fn payments(&self, bids: &[Bid], winners: &[usize]) -> Vec<Payment> {
         match self {
-            PaymentRule::FirstPrice => winners
-                .iter()
-                .map(|&i| (i, bids[i].amount))
-                .collect(),
+            PaymentRule::FirstPrice => winners.iter().map(|&i| (i, bids[i].amount)).collect(),
             PaymentRule::PostedPrice(p) => winners
                 .iter()
                 .filter(|&&i| bids[i].amount >= *p)
@@ -88,7 +85,10 @@ impl PaymentRule {
                 .collect(),
             PaymentRule::Vickrey => {
                 let price = highest_losing_bid(bids, winners).unwrap_or(0.0);
-                winners.iter().map(|&i| (i, price.min(bids[i].amount))).collect()
+                winners
+                    .iter()
+                    .map(|&i| (i, price.min(bids[i].amount)))
+                    .collect()
             }
             PaymentRule::VickreyReserve { reserve } => {
                 let floor = highest_losing_bid(bids, winners)
@@ -120,7 +120,10 @@ fn gsp(bids: &[Bid], winners: &[usize]) -> Vec<Payment> {
     });
     let mut out: Vec<Payment> = Vec::new();
     for &w in winners {
-        let rank = order.iter().position(|&i| i == w).expect("winner indexes bids");
+        let rank = order
+            .iter()
+            .position(|&i| i == w)
+            .expect("winner indexes bids");
         let price = order
             .get(rank + 1)
             .map(|&next| bids[next].amount)
@@ -261,7 +264,11 @@ mod tests {
 
     #[test]
     fn gsp_never_charges_above_bid() {
-        let tied = vec![Bid::new("a", 10.0), Bid::new("b", 10.0), Bid::new("c", 10.0)];
+        let tied = vec![
+            Bid::new("a", 10.0),
+            Bid::new("b", 10.0),
+            Bid::new("c", 10.0),
+        ];
         let p = PaymentRule::GeneralizedSecondPrice.payments(&tied, &[0, 1]);
         for (i, price) in p {
             assert!(price <= tied[i].amount + 1e-12);
@@ -283,12 +290,17 @@ mod tests {
 
     #[test]
     fn rsop_price_is_uniform_within_each_half() {
-        let many: Vec<Bid> = (0..40).map(|i| Bid::new(format!("b{i}"), 1.0 + i as f64)).collect();
+        let many: Vec<Bid> = (0..40)
+            .map(|i| Bid::new(format!("b{i}"), 1.0 + i as f64))
+            .collect();
         let p = PaymentRule::Rsop { seed: 1 }.payments(&many, &[]);
         let mut distinct: Vec<u64> = p.iter().map(|(_, x)| x.to_bits()).collect();
         distinct.sort_unstable();
         distinct.dedup();
-        assert!(distinct.len() <= 2, "at most two price levels, got {distinct:?}");
+        assert!(
+            distinct.len() <= 2,
+            "at most two price levels, got {distinct:?}"
+        );
     }
 
     #[test]
@@ -298,7 +310,9 @@ mod tests {
 
     #[test]
     fn rsop_deterministic_per_seed() {
-        let many: Vec<Bid> = (0..30).map(|i| Bid::new(format!("b{i}"), (i * 7 % 13) as f64)).collect();
+        let many: Vec<Bid> = (0..30)
+            .map(|i| Bid::new(format!("b{i}"), (i * 7 % 13) as f64))
+            .collect();
         let p1 = PaymentRule::Rsop { seed: 9 }.payments(&many, &[]);
         let p2 = PaymentRule::Rsop { seed: 9 }.payments(&many, &[]);
         assert_eq!(p1, p2);

@@ -134,16 +134,28 @@ pub fn find_arbitrage(p: &dyn PriceFunction, views: &[View]) -> Vec<Arbitrage> {
             let (pa, pb) = (p.price(a), p.price(b));
             // Monotonicity between comparable pairs.
             if a & b == a && pa > pb + 1e-9 {
-                out.push(Arbitrage::MonotonicityViolation { sub: a, sup: b, saving: pa - pb });
+                out.push(Arbitrage::MonotonicityViolation {
+                    sub: a,
+                    sup: b,
+                    saving: pa - pb,
+                });
             } else if a & b == b && pb > pa + 1e-9 {
-                out.push(Arbitrage::MonotonicityViolation { sub: b, sup: a, saving: pb - pa });
+                out.push(Arbitrage::MonotonicityViolation {
+                    sub: b,
+                    sup: a,
+                    saving: pb - pa,
+                });
             }
             // Subadditivity when the union is also a listed view.
             let u = a | b;
             if u != a && u != b && views.contains(&u) {
                 let pu = p.price(u);
                 if pu > pa + pb + 1e-9 {
-                    out.push(Arbitrage::SubadditivityViolation { a, b, saving: pu - (pa + pb) });
+                    out.push(Arbitrage::SubadditivityViolation {
+                        a,
+                        b,
+                        saving: pu - (pa + pb),
+                    });
                 }
             }
         }
@@ -182,7 +194,10 @@ pub fn revenue(p: &dyn PriceFunction, demand: &[Demand]) -> f64 {
 /// pricing and its revenue. This is the simple 1-parameter member of the
 /// arbitrage-free family — already enough to dominate naive pricing in
 /// E10 while provably admitting no arbitrage.
-pub fn optimize_uniform_pricing(n_attrs: usize, demand: &[Demand]) -> (WeightedCoveragePricing, f64) {
+pub fn optimize_uniform_pricing(
+    n_attrs: usize,
+    demand: &[Demand],
+) -> (WeightedCoveragePricing, f64) {
     let mut candidates: Vec<f64> = demand
         .iter()
         .filter(|d| d.view != 0)
@@ -245,9 +260,9 @@ mod tests {
         let mut p = NaivePricing::new();
         p.set(A, 2.0).set(B, 2.0).set(AB, 10.0);
         let arb = find_arbitrage(&p, &p.views());
-        assert!(arb
-            .iter()
-            .any(|x| matches!(x, Arbitrage::SubadditivityViolation { saving, .. } if *saving > 5.9)));
+        assert!(arb.iter().any(
+            |x| matches!(x, Arbitrage::SubadditivityViolation { saving, .. } if *saving > 5.9)
+        ));
     }
 
     #[test]
@@ -261,9 +276,18 @@ mod tests {
     fn revenue_counts_only_affordable_buyers() {
         let p = WeightedCoveragePricing::uniform(3, 2.0);
         let demand = vec![
-            Demand { view: A, budget: 3.0 },   // pays 2
-            Demand { view: AB, budget: 3.0 },  // price 4 > 3: no sale
-            Demand { view: ABC, budget: 10.0 } // pays 6
+            Demand {
+                view: A,
+                budget: 3.0,
+            }, // pays 2
+            Demand {
+                view: AB,
+                budget: 3.0,
+            }, // price 4 > 3: no sale
+            Demand {
+                view: ABC,
+                budget: 10.0,
+            }, // pays 6
         ];
         assert!((revenue(&p, &demand) - 8.0).abs() < 1e-9);
     }
@@ -271,10 +295,22 @@ mod tests {
     #[test]
     fn optimizer_beats_zero_and_stays_arbitrage_free() {
         let demand = vec![
-            Demand { view: A, budget: 5.0 },
-            Demand { view: AB, budget: 8.0 },
-            Demand { view: ABC, budget: 9.0 },
-            Demand { view: B, budget: 1.0 },
+            Demand {
+                view: A,
+                budget: 5.0,
+            },
+            Demand {
+                view: AB,
+                budget: 8.0,
+            },
+            Demand {
+                view: ABC,
+                budget: 9.0,
+            },
+            Demand {
+                view: B,
+                budget: 1.0,
+            },
         ];
         let (p, r) = optimize_uniform_pricing(3, &demand);
         assert!(r > 0.0);

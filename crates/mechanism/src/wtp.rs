@@ -121,7 +121,10 @@ impl PriceCurve {
                 }
                 p
             }
-            PriceCurve::Linear { min_satisfaction, max_price } => {
+            PriceCurve::Linear {
+                min_satisfaction,
+                max_price,
+            } => {
                 if s < *min_satisfaction {
                     0.0
                 } else if *min_satisfaction >= 1.0 {
@@ -140,7 +143,10 @@ impl PriceCurve {
             PriceCurve::Step(steps) => {
                 PriceCurve::Step(steps.iter().map(|&(t, p)| (t, p * factor)).collect())
             }
-            PriceCurve::Linear { min_satisfaction, max_price } => PriceCurve::Linear {
+            PriceCurve::Linear {
+                min_satisfaction,
+                max_price,
+            } => PriceCurve::Linear {
                 min_satisfaction: *min_satisfaction,
                 max_price: max_price * factor,
             },
@@ -189,9 +195,7 @@ impl IntrinsicConstraints {
 
     /// Check a materialized mashup against the constraints.
     pub fn admits_mashup(&self, mashup: &Relation) -> bool {
-        if self.require_provenance
-            && mashup.rows().iter().any(|r| r.provenance().is_empty())
-        {
+        if self.require_provenance && mashup.rows().iter().any(|r| r.provenance().is_empty()) {
             return false;
         }
         if let Some(max_missing) = self.max_missing_ratio {
@@ -227,7 +231,10 @@ mod tests {
 
     #[test]
     fn linear_curve_interpolates() {
-        let c = PriceCurve::Linear { min_satisfaction: 0.5, max_price: 100.0 };
+        let c = PriceCurve::Linear {
+            min_satisfaction: 0.5,
+            max_price: 100.0,
+        };
         assert_eq!(c.price(0.4), 0.0);
         assert_eq!(c.price(0.5), 0.0);
         assert!((c.price(0.75) - 50.0).abs() < 1e-9);
@@ -236,7 +243,10 @@ mod tests {
 
     #[test]
     fn degenerate_linear_min_one() {
-        let c = PriceCurve::Linear { min_satisfaction: 1.0, max_price: 40.0 };
+        let c = PriceCurve::Linear {
+            min_satisfaction: 1.0,
+            max_price: 40.0,
+        };
         assert_eq!(c.price(1.0), 40.0);
         assert_eq!(c.price(0.99), 0.0);
     }
@@ -257,13 +267,20 @@ mod tests {
 
     #[test]
     fn max_price_is_full_satisfaction_price() {
-        let w = WtpFunction::simple("b1", ["a"], PriceCurve::Step(vec![(0.8, 100.0), (0.9, 150.0)]));
+        let w = WtpFunction::simple(
+            "b1",
+            ["a"],
+            PriceCurve::Step(vec![(0.8, 100.0), (0.9, 150.0)]),
+        );
         assert_eq!(w.max_price(), 150.0);
     }
 
     #[test]
     fn freshness_constraint() {
-        let c = IntrinsicConstraints { max_age: Some(10), ..Default::default() };
+        let c = IntrinsicConstraints {
+            max_age: Some(10),
+            ..Default::default()
+        };
         assert!(c.admits_dataset(95, "anyone", 100));
         assert!(!c.admits_dataset(80, "anyone", 100));
     }
@@ -280,7 +297,10 @@ mod tests {
 
     #[test]
     fn expiry_gates_offers() {
-        let c = IntrinsicConstraints { expires_at: Some(50), ..Default::default() };
+        let c = IntrinsicConstraints {
+            expires_at: Some(50),
+            ..Default::default()
+        };
         assert!(c.is_live(50));
         assert!(!c.is_live(51));
         assert!(IntrinsicConstraints::none().is_live(u64::MAX));
@@ -295,8 +315,14 @@ mod tests {
             .source(DatasetId(1))
             .build()
             .unwrap();
-        let tight = IntrinsicConstraints { max_missing_ratio: Some(0.1), ..Default::default() };
-        let loose = IntrinsicConstraints { max_missing_ratio: Some(0.9), ..Default::default() };
+        let tight = IntrinsicConstraints {
+            max_missing_ratio: Some(0.1),
+            ..Default::default()
+        };
+        let loose = IntrinsicConstraints {
+            max_missing_ratio: Some(0.9),
+            ..Default::default()
+        };
         assert!(!tight.admits_mashup(&r));
         assert!(loose.admits_mashup(&r));
     }
@@ -314,7 +340,10 @@ mod tests {
             .row(vec![Value::Int(1)])
             .build()
             .unwrap();
-        let c = IntrinsicConstraints { require_provenance: true, ..Default::default() };
+        let c = IntrinsicConstraints {
+            require_provenance: true,
+            ..Default::default()
+        };
         assert!(c.admits_mashup(&with_prov));
         assert!(!c.admits_mashup(&without));
     }

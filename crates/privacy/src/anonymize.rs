@@ -185,8 +185,7 @@ mod tests {
     #[test]
     fn suppression_counts_reported() {
         // one singleton that generalization cannot merge stays suppressed
-        let mut b = RelationBuilder::new("t")
-            .column("qi", DataType::Str);
+        let mut b = RelationBuilder::new("t").column("qi", DataType::Str);
         for _ in 0..4 {
             b = b.row(vec![Value::str("aaaa")]);
         }

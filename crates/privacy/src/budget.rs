@@ -28,7 +28,10 @@ pub enum BudgetError {
 impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            BudgetError::Exhausted { requested, remaining } => write!(
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
                 f,
                 "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
             ),
@@ -62,7 +65,11 @@ impl PrivacyBudget {
     pub fn register(&self, dataset: DatasetId, total_epsilon: f64) {
         self.ledgers.lock().insert(
             dataset,
-            Ledger { total: total_epsilon.max(0.0), spent: 0.0, releases: Vec::new() },
+            Ledger {
+                total: total_epsilon.max(0.0),
+                spent: 0.0,
+                releases: Vec::new(),
+            },
         );
     }
 
@@ -74,7 +81,10 @@ impl PrivacyBudget {
             .ok_or(BudgetError::Unregistered(dataset))?;
         let remaining = ledger.total - ledger.spent;
         if epsilon > remaining + 1e-12 {
-            return Err(BudgetError::Exhausted { requested: epsilon, remaining });
+            return Err(BudgetError::Exhausted {
+                requested: epsilon,
+                remaining,
+            });
         }
         ledger.spent += epsilon;
         ledger.releases.push(epsilon);
@@ -175,7 +185,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = BudgetError::Exhausted { requested: 0.5, remaining: 0.1 };
+        let e = BudgetError::Exhausted {
+            requested: 0.5,
+            remaining: 0.1,
+        };
         assert!(e.to_string().contains("0.5"));
         let e = BudgetError::Unregistered(DatasetId(3));
         assert!(e.to_string().contains("d3"));

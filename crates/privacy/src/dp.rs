@@ -184,7 +184,10 @@ mod tests {
             .count() as f64
             / n as f64;
         let want = eps.exp() / (eps.exp() + 1.0);
-        assert!((truthful - want).abs() < 0.01, "rate {truthful}, want {want}");
+        assert!(
+            (truthful - want).abs() < 0.01,
+            "rate {truthful}, want {want}"
+        );
     }
 
     #[test]
@@ -201,7 +204,10 @@ mod tests {
         let out = perturb_numeric_column(&rel, "x", DpParams::new(1.0, 1.0), &mut r).unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.rows()[1].get(0).is_null(), "nulls pass through");
-        assert!(out.rows()[0].get(0).as_f64().unwrap() != 10.0, "noise applied");
+        assert!(
+            out.rows()[0].get(0).as_f64().unwrap() != 10.0,
+            "noise applied"
+        );
         assert_eq!(out.rows()[0].get(1).as_str(), Some("a"));
     }
 
@@ -214,8 +220,7 @@ mod tests {
         }
         let rel = b.build().unwrap();
         let mut r = rng();
-        let out =
-            perturb_numeric_column(&rel, "x", DpParams::new(100.0, 1.0), &mut r).unwrap();
+        let out = perturb_numeric_column(&rel, "x", DpParams::new(100.0, 1.0), &mut r).unwrap();
         let max_err = rel
             .column_f64("x")
             .unwrap()

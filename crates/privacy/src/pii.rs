@@ -45,13 +45,19 @@ pub fn is_email(s: &str) -> bool {
     if local.is_empty() || domain.len() < 3 || domain.contains('@') {
         return false;
     }
-    let Some(dot) = domain.rfind('.') else { return false };
+    let Some(dot) = domain.rfind('.') else {
+        return false;
+    };
     let tld = &domain[dot + 1..];
     tld.len() >= 2
         && tld.chars().all(|c| c.is_ascii_alphabetic())
-        && domain[..dot].chars().all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
+        && domain[..dot]
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-')
         && !domain.starts_with('.')
-        && local.chars().all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
+        && local
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || "._%+-".contains(c))
 }
 
 /// Digits of a string, ignoring separators ` -().+`.
@@ -83,10 +89,13 @@ pub fn is_ssn(s: &str) -> bool {
     bytes.len() == 11
         && bytes[3] == '-'
         && bytes[6] == '-'
-        && bytes
-            .iter()
-            .enumerate()
-            .all(|(i, c)| if i == 3 || i == 6 { *c == '-' } else { c.is_ascii_digit() })
+        && bytes.iter().enumerate().all(|(i, c)| {
+            if i == 3 || i == 6 {
+                *c == '-'
+            } else {
+                c.is_ascii_digit()
+            }
+        })
 }
 
 /// Luhn checksum over digit slice.
@@ -167,7 +176,11 @@ pub fn detect_pii(rel: &Relation, min_ratio: f64) -> Vec<PiiFinding> {
         for (kind, c) in kinds {
             let ratio = c as f64 / non_null as f64;
             if ratio >= min_ratio {
-                findings.push(PiiFinding { column: col.clone(), kind, hit_ratio: ratio });
+                findings.push(PiiFinding {
+                    column: col.clone(),
+                    kind,
+                    hit_ratio: ratio,
+                });
             }
         }
     }

@@ -31,7 +31,10 @@ pub struct RelationBuilder {
 impl RelationBuilder {
     /// Start a builder for a relation called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        RelationBuilder { name: name.into(), ..Default::default() }
+        RelationBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Append a column.

@@ -53,7 +53,10 @@ mod tests {
     fn display_is_informative() {
         let e = RelError::UnknownColumn("price".into());
         assert!(e.to_string().contains("price"));
-        let e = RelError::Arity { expected: 3, got: 2 };
+        let e = RelError::Arity {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
     }
 

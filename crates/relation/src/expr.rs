@@ -245,8 +245,12 @@ mod tests {
     use crate::schema::{DataType, Schema};
 
     fn schema() -> Schema {
-        Schema::of(&[("x", DataType::Int), ("y", DataType::Float), ("s", DataType::Str)])
-            .unwrap()
+        Schema::of(&[
+            ("x", DataType::Int),
+            ("y", DataType::Float),
+            ("s", DataType::Str),
+        ])
+        .unwrap()
     }
 
     fn row(x: i64, y: f64, s: &str) -> Row {
@@ -321,7 +325,9 @@ mod tests {
 
     #[test]
     fn columns_are_collected_sorted_deduped() {
-        let e = Expr::col("b").gt(Expr::col("a")).and(Expr::col("a").is_null());
+        let e = Expr::col("b")
+            .gt(Expr::col("a"))
+            .and(Expr::col("a").is_null());
         assert_eq!(e.columns(), vec!["a", "b"]);
     }
 }

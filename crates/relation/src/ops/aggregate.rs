@@ -53,15 +53,26 @@ pub struct AggSpec {
 impl AggSpec {
     /// `fun(col) AS alias`.
     pub fn new(col: impl Into<String>, fun: AggFun, alias: impl Into<String>) -> Self {
-        AggSpec { col: col.into(), fun, alias: alias.into() }
+        AggSpec {
+            col: col.into(),
+            fun,
+            alias: alias.into(),
+        }
     }
 }
 
 /// Running state for one aggregate within one group.
 enum AggState {
     Count(i64),
-    Sum { total: f64, any: bool, int_only: bool },
-    Avg { total: f64, n: usize },
+    Sum {
+        total: f64,
+        any: bool,
+        int_only: bool,
+    },
+    Avg {
+        total: f64,
+        n: usize,
+    },
     Min(Option<Value>),
     Max(Option<Value>),
     Distinct(std::collections::HashSet<Value>),
@@ -71,7 +82,11 @@ impl AggState {
     fn new(fun: AggFun) -> Self {
         match fun {
             AggFun::Count => AggState::Count(0),
-            AggFun::Sum => AggState::Sum { total: 0.0, any: false, int_only: true },
+            AggFun::Sum => AggState::Sum {
+                total: 0.0,
+                any: false,
+                int_only: true,
+            },
             AggFun::Avg => AggState::Avg { total: 0.0, n: 0 },
             AggFun::Min => AggState::Min(None),
             AggFun::Max => AggState::Max(None),
@@ -82,7 +97,11 @@ impl AggState {
     fn update(&mut self, v: &Value) {
         match self {
             AggState::Count(n) => *n += 1,
-            AggState::Sum { total, any, int_only } => {
+            AggState::Sum {
+                total,
+                any,
+                int_only,
+            } => {
                 if let Some(x) = v.as_f64() {
                     *total += x;
                     *any = true;
@@ -126,7 +145,11 @@ impl AggState {
     fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum { total, any, int_only } => {
+            AggState::Sum {
+                total,
+                any,
+                int_only,
+            } => {
                 if !any {
                     Value::Null
                 } else if int_only && total.fract() == 0.0 {
@@ -245,7 +268,10 @@ mod indexmap_lite {
 
     impl<K: Eq + Hash + Clone, V> OrderedGroups<K, V> {
         pub fn new() -> Self {
-            OrderedGroups { index: HashMap::new(), entries: Vec::new() }
+            OrderedGroups {
+                index: HashMap::new(),
+                entries: Vec::new(),
+            }
         }
 
         pub fn entry(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
@@ -302,10 +328,7 @@ mod tests {
     #[test]
     fn group_by_sums_per_group() {
         let g = sales()
-            .aggregate(
-                &["region"],
-                &[AggSpec::new("amount", AggFun::Sum, "total")],
-            )
+            .aggregate(&["region"], &[AggSpec::new("amount", AggFun::Sum, "total")])
             .unwrap();
         assert_eq!(g.len(), 3);
         let eu = g
@@ -321,7 +344,11 @@ mod tests {
         let g = sales()
             .aggregate(&["region"], &[AggSpec::new("amount", AggFun::Count, "n")])
             .unwrap();
-        let regions: Vec<_> = g.rows().iter().filter_map(|r| r.get(0).as_str().map(str::to_string)).collect();
+        let regions: Vec<_> = g
+            .rows()
+            .iter()
+            .filter_map(|r| r.get(0).as_str().map(str::to_string))
+            .collect();
         assert_eq!(regions, vec!["eu", "us", "ap"]);
     }
 
@@ -361,10 +388,7 @@ mod tests {
 
     #[test]
     fn empty_input_global_aggregate_yields_nulls() {
-        let empty = Relation::empty(
-            "e",
-            Schema::of(&[("x", DataType::Int)]).unwrap().shared(),
-        );
+        let empty = Relation::empty("e", Schema::of(&[("x", DataType::Int)]).unwrap().shared());
         let g = empty
             .aggregate(&[], &[AggSpec::new("x", AggFun::Sum, "s")])
             .unwrap();
@@ -384,7 +408,10 @@ mod tests {
     #[test]
     fn duplicate_alias_rejected() {
         let err = sales()
-            .aggregate(&["region"], &[AggSpec::new("amount", AggFun::Sum, "region")])
+            .aggregate(
+                &["region"],
+                &[AggSpec::new("amount", AggFun::Sum, "region")],
+            )
             .unwrap_err();
         assert!(matches!(err, RelError::DuplicateColumn(_)));
     }

@@ -177,11 +177,7 @@ impl Relation {
 
     /// Map one column in place through a function (unit conversions, the
     /// paper's `f(d)` transformations, DP perturbation, ...).
-    pub fn map_column(
-        &self,
-        col: &str,
-        mut f: impl FnMut(&Value) -> Value,
-    ) -> RelResult<Relation> {
+    pub fn map_column(&self, col: &str, mut f: impl FnMut(&Value) -> Value) -> RelResult<Relation> {
         let idx = self.schema().index_of(col)?;
         let rows = self
             .rows()
@@ -276,10 +272,7 @@ mod tests {
     #[test]
     fn union_requires_compatible_arity() {
         let r = rel();
-        let other = Relation::empty(
-            "o",
-            Schema::of(&[("x", DataType::Int)]).unwrap().shared(),
-        );
+        let other = Relation::empty("o", Schema::of(&[("x", DataType::Int)]).unwrap().shared());
         assert!(r.union(&other).is_err());
         let u = r.union(&r).unwrap();
         assert_eq!(u.len(), 8);
@@ -338,8 +331,14 @@ mod tests {
         let b = r.sample(2, &mut rng2);
         assert_eq!(a.rows().len(), 2);
         assert_eq!(
-            a.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>(),
-            b.rows().iter().map(|r| r.values().to_vec()).collect::<Vec<_>>()
+            a.rows()
+                .iter()
+                .map(|r| r.values().to_vec())
+                .collect::<Vec<_>>(),
+            b.rows()
+                .iter()
+                .map(|r| r.values().to_vec())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -37,7 +37,9 @@ impl Relation {
         kind: JoinKind,
     ) -> RelResult<Relation> {
         if on.is_empty() {
-            return Err(RelError::Invalid("join requires at least one key pair".into()));
+            return Err(RelError::Invalid(
+                "join requires at least one key pair".into(),
+            ));
         }
         let left_keys: Vec<usize> = on
             .iter()
@@ -80,10 +82,7 @@ impl Relation {
                         let mut values = Vec::with_capacity(lw + rw);
                         values.extend_from_slice(lrow.values());
                         values.extend_from_slice(rrow.values());
-                        out.push(Row::new(
-                            values,
-                            lrow.provenance().merge(rrow.provenance()),
-                        ));
+                        out.push(Row::new(values, lrow.provenance().merge(rrow.provenance())));
                     }
                 }
                 None => {
@@ -125,7 +124,9 @@ impl Relation {
             .map(|n| (n, n))
             .collect();
         if shared.is_empty() {
-            return Err(RelError::Invalid("no shared columns for natural join".into()));
+            return Err(RelError::Invalid(
+                "no shared columns for natural join".into(),
+            ));
         }
         self.join(other, &shared, kind)
     }
@@ -195,7 +196,9 @@ mod tests {
 
     #[test]
     fn inner_join_matches_and_merges_provenance() {
-        let j = left().join(&right(), &[("k", "k")], JoinKind::Inner).unwrap();
+        let j = left()
+            .join(&right(), &[("k", "k")], JoinKind::Inner)
+            .unwrap();
         assert_eq!(j.len(), 3); // k=2 once, k=3 twice
         for row in j.rows() {
             let ds = row.provenance().datasets();
@@ -207,7 +210,9 @@ mod tests {
 
     #[test]
     fn left_join_pads_with_nulls() {
-        let j = left().join(&right(), &[("k", "k")], JoinKind::Left).unwrap();
+        let j = left()
+            .join(&right(), &[("k", "k")], JoinKind::Left)
+            .unwrap();
         assert_eq!(j.len(), 4); // k=1 unmatched + 3 matches
         let unmatched = j
             .rows()
@@ -220,7 +225,9 @@ mod tests {
 
     #[test]
     fn full_join_keeps_both_sides() {
-        let j = left().join(&right(), &[("k", "k")], JoinKind::Full).unwrap();
+        let j = left()
+            .join(&right(), &[("k", "k")], JoinKind::Full)
+            .unwrap();
         // 3 matches + unmatched k=1 (left) + unmatched k=4 (right)
         assert_eq!(j.len(), 5);
         let right_only = j.rows().iter().find(|r| r.get(0).is_null()).unwrap();
@@ -241,10 +248,7 @@ mod tests {
     fn natural_join_uses_shared_names() {
         let j = left().natural_join(&right(), JoinKind::Inner).unwrap();
         assert_eq!(j.len(), 3);
-        let no_shared = Relation::empty(
-            "E",
-            Schema::of(&[("q", DataType::Int)]).unwrap().shared(),
-        );
+        let no_shared = Relation::empty("E", Schema::of(&[("q", DataType::Int)]).unwrap().shared());
         assert!(left().natural_join(&no_shared, JoinKind::Inner).is_err());
     }
 
@@ -270,7 +274,9 @@ mod tests {
         l.push_values(vec![Value::Int(1), Value::str("y")]).unwrap();
         let mut r = Relation::empty("R2", schema);
         r.push_values(vec![Value::Int(1), Value::str("x")]).unwrap();
-        let j = l.join(&r, &[("k", "k"), ("a", "a")], JoinKind::Inner).unwrap();
+        let j = l
+            .join(&r, &[("k", "k"), ("a", "a")], JoinKind::Inner)
+            .unwrap();
         assert_eq!(j.len(), 1);
     }
 }

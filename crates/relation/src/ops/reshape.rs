@@ -92,7 +92,9 @@ impl Relation {
         step: i64,
     ) -> RelResult<Relation> {
         if step <= 0 {
-            return Err(RelError::Invalid("interpolation step must be positive".into()));
+            return Err(RelError::Invalid(
+                "interpolation step must be positive".into(),
+            ));
         }
         let t_idx = self.schema().index_of(time_col)?;
         let v_idx = self.schema().index_of(value_col)?;
@@ -105,8 +107,11 @@ impl Relation {
             }
         }
         pts.sort_by_key(|p| p.0);
-        let schema = Schema::of(&[(time_col, DataType::Timestamp), (value_col, DataType::Float)])?
-            .shared();
+        let schema = Schema::of(&[
+            (time_col, DataType::Timestamp),
+            (value_col, DataType::Float),
+        ])?
+        .shared();
         if pts.is_empty() {
             return Ok(Relation::empty(format!("interp({})", self.name()), schema));
         }
@@ -207,7 +212,11 @@ mod tests {
         r.push_values(vec![Value::str("b"), Value::str("y"), Value::Int(2)])
             .unwrap();
         let p = r.pivot("k", "c", "v").unwrap();
-        let a = p.rows().iter().find(|r| r.get(0).as_str() == Some("a")).unwrap();
+        let a = p
+            .rows()
+            .iter()
+            .find(|r| r.get(0).as_str() == Some("a"))
+            .unwrap();
         assert!(a.get(2).is_null()); // a has no "y"
     }
 
@@ -217,7 +226,8 @@ mod tests {
             .shared();
         let mut r = Relation::empty("s", schema);
         for &(t, v) in points {
-            r.push_values(vec![Value::Timestamp(t), Value::Float(v)]).unwrap();
+            r.push_values(vec![Value::Timestamp(t), Value::Float(v)])
+                .unwrap();
         }
         r.with_source(DatasetId(2))
     }

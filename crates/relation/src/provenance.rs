@@ -189,9 +189,11 @@ mod tests {
 
     #[test]
     fn merge_all_spans_inputs() {
-        let ps = [Provenance::leaf(DatasetId(1), 0),
+        let ps = [
+            Provenance::leaf(DatasetId(1), 0),
             Provenance::leaf(DatasetId(1), 1),
-            Provenance::leaf(DatasetId(2), 0)];
+            Provenance::leaf(DatasetId(2), 0),
+        ];
         let m = Provenance::merge_all(ps.iter());
         assert_eq!(m.len(), 3);
         assert_eq!(

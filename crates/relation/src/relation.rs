@@ -24,7 +24,10 @@ impl Row {
 
     /// Build a provenance-free row (synthesized data).
     pub fn bare(values: Vec<Value>) -> Self {
-        Row { values, prov: Provenance::empty() }
+        Row {
+            values,
+            prov: Provenance::empty(),
+        }
     }
 
     /// All values, in schema order.
@@ -75,7 +78,12 @@ pub struct Relation {
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn empty(name: impl Into<String>, schema: Arc<Schema>) -> Self {
-        Relation { name: name.into(), schema, rows: Vec::new(), source: None }
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            source: None,
+        }
     }
 
     /// Create a relation from pre-built rows, validating arity and types.
@@ -87,7 +95,12 @@ impl Relation {
         for row in &rows {
             validate_row(&schema, row)?;
         }
-        Ok(Relation { name: name.into(), schema, rows, source: None })
+        Ok(Relation {
+            name: name.into(),
+            schema,
+            rows,
+            source: None,
+        })
     }
 
     /// Create without validation. Callers must guarantee every row matches
@@ -98,7 +111,12 @@ impl Relation {
         schema: Arc<Schema>,
         rows: Vec<Row>,
     ) -> Self {
-        Relation { name: name.into(), schema, rows, source: None }
+        Relation {
+            name: name.into(),
+            schema,
+            rows,
+            source: None,
+        }
     }
 
     /// Relation name (e.g. the dataset or mashup label).
@@ -207,7 +225,10 @@ impl Relation {
 /// Check a row against a schema: arity and per-column type.
 pub(crate) fn validate_row(schema: &Schema, row: &Row) -> RelResult<()> {
     if row.values().len() != schema.len() {
-        return Err(RelError::Arity { expected: schema.len(), got: row.values().len() });
+        return Err(RelError::Arity {
+            expected: schema.len(),
+            got: row.values().len(),
+        });
     }
     for (f, v) in schema.fields().iter().zip(row.values()) {
         if v.is_null() || matches!(v, Value::Multi(_)) {
@@ -270,8 +291,10 @@ mod tests {
             .unwrap()
             .shared();
         let mut r = Relation::empty("people", schema);
-        r.push_values(vec![Value::Int(1), Value::str("ada")]).unwrap();
-        r.push_values(vec![Value::Int(2), Value::str("bob")]).unwrap();
+        r.push_values(vec![Value::Int(1), Value::str("ada")])
+            .unwrap();
+        r.push_values(vec![Value::Int(2), Value::str("bob")])
+            .unwrap();
         r
     }
 
@@ -279,13 +302,21 @@ mod tests {
     fn push_validates_arity() {
         let mut r = people();
         let err = r.push_values(vec![Value::Int(3)]).unwrap_err();
-        assert!(matches!(err, RelError::Arity { expected: 2, got: 1 }));
+        assert!(matches!(
+            err,
+            RelError::Arity {
+                expected: 2,
+                got: 1
+            }
+        ));
     }
 
     #[test]
     fn push_validates_types() {
         let mut r = people();
-        let err = r.push_values(vec![Value::str("x"), Value::str("y")]).unwrap_err();
+        let err = r
+            .push_values(vec![Value::str("x"), Value::str("y")])
+            .unwrap_err();
         assert!(matches!(err, RelError::TypeError(_)));
     }
 

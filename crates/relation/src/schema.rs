@@ -70,7 +70,10 @@ pub struct Field {
 impl Field {
     /// Create a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 
     /// Column name.
@@ -85,7 +88,10 @@ impl Field {
 
     /// Same field with a different name (used by `rename`).
     pub fn renamed(&self, name: impl Into<String>) -> Field {
-        Field { name: name.into(), dtype: self.dtype }
+        Field {
+            name: name.into(),
+            dtype: self.dtype,
+        }
     }
 }
 
@@ -176,9 +182,7 @@ impl Schema {
             if self.contains(f.name()) {
                 let mut candidate = format!("{}{}", f.name(), suffix);
                 let mut n = 2;
-                while self.contains(&candidate)
-                    || fields.iter().any(|g| g.name() == candidate)
-                {
+                while self.contains(&candidate) || fields.iter().any(|g| g.name() == candidate) {
                     candidate = format!("{}{}{}", f.name(), suffix, n);
                     n += 1;
                 }
@@ -235,8 +239,12 @@ mod tests {
     use super::*;
 
     fn abc() -> Schema {
-        Schema::of(&[("a", DataType::Int), ("b", DataType::Str), ("c", DataType::Float)])
-            .unwrap()
+        Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -277,7 +285,10 @@ mod tests {
         assert_eq!(j.len(), 3);
         // The clashing right column must get a fresh, unique name.
         let names: Vec<_> = j.names().collect();
-        assert_eq!(names.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
     }
 
     #[test]

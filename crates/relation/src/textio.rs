@@ -24,7 +24,10 @@ pub struct TextOptions {
 
 impl Default for TextOptions {
     fn default() -> Self {
-        TextOptions { delimiter: ',', header: true }
+        TextOptions {
+            delimiter: ',',
+            header: true,
+        }
     }
 }
 
@@ -107,7 +110,10 @@ fn parse_cell(raw: &str, dtype: DataType) -> Value {
             "false" => Value::Bool(false),
             _ => Value::str(t),
         },
-        DataType::Int => t.parse::<i64>().map(Value::Int).unwrap_or_else(|_| Value::str(t)),
+        DataType::Int => t
+            .parse::<i64>()
+            .map(Value::Int)
+            .unwrap_or_else(|_| Value::str(t)),
         DataType::Float | DataType::Timestamp => t
             .parse::<f64>()
             .map(Value::Float)
@@ -196,11 +202,7 @@ pub fn to_text(rel: &Relation, opts: &TextOptions) -> String {
     };
     let mut out = String::new();
     if opts.header {
-        let header: Vec<String> = rel
-            .schema()
-            .names()
-            .map(|n| quote(n.to_string()))
-            .collect();
+        let header: Vec<String> = rel.schema().names().map(|n| quote(n.to_string())).collect();
         out.push_str(&header.join(&d.to_string()));
         out.push('\n');
     }
@@ -237,7 +239,12 @@ mod tests {
         let types: Vec<DataType> = r.schema().fields().iter().map(|f| f.dtype()).collect();
         assert_eq!(
             types,
-            vec![DataType::Int, DataType::Float, DataType::Bool, DataType::Str]
+            vec![
+                DataType::Int,
+                DataType::Float,
+                DataType::Bool,
+                DataType::Str
+            ]
         );
         assert_eq!(r.len(), 2);
         assert_eq!(r.rows()[0].get(0), &Value::Int(1));
@@ -279,7 +286,10 @@ mod tests {
 
     #[test]
     fn headerless_mode_names_columns() {
-        let opts = TextOptions { header: false, ..Default::default() };
+        let opts = TextOptions {
+            header: false,
+            ..Default::default()
+        };
         let r = parse_text("t", "1,2\n3,4\n", &opts).unwrap();
         assert_eq!(r.schema().names().collect::<Vec<_>>(), vec!["col0", "col1"]);
         assert_eq!(r.len(), 2);
@@ -298,7 +308,10 @@ mod tests {
 
     #[test]
     fn custom_delimiter() {
-        let opts = TextOptions { delimiter: '\t', ..Default::default() };
+        let opts = TextOptions {
+            delimiter: '\t',
+            ..Default::default()
+        };
         let r = parse_text("t", "a\tb\n1\t2\n", &opts).unwrap();
         assert_eq!(r.rows()[0].get(1), &Value::Int(2));
     }

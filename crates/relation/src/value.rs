@@ -270,8 +270,14 @@ mod tests {
 
     #[test]
     fn numeric_comparison_crosses_types() {
-        assert_eq!(Value::Int(2).cmp_numeric(&Value::Float(2.0)), Ordering::Equal);
-        assert_eq!(Value::Int(3).cmp_numeric(&Value::Float(2.5)), Ordering::Greater);
+        assert_eq!(
+            Value::Int(2).cmp_numeric(&Value::Float(2.0)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Int(3).cmp_numeric(&Value::Float(2.5)),
+            Ordering::Greater
+        );
     }
 
     #[test]
@@ -284,7 +290,12 @@ mod tests {
 
     #[test]
     fn total_order_sorts_null_first() {
-        let mut vs = [Value::Int(1), Value::Null, Value::str("z"), Value::Bool(true)];
+        let mut vs = [
+            Value::Int(1),
+            Value::Null,
+            Value::str("z"),
+            Value::Bool(true),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));

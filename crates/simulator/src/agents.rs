@@ -139,10 +139,14 @@ mod tests {
 
     #[test]
     fn risk_lover_overbids() {
-        let b = BuyerStrategy::RiskLover(1.5).bid(10.0, 0, &mut rng()).unwrap();
+        let b = BuyerStrategy::RiskLover(1.5)
+            .bid(10.0, 0, &mut rng())
+            .unwrap();
         assert_eq!(b, 15.0);
         // never below truthful
-        let b = BuyerStrategy::RiskLover(0.5).bid(10.0, 0, &mut rng()).unwrap();
+        let b = BuyerStrategy::RiskLover(0.5)
+            .bid(10.0, 0, &mut rng())
+            .unwrap();
         assert_eq!(b, 10.0);
     }
 
@@ -168,8 +172,14 @@ mod tests {
 
     #[test]
     fn colluders_shade_coordinated() {
-        let a = BuyerStrategy::Colluder { coalition: 1, shade: 0.3 };
-        let b = BuyerStrategy::Colluder { coalition: 1, shade: 0.3 };
+        let a = BuyerStrategy::Colluder {
+            coalition: 1,
+            shade: 0.3,
+        };
+        let b = BuyerStrategy::Colluder {
+            coalition: 1,
+            shade: 0.3,
+        };
         assert_eq!(a.bid(100.0, 0, &mut rng()), b.bid(100.0, 0, &mut rng()));
     }
 

@@ -218,7 +218,11 @@ impl Simulation {
             revenue += rev2;
             transactions += tx2;
             self.arbitrage_phase();
-            per_round.push(RoundSummary { round: r + 1, revenue, transactions });
+            per_round.push(RoundSummary {
+                round: r + 1,
+                revenue,
+                transactions,
+            });
         }
         self.finalize(per_round)
     }
@@ -232,12 +236,9 @@ impl Simulation {
             if let SellerStrategy::Arbitrageur { budget } = strategy {
                 // One standing acquisition offer per arbitrageur: buy the
                 // most popular topic's attributes cheaply.
-                let already = self
-                    .market
-                    .offers()
-                    .iter()
-                    .any(|o| o.wtp.buyer == *name
-                        && o.state == dmp_core::market::OfferState::Pending);
+                let already = self.market.offers().iter().any(|o| {
+                    o.wtp.buyer == *name && o.state == dmp_core::market::OfferState::Pending
+                });
                 if !already {
                     let buyer = self.market.buyer(name);
                     buyer.deposit(*budget);
@@ -245,7 +246,10 @@ impl Simulation {
                     let wtp = WtpFunction::simple(
                         name.clone(),
                         attrs,
-                        PriceCurve::Linear { min_satisfaction: 0.2, max_price: *budget },
+                        PriceCurve::Linear {
+                            min_satisfaction: 0.2,
+                            max_price: *budget,
+                        },
                     );
                     if let Ok(offer) = self.market.submit_wtp(wtp) {
                         self.arbitrageur_offers.insert(offer);
@@ -293,10 +297,26 @@ impl Simulation {
                 Some(b) => b,
                 None => continue, // snipers wait
             };
+            // Under use-then-pay (ex post) elicitation the declared WTP is
+            // only the escrowed cap; the strategic action happens at report
+            // time (`ex_post_phase`). Declaring a shaded cap as well would
+            // make under-reporting self-consistent and undetectable by the
+            // arbiter's audit, so strategies declare their true cap here.
+            let bid = if matches!(
+                self.market.config().design.elicitation,
+                ElicitationProtocol::ExPost(_)
+            ) {
+                d.valuation.max(bid)
+            } else {
+                bid
+            };
             let wtp = WtpFunction::simple(
                 d.buyer.clone(),
                 d.attributes.iter().cloned(),
-                PriceCurve::Linear { min_satisfaction: 0.2, max_price: bid },
+                PriceCurve::Linear {
+                    min_satisfaction: 0.2,
+                    max_price: bid,
+                },
             );
             if let Ok(offer) = self.market.submit_wtp(wtp) {
                 self.offer_to_demand.insert(offer, i);
@@ -314,8 +334,7 @@ impl Simulation {
             if let Some(&idx) = self.offer_to_demand.get(&sale.offer_id) {
                 let d = &self.demands[idx];
                 let realized = d.valuation * sale.satisfaction;
-                *self.utilities.entry(d.buyer.clone()).or_insert(0.0) +=
-                    realized - sale.price;
+                *self.utilities.entry(d.buyer.clone()).or_insert(0.0) += realized - sale.price;
                 self.welfare += realized;
                 self.satisfaction_sum += sale.satisfaction;
                 self.filled[idx] = true;
@@ -336,7 +355,9 @@ impl Simulation {
         let mut transactions = 0;
         let awaiting = self.market.awaiting_reports();
         for (offer_id, delivery_id, buyer) in awaiting {
-            let Some(&idx) = self.offer_to_demand.get(&offer_id) else { continue };
+            let Some(&idx) = self.offer_to_demand.get(&offer_id) else {
+                continue;
+            };
             let d = &self.demands[idx];
             let strategy = &self.buyer_strategies[idx];
             // The buyer learns its realized value after using the data.
@@ -380,9 +401,7 @@ impl Simulation {
             return;
         }
         for delivery in self.market.deliveries() {
-            if self.arbitraged.contains(&delivery.id)
-                || !arbitrageurs.contains(&delivery.buyer)
-            {
+            if self.arbitraged.contains(&delivery.id) || !arbitrageurs.contains(&delivery.buyer) {
                 continue;
             }
             self.arbitraged.insert(delivery.id);
@@ -487,7 +506,11 @@ mod tests {
         let result = sim.run(5);
         assert!(result.metrics.transactions > 0, "{:?}", result.metrics);
         assert!(result.metrics.revenue > 0.0);
-        assert!(result.metrics.fill_rate > 0.5, "fill {}", result.metrics.fill_rate);
+        assert!(
+            result.metrics.fill_rate > 0.5,
+            "fill {}",
+            result.metrics.fill_rate
+        );
         assert!(result.metrics.welfare > result.metrics.revenue);
     }
 
@@ -640,7 +663,10 @@ mod tests {
             cfg,
             small_workload(),
             vec![BuyerStrategy::Truthful],
-            vec![SellerStrategy::Honest, SellerStrategy::Arbitrageur { budget: 200.0 }],
+            vec![
+                SellerStrategy::Honest,
+                SellerStrategy::Arbitrageur { budget: 200.0 },
+            ],
         );
         sim.run(4);
         // The arbitrageur ends up owning relisted datasets.
@@ -671,7 +697,10 @@ mod tests {
             cfg,
             small_workload(),
             vec![BuyerStrategy::Truthful],
-            vec![SellerStrategy::Honest, SellerStrategy::Arbitrageur { budget: 200.0 }],
+            vec![
+                SellerStrategy::Honest,
+                SellerStrategy::Arbitrageur { budget: 200.0 },
+            ],
         );
         sim.run(4);
         let curated = sim

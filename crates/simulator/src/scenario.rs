@@ -31,7 +31,10 @@ impl Scenario {
     pub fn baseline(seed: u64) -> Self {
         Scenario {
             name: "baseline".into(),
-            workload: WorkloadConfig { seed, ..Default::default() },
+            workload: WorkloadConfig {
+                seed,
+                ..Default::default()
+            },
             buyers: vec![BuyerStrategy::Truthful],
             sellers: vec![SellerStrategy::Honest],
             market: MarketConfig::external(seed)
@@ -52,7 +55,10 @@ impl Scenario {
             if i < adv {
                 buyers.push(match i % 3 {
                     0 => BuyerStrategy::Shade(0.4),
-                    1 => BuyerStrategy::Colluder { coalition: 1, shade: 0.3 },
+                    1 => BuyerStrategy::Colluder {
+                        coalition: 1,
+                        shade: 0.3,
+                    },
                     _ => BuyerStrategy::Ignorant(0.6),
                 });
                 sellers.push(match i % 3 {
@@ -85,7 +91,10 @@ impl Scenario {
     pub fn market_kind(seed: u64, market: MarketConfig, name: &str) -> Self {
         Scenario {
             name: name.into(),
-            workload: WorkloadConfig { seed, ..Default::default() },
+            workload: WorkloadConfig {
+                seed,
+                ..Default::default()
+            },
             buyers: vec![BuyerStrategy::Truthful],
             sellers: vec![SellerStrategy::Honest],
             market,
@@ -128,7 +137,12 @@ impl Scenario {
     /// Build the simulation.
     pub fn build(&self) -> Simulation {
         let cfg = SimConfig::new(self.market.clone(), self.rounds);
-        Simulation::new(cfg, self.workload(), self.buyers.clone(), self.sellers.clone())
+        Simulation::new(
+            cfg,
+            self.workload(),
+            self.buyers.clone(),
+            self.sellers.clone(),
+        )
     }
 
     /// Build and run to completion.
@@ -137,21 +151,20 @@ impl Scenario {
     }
 }
 
-/// Run several scenarios concurrently on crossbeam-scoped threads —
-/// the multi-seed / multi-design sweeps of §6.1 are embarrassingly
+/// Run several scenarios concurrently on scoped threads — the
+/// multi-seed / multi-design sweeps of §6.1 are embarrassingly
 /// parallel (every scenario owns its own `DataMarket`). Results come
 /// back in input order.
 pub fn run_parallel(scenarios: &[Scenario]) -> Vec<SimResult> {
     let mut results: Vec<Option<SimResult>> = Vec::new();
     results.resize_with(scenarios.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, scenario) in results.iter_mut().zip(scenarios) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(scenario.run());
             });
         }
-    })
-    .expect("scenario workers do not panic");
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))
@@ -187,7 +200,10 @@ mod tests {
         let with = Scenario::opportunist(5, true);
         let without = Scenario::opportunist(5, false);
         assert_ne!(with.name, without.name);
-        assert!(with.sellers.iter().any(|s| matches!(s, SellerStrategy::Opportunist)));
+        assert!(with
+            .sellers
+            .iter()
+            .any(|s| matches!(s, SellerStrategy::Opportunist)));
     }
 
     #[test]

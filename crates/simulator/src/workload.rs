@@ -144,7 +144,11 @@ pub fn generate(cfg: &WorkloadConfig) -> Workload {
         });
     }
 
-    Workload { inventories, demands, n_topics }
+    Workload {
+        inventories,
+        demands,
+        n_topics,
+    }
 }
 
 #[cfg(test)]
@@ -207,7 +211,11 @@ mod tests {
         let a = topic_table(0, 2, 50, &mut rng);
         let b = topic_table(1, 2, 50, &mut rng);
         let j = a
-            .join(&b, &[("topic2_id", "topic2_id")], dmp_relation::ops::JoinKind::Inner)
+            .join(
+                &b,
+                &[("topic2_id", "topic2_id")],
+                dmp_relation::ops::JoinKind::Inner,
+            )
             .unwrap();
         assert_eq!(j.len(), 50);
     }

@@ -55,10 +55,7 @@ fn extract(rel: &Relation, label: &str) -> Option<NumericDataset> {
                 None => continue,
             },
         };
-        let feats: Option<Vec<f64>> = feature_idx
-            .iter()
-            .map(|&i| row.get(i).as_f64())
-            .collect();
+        let feats: Option<Vec<f64>> = feature_idx.iter().map(|&i| row.get(i).as_f64()).collect();
         if let Some(x) = feats {
             xs.push(x);
             ys.push(y);
@@ -102,7 +99,11 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// Untrained model with sensible defaults.
     pub fn new() -> Self {
-        LogisticRegression { weights: Vec::new(), lr: 0.5, epochs: 150 }
+        LogisticRegression {
+            weights: Vec::new(),
+            lr: 0.5,
+            epochs: 150,
+        }
     }
 
     fn sigmoid(z: f64) -> f64 {

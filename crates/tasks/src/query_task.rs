@@ -72,9 +72,7 @@ impl Task for QueryCompletenessTask {
 
     fn evaluate(&self, mashup: &Relation) -> Satisfaction {
         match self.covered_groups(mashup) {
-            Some(covered) => {
-                Satisfaction::new(covered as f64 / self.expected_groups as f64)
-            }
+            Some(covered) => Satisfaction::new(covered as f64 / self.expected_groups as f64),
             None => Satisfaction::zero(),
         }
     }
@@ -115,7 +113,8 @@ mod tests {
     fn min_support_discounts_thin_groups() {
         let mut rel = regions(&["eu"], 5);
         // add a region with a single row
-        rel.push_values(vec![Value::str("ap"), Value::Int(0)]).unwrap();
+        rel.push_values(vec![Value::str("ap"), Value::Int(0)])
+            .unwrap();
         let t = QueryCompletenessTask::new("region", 2).with_min_support(3);
         assert_eq!(t.evaluate(&rel).value(), 0.5);
     }

@@ -90,7 +90,12 @@ pub struct RegressionTask {
 impl RegressionTask {
     /// Default task for a target column.
     pub fn new(target: impl Into<String>) -> Self {
-        RegressionTask { target: target.into(), test_fraction: 0.3, seed: 23, lambda: 1e-6 }
+        RegressionTask {
+            target: target.into(),
+            test_fraction: 0.3,
+            seed: 23,
+            lambda: 1e-6,
+        }
     }
 
     /// Raw held-out R² (can be negative for a useless model).
@@ -126,15 +131,14 @@ impl RegressionTask {
         let mut idx: Vec<usize> = (0..xs.len()).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
         idx.shuffle(&mut rng);
-        let n_test = (((xs.len() as f64) * self.test_fraction).round() as usize)
-            .clamp(1, xs.len() - 2);
+        let n_test =
+            (((xs.len() as f64) * self.test_fraction).round() as usize).clamp(1, xs.len() - 2);
         let (test_idx, train_idx) = idx.split_at(n_test);
         let train_x: Vec<Vec<f64>> = train_idx.iter().map(|&i| xs[i].clone()).collect();
         let train_y: Vec<f64> = train_idx.iter().map(|&i| ys[i]).collect();
         let w = ridge_fit(&train_x, &train_y, self.lambda)?;
 
-        let mean_y: f64 =
-            test_idx.iter().map(|&i| ys[i]).sum::<f64>() / test_idx.len() as f64;
+        let mean_y: f64 = test_idx.iter().map(|&i| ys[i]).sum::<f64>() / test_idx.len() as f64;
         let ss_tot: f64 = test_idx.iter().map(|&i| (ys[i] - mean_y).powi(2)).sum();
         let ss_res: f64 = test_idx
             .iter()

@@ -161,7 +161,11 @@ mod tests {
         let r = gaussian_blobs(100, 2, 2.0, 1);
         assert_eq!(r.len(), 100);
         assert_eq!(r.schema().len(), 3);
-        let labels: Vec<i64> = r.column("label").unwrap().filter_map(Value::as_i64).collect();
+        let labels: Vec<i64> = r
+            .column("label")
+            .unwrap()
+            .filter_map(Value::as_i64)
+            .collect();
         assert!(labels.contains(&0) && labels.contains(&1));
     }
 

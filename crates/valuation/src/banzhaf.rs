@@ -10,7 +10,10 @@ use crate::shapley::CharacteristicFn;
 /// size-dependent weights). Enumerates `2^(n-1)` coalitions per player.
 pub fn exact_banzhaf(game: &CharacteristicFn) -> Vec<f64> {
     let n = game.n();
-    assert!(n <= CharacteristicFn::EXACT_LIMIT, "exact Banzhaf limited to small games");
+    assert!(
+        n <= CharacteristicFn::EXACT_LIMIT,
+        "exact Banzhaf limited to small games"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -63,9 +66,7 @@ pub fn leave_one_out(game: &CharacteristicFn) -> Vec<f64> {
     let n = game.n();
     let grand = ((1u128 << n) - 1) as u64;
     let vn = game.value(grand);
-    (0..n)
-        .map(|i| vn - game.value(grand & !(1 << i)))
-        .collect()
+    (0..n).map(|i| vn - game.value(grand & !(1 << i))).collect()
 }
 
 /// Normalize an allocation to sum to `total` (e.g. rescale leave-one-out

@@ -67,10 +67,7 @@ fn feasible_allocation(
         let mut worst_gap = tol;
         for mask in 1..size - 1 {
             let members = mask.count_ones() as f64;
-            let xs: f64 = (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| x[i])
-                .sum();
+            let xs: f64 = (0..n).filter(|i| mask & (1 << i) != 0).map(|i| x[i]).sum();
             let gap = (game.value(mask) - eps - xs) / members.sqrt();
             if gap > worst_gap {
                 worst_gap = gap;
@@ -102,7 +99,10 @@ fn feasible_allocation(
 /// efficient allocation with `x(S) ≥ v(S) − ε`, plus such an allocation.
 pub fn least_core(game: &CharacteristicFn, tol: f64) -> (Vec<f64>, f64) {
     let n = game.n();
-    assert!((1..=16).contains(&n), "least core solver targets small games");
+    assert!(
+        (1..=16).contains(&n),
+        "least core solver targets small games"
+    );
     // Upper bound: violation of the uniform allocation.
     let vn = game.grand_value();
     let uniform = vec![vn / n as f64; n];

@@ -75,20 +75,14 @@ pub fn knn_shapley_single(
         let i = pos + 1; // 1-based rank of alpha[pos]
         let cur = alpha[pos];
         let next = alpha[pos + 1];
-        s[cur] = s[next]
-            + (match_y(cur) - match_y(next)) / k as f64
-                * (k.min(i) as f64 / i as f64);
+        s[cur] = s[next] + (match_y(cur) - match_y(next)) / k as f64 * (k.min(i) as f64 / i as f64);
     }
     s
 }
 
 /// Shapley values averaged over a test set (the utility of the full test
 /// set is the mean per-point utility, and Shapley is linear).
-pub fn knn_shapley(
-    train: &[LabeledPoint],
-    test: &[LabeledPoint],
-    k: usize,
-) -> Vec<f64> {
+pub fn knn_shapley(train: &[LabeledPoint], test: &[LabeledPoint], k: usize) -> Vec<f64> {
     let n = train.len();
     let mut total = vec![0.0f64; n];
     if test.is_empty() || n == 0 {
@@ -128,10 +122,7 @@ pub fn knn_utility(
                 .then_with(|| a.cmp(&b))
         });
         let kk = k.min(order.len());
-        let hits = order[..kk]
-            .iter()
-            .filter(|&&i| train[i].y == t.y)
-            .count();
+        let hits = order[..kk].iter().filter(|&&i| train[i].y == t.y).count();
         total += hits as f64 / k as f64;
     }
     total / test.len() as f64
@@ -166,8 +157,9 @@ mod tests {
             let train_cl = train.clone();
             let test_cl = test.clone();
             let game = CharacteristicFn::new(train.len(), move |mask| {
-                let members: Vec<usize> =
-                    (0..train_cl.len()).filter(|i| mask & (1 << i) != 0).collect();
+                let members: Vec<usize> = (0..train_cl.len())
+                    .filter(|i| mask & (1 << i) != 0)
+                    .collect();
                 knn_utility(&train_cl, &members, &test_cl, k)
             });
             let brute = exact_shapley(&game);

@@ -17,9 +17,13 @@ impl RowAllocation {
     pub fn uniform(mashup: &Relation, price: f64) -> RowAllocation {
         let n = mashup.len();
         if n == 0 {
-            return RowAllocation { amounts: Vec::new() };
+            return RowAllocation {
+                amounts: Vec::new(),
+            };
         }
-        RowAllocation { amounts: vec![price / n as f64; n] }
+        RowAllocation {
+            amounts: vec![price / n as f64; n],
+        }
     }
 
     /// Weighted by explicit per-row weights (e.g. task-influence scores:
@@ -29,7 +33,9 @@ impl RowAllocation {
     pub fn weighted(mashup: &Relation, price: f64, weights: &[f64]) -> RowAllocation {
         let n = mashup.len();
         if n == 0 {
-            return RowAllocation { amounts: Vec::new() };
+            return RowAllocation {
+                amounts: Vec::new(),
+            };
         }
         assert_eq!(weights.len(), n, "one weight per row");
         let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();

@@ -60,8 +60,7 @@ pub fn share_revenue(
             SharingRule::ProportionalToAtoms => {
                 let total_atoms: usize = counts.iter().map(|(_, c)| c).sum();
                 for (d, c) in counts {
-                    *shares.entry(d).or_insert(0.0) +=
-                        amount * c as f64 / total_atoms as f64;
+                    *shares.entry(d).or_insert(0.0) += amount * c as f64 / total_atoms as f64;
                 }
             }
             SharingRule::EqualPerDataset => {

@@ -13,7 +13,10 @@ use data_market_platform::simulator::scenario::Scenario;
 fn main() {
     let mut rows = Vec::new();
     for (name, design) in [
-        ("posted-price(20)", MarketDesign::posted_price_baseline(20.0)),
+        (
+            "posted-price(20)",
+            MarketDesign::posted_price_baseline(20.0),
+        ),
         ("rsop digital-goods", MarketDesign::external_revenue(21)),
         ("vickrey-reserve", MarketDesign::scarce_licenses(3, 10.0)),
     ] {
@@ -34,7 +37,15 @@ fn main() {
         "{}",
         render_table(
             "market designs under adversarial mixes (8 rounds, 30 buyers, 10 sellers)",
-            &["design", "adversarial", "tx", "revenue", "welfare", "fill", "seller gini"],
+            &[
+                "design",
+                "adversarial",
+                "tx",
+                "revenue",
+                "welfare",
+                "fill",
+                "seller gini"
+            ],
             &rows,
         )
     );

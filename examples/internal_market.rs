@@ -51,7 +51,10 @@ fn main() {
     let finance = market.buyer("team-finance");
     finance
         .wtp(["user_id", "channel", "revenue", "tickets"])
-        .price_curve(PriceCurve::Linear { min_satisfaction: 0.5, max_price: 30.0 })
+        .price_curve(PriceCurve::Linear {
+            min_satisfaction: 0.5,
+            max_price: 30.0,
+        })
         .min_rows(100)
         .submit()
         .unwrap();

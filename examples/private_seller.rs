@@ -52,7 +52,10 @@ fn main() {
     buyer
         .wtp(["stay_days"])
         .aggregate_completeness("stay_days", 14)
-        .price_curve(PriceCurve::Linear { min_satisfaction: 0.3, max_price: 50.0 })
+        .price_curve(PriceCurve::Linear {
+            min_satisfaction: 0.3,
+            max_price: 50.0,
+        })
         .submit()
         .unwrap();
     let report = market.run_round();

@@ -21,10 +21,17 @@ fn main() {
     let mut b = RelationBuilder::new("city_temps")
         .column("city", DataType::Str)
         .column("temp_c", DataType::Float);
-    for (city, t) in [("chicago", 3.5), ("boston", 1.0), ("austin", 21.0), ("seattle", 9.5)] {
+    for (city, t) in [
+        ("chicago", 3.5),
+        ("boston", 1.0),
+        ("austin", 21.0),
+        ("seattle", 9.5),
+    ] {
         b = b.row(vec![Value::str(city), Value::Float(t)]);
     }
-    let dataset = seller.share(b.build().expect("valid rows")).expect("no PII");
+    let dataset = seller
+        .share(b.build().expect("valid rows"))
+        .expect("no PII");
     println!("seller registered dataset {dataset}");
 
     // 3. A buyer states its need through a WTP-function: the attributes
@@ -33,7 +40,10 @@ fn main() {
     buyer.deposit(100.0);
     let offer = buyer
         .wtp(["city", "temp_c"])
-        .price_curve(PriceCurve::Linear { min_satisfaction: 0.5, max_price: 60.0 })
+        .price_curve(PriceCurve::Linear {
+            min_satisfaction: 0.5,
+            max_price: 60.0,
+        })
         .submit()
         .expect("offer accepted");
     println!("buyer submitted offer {offer}");
@@ -61,5 +71,8 @@ fn main() {
         acct.mashups, acct.revenue
     );
     assert!(market.audit_log().verify_chain(), "audit chain intact");
-    println!("audit chain verified ({} entries)", market.audit_log().len());
+    println!(
+        "audit chain verified ({} entries)",
+        market.audit_log().len()
+    );
 }

@@ -51,7 +51,10 @@ fn paper_intro_example_full_lifecycle() {
     assert!(market.balance("seller2") > 0.0);
 
     // The offer is fulfilled and the delivery carries the mashup.
-    assert!(matches!(market.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    assert!(matches!(
+        market.offer(offer).unwrap().state,
+        OfferState::Fulfilled { .. }
+    ));
     let delivery = &b1.deliveries()[0];
     assert!(delivery.relation.schema().contains("label"));
     assert!(delivery.relation.len() >= 50);
@@ -103,7 +106,10 @@ fn pending_offers_retry_across_rounds_as_supply_arrives() {
     // Round 2: the pending offer clears.
     let r2 = market.run_round();
     assert_eq!(r2.sales.len(), 1);
-    assert!(matches!(market.offer(offer).unwrap().state, OfferState::Fulfilled { .. }));
+    assert!(matches!(
+        market.offer(offer).unwrap().state,
+        OfferState::Fulfilled { .. }
+    ));
     assert!(seller.balance() > 0.0);
 }
 
@@ -137,10 +143,20 @@ fn conservation_of_money_across_many_rounds() {
     }
     assert!(revenue > 0.0);
     // Sum of every account (buyers + sellers + arbiter) equals deposits.
-    let all: f64 = ["b0", "b1", "b2", "b3", "b4", "s0", "s1", "s2", "__arbiter__"]
-        .iter()
-        .map(|a| market.balance(a))
-        .sum();
+    let all: f64 = [
+        "b0",
+        "b1",
+        "b2",
+        "b3",
+        "b4",
+        "s0",
+        "s1",
+        "s2",
+        "__arbiter__",
+    ]
+    .iter()
+    .map(|a| market.balance(a))
+    .sum();
     assert!(
         (all - total_deposited).abs() < 1e-6,
         "supply {all} vs deposits {total_deposited}"

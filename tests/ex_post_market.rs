@@ -23,7 +23,9 @@ fn ex_post_market(audit_prob: f64) -> DataMarket {
 fn delivery_precedes_payment() {
     let market = ex_post_market(1.0);
     let seller = market.seller("s");
-    seller.share(keyed_rel("goods", &[(1, "x"), (2, "y")])).unwrap();
+    seller
+        .share(keyed_rel("goods", &[(1, "x"), (2, "y")]))
+        .unwrap();
     let buyer = market.buyer("b");
     buyer.deposit(100.0);
     let offer = buyer
@@ -69,7 +71,9 @@ fn truthful_report_settles_cleanly() {
     assert!((settlement.paid - 30.0).abs() < 1e-9);
     // Seller got paid; escrow residue refunded; books balance.
     assert!(seller.balance() > 0.0);
-    assert!((buyer.balance() + seller.balance() + market.balance("__arbiter__") - 100.0).abs() < 1e-6);
+    assert!(
+        (buyer.balance() + seller.balance() + market.balance("__arbiter__") - 100.0).abs() < 1e-6
+    );
     // Reputation intact.
     assert_eq!(market.participant("b").unwrap().reputation, 1.0);
 }
@@ -110,7 +114,10 @@ fn underreporting_is_caught_and_penalized() {
 #[test]
 fn double_reporting_rejected() {
     let market = ex_post_market(0.0);
-    market.seller("s").share(keyed_rel("g", &[(1, "x")])).unwrap();
+    market
+        .seller("s")
+        .share(keyed_rel("g", &[(1, "x")]))
+        .unwrap();
     let buyer = market.buyer("b");
     buyer.deposit(100.0);
     buyer
@@ -127,7 +134,10 @@ fn double_reporting_rejected() {
 #[test]
 fn report_capped_by_deposit_keeps_books_balanced() {
     let market = ex_post_market(0.0);
-    market.seller("s").share(keyed_rel("g", &[(1, "x")])).unwrap();
+    market
+        .seller("s")
+        .share(keyed_rel("g", &[(1, "x")]))
+        .unwrap();
     let buyer = market.buyer("b");
     buyer.deposit(100.0);
     buyer

@@ -20,14 +20,25 @@ fn market() -> DataMarket {
 fn exclusive_license_taxes_and_locks() {
     let m = market();
     let seller = m.seller("s");
-    let id = seller.share(keyed_rel("sig", &[(1, "a"), (2, "b")])).unwrap();
+    let id = seller
+        .share(keyed_rel("sig", &[(1, "a"), (2, "b")]))
+        .unwrap();
     seller
-        .set_license(id, License::Exclusive { tax_rate: 0.5, hold_rounds: 1 })
+        .set_license(
+            id,
+            License::Exclusive {
+                tax_rate: 0.5,
+                hold_rounds: 1,
+            },
+        )
         .unwrap();
 
     let b1 = m.buyer("b1");
     b1.deposit(100.0);
-    b1.wtp(["k", "v"]).price_curve(PriceCurve::Constant(60.0)).submit().unwrap();
+    b1.wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(60.0))
+        .submit()
+        .unwrap();
     let r1 = m.run_round();
     // posted 20 × 1.5 exclusivity tax
     assert!((r1.sales[0].price - 30.0).abs() < 1e-9);
@@ -35,7 +46,11 @@ fn exclusive_license_taxes_and_locks() {
     // Another buyer is locked out while the hold lasts.
     let b2 = m.buyer("b2");
     b2.deposit(100.0);
-    let offer2 = b2.wtp(["k", "v"]).price_curve(PriceCurve::Constant(60.0)).submit().unwrap();
+    let offer2 = b2
+        .wtp(["k", "v"])
+        .price_curve(PriceCurve::Constant(60.0))
+        .submit()
+        .unwrap();
     let r2 = m.run_round();
     assert!(r2.sales.is_empty(), "exclusive hold must deny b2");
 
@@ -93,7 +108,11 @@ fn disputes_record_and_resolve() {
     m.seller("s").share(keyed_rel("g", &[(1, "x")])).unwrap();
     let buyer = m.buyer("b");
     buyer.deposit(100.0);
-    buyer.wtp(["k"]).price_curve(PriceCurve::Constant(25.0)).submit().unwrap();
+    buyer
+        .wtp(["k"])
+        .price_curve(PriceCurve::Constant(25.0))
+        .submit()
+        .unwrap();
     let r = m.run_round();
     assert_eq!(r.sales.len(), 1);
 

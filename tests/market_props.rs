@@ -14,7 +14,7 @@ use data_market_platform::relation::{DataType, RelationBuilder, Value};
 #[derive(Debug, Clone)]
 struct MarketInput {
     posted_price: f64,
-    tables: Vec<(u8, Vec<i64>)>, // (schema variant, key values)
+    tables: Vec<(u8, Vec<i64>)>,  // (schema variant, key values)
     demands: Vec<(u8, f64, f64)>, // (variant wanted, max price, deposit)
     rounds: u8,
 }
