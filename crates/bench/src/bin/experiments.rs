@@ -102,6 +102,9 @@ fn main() {
     if want("e16") {
         e16_licensing();
     }
+    if want("svc") {
+        svc_service_baseline();
+    }
 }
 
 /// F1 — Fig. 1: the same design object drives the simulator and a
@@ -1082,4 +1085,161 @@ fn e16_licensing() {
         ]);
     }
     t.print();
+}
+
+/// SVC — service-layer perf baseline: gateway throughput at 1/4/16
+/// concurrent connections and journal replay speed. Emits
+/// `BENCH_service.json` so later PRs can diff against this trajectory.
+fn svc_service_baseline() {
+    use dmp_service::client::Client;
+    use dmp_service::command::{AskSpec, CellSpec, ColType, Command, OfferSpec, TableSpec};
+    use dmp_service::gateway::{Gateway, GatewayConfig};
+    use dmp_service::node::{ServiceConfig, ServiceNode};
+    use dmp_service::wire::Json;
+    use std::sync::Arc;
+
+    let tmp = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("dmp-exp-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    };
+    let service_config = |dir: std::path::PathBuf| {
+        let market =
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0));
+        ServiceConfig::new(dir, market)
+            .with_shards(4)
+            .with_fsync(false)
+            .with_snapshot_every(0)
+    };
+
+    let mut t = ExperimentTable::new(
+        "SVC  dmp-service baseline: gateway + journal replay",
+        &["metric", "config", "throughput"],
+    );
+    let mut json_rows: Vec<(String, Json)> = Vec::new();
+
+    // Gateway read path at increasing connection counts.
+    let node = Arc::new(ServiceNode::open(service_config(tmp("svc-gw"))).unwrap());
+    let gateway = Gateway::serve(
+        Arc::clone(&node),
+        GatewayConfig {
+            workers: 16,
+            ..GatewayConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = gateway.addr();
+    const REQUESTS: usize = 1024;
+    for conns in [1usize, 4, 16] {
+        let (_, ms) = time_ms(|| {
+            let handles: Vec<_> = (0..conns)
+                .map(|_| {
+                    std::thread::spawn(move || {
+                        let mut c = Client::connect(addr).unwrap();
+                        for _ in 0..REQUESTS / conns {
+                            c.get("/health").unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        let rps = REQUESTS as f64 / (ms / 1e3);
+        t.row(vec![
+            "gateway GET /health".into(),
+            format!("{conns} conn(s)"),
+            format!("{} req/s", f2(rps)),
+        ]);
+        json_rows.push((format!("gateway_health_rps_{conns}conn"), Json::Num(rps)));
+    }
+    // Journaled mutation path (every request is a WAL append + apply).
+    let mut c = Client::connect(addr).unwrap();
+    c.post(
+        "/enroll",
+        &Json::parse(r#"{"name":"d","role":"buyer"}"#).unwrap(),
+    )
+    .unwrap();
+    const DEPOSITS: usize = 512;
+    let body = Json::parse(r#"{"account":"d","amount":1.0}"#).unwrap();
+    let (_, ms) = time_ms(|| {
+        for _ in 0..DEPOSITS {
+            c.post("/deposits", &body).unwrap();
+        }
+    });
+    let wps = DEPOSITS as f64 / (ms / 1e3);
+    t.row(vec![
+        "gateway POST /deposits (journaled)".into(),
+        "1 conn".into(),
+        format!("{} req/s", f2(wps)),
+    ]);
+    json_rows.push(("gateway_deposit_rps_1conn".into(), Json::Num(wps)));
+    gateway.shutdown();
+
+    // Journal replay: rebuild 16 populated rounds from the WAL.
+    let dir = tmp("svc-replay");
+    let cfg = service_config(dir.clone());
+    const ROUNDS: usize = 16;
+    {
+        let node = ServiceNode::open(cfg.clone()).unwrap();
+        for i in 0..4 {
+            node.apply(Command::Enroll {
+                name: format!("s{i}"),
+                role: "seller".into(),
+            })
+            .unwrap();
+            node.apply(Command::Enroll {
+                name: format!("b{i}"),
+                role: "buyer".into(),
+            })
+            .unwrap();
+            node.apply(Command::Deposit {
+                account: format!("b{i}"),
+                amount: 1000.0,
+            })
+            .unwrap();
+        }
+        for round in 0..ROUNDS {
+            for i in 0..4 {
+                let _ = node.apply(Command::SubmitAsk(AskSpec {
+                    seller: format!("s{i}"),
+                    table: TableSpec {
+                        name: format!("t{round}_{i}"),
+                        columns: vec![("k".into(), ColType::Int), ("v".into(), ColType::Float)],
+                        rows: (0..6)
+                            .map(|r| vec![CellSpec::Int(r), CellSpec::Float(r as f64 * 1.5)])
+                            .collect(),
+                    },
+                    reserve: None,
+                    license: None,
+                }));
+                let _ = node.apply(Command::SubmitOffer(OfferSpec::simple(
+                    format!("b{i}"),
+                    ["k", "v"],
+                    15.0,
+                )));
+            }
+            node.apply(Command::RunRound { rounds: 1 }).unwrap();
+        }
+    }
+    let (applied, ms) = time_ms(|| ServiceNode::open(cfg.clone()).unwrap().applied());
+    let rounds_per_s = ROUNDS as f64 / (ms / 1e3);
+    let cmds_per_s = applied as f64 / (ms / 1e3);
+    t.row(vec![
+        "journal replay".into(),
+        format!("{ROUNDS} rounds, {applied} cmds"),
+        format!("{} rounds/s ({} cmds/s)", f2(rounds_per_s), f2(cmds_per_s)),
+    ]);
+    json_rows.push((
+        "journal_replay_rounds_per_s".into(),
+        Json::Num(rounds_per_s),
+    ));
+    json_rows.push(("journal_replay_cmds_per_s".into(), Json::Num(cmds_per_s)));
+    t.print();
+
+    let out = Json::Obj(json_rows).dump();
+    std::fs::write("BENCH_service.json", &out).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json: {out}\n");
 }

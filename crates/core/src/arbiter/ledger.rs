@@ -2,6 +2,14 @@
 //! escrow — the simulated substitute for real payment rails (DESIGN.md
 //! substitutions table). Invariant: transfers conserve total supply;
 //! only explicit deposits mint currency.
+//!
+//! Amounts are stored as **integer micro-credits** (1 credit =
+//! 1 000 000 µ): every amount crossing the ledger boundary is rounded
+//! to the nearest micro-credit before it is applied, so balances never
+//! accumulate binary-float drift and the conservation invariant
+//! (`total_supply == sum of deposits`) holds *exactly*, bit for bit,
+//! under arbitrary interleavings of transfers, holds and releases. The
+//! public API stays in `f64` credits.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -9,6 +17,24 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 use crate::error::{MarketError, MarketResult};
+
+/// Micro-credits per credit: the fixed granularity of stored amounts.
+pub const MICROS_PER_CREDIT: f64 = 1_000_000.0;
+
+/// Largest amount (in credits) a single operation accepts; amounts are
+/// clamped here at the boundary so micro-credit arithmetic can never
+/// overflow `i64` (1e12 credits = 1e18 µ, comfortably inside ±9.2e18;
+/// stored balances additionally saturate instead of wrapping).
+pub const MAX_AMOUNT: f64 = 1e12;
+
+/// Round an amount in credits to whole micro-credits.
+fn to_micros(amount: f64) -> i64 {
+    (amount.clamp(-MAX_AMOUNT, MAX_AMOUNT) * MICROS_PER_CREDIT).round() as i64
+}
+
+fn from_micros(m: i64) -> f64 {
+    m as f64 / MICROS_PER_CREDIT
+}
 
 /// Escrow lifecycle.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,14 +46,14 @@ enum EscrowState {
 #[derive(Debug, Clone)]
 struct Escrow {
     from: String,
-    remaining: f64,
+    remaining: i64,
     state: EscrowState,
 }
 
 /// Double-entry ledger with named accounts and escrow holds.
 #[derive(Debug, Default)]
 pub struct Ledger {
-    accounts: Mutex<HashMap<String, f64>>,
+    accounts: Mutex<HashMap<String, i64>>,
     escrows: Mutex<HashMap<u64, Escrow>>,
     next_escrow: AtomicU64,
 }
@@ -39,20 +65,20 @@ impl Ledger {
     }
 
     /// Mint `amount` into an account (enrollment grants, deposits).
+    /// Amounts below half a micro-credit are dropped.
     pub fn deposit(&self, account: &str, amount: f64) {
-        if amount <= 0.0 {
+        let m = to_micros(amount);
+        if m <= 0 {
             return;
         }
-        *self
-            .accounts
-            .lock()
-            .entry(account.to_string())
-            .or_insert(0.0) += amount;
+        let mut accounts = self.accounts.lock();
+        let e = accounts.entry(account.to_string()).or_insert(0);
+        *e = e.saturating_add(m);
     }
 
     /// Current balance (0 for unknown accounts).
     pub fn balance(&self, account: &str) -> f64 {
-        self.accounts.lock().get(account).copied().unwrap_or(0.0)
+        from_micros(self.accounts.lock().get(account).copied().unwrap_or(0))
     }
 
     /// Transfer between accounts; fails on insufficient funds.
@@ -60,20 +86,22 @@ impl Ledger {
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative transfer".into()));
         }
-        if amount == 0.0 {
+        let m = to_micros(amount);
+        if m == 0 {
             return Ok(());
         }
         let mut accounts = self.accounts.lock();
-        let available = accounts.get(from).copied().unwrap_or(0.0);
-        if available + 1e-9 < amount {
+        let available = accounts.get(from).copied().unwrap_or(0);
+        if available < m {
             return Err(MarketError::InsufficientFunds {
                 account: from.to_string(),
                 needed: amount,
-                available,
+                available: from_micros(available),
             });
         }
-        *accounts.entry(from.to_string()).or_insert(0.0) -= amount;
-        *accounts.entry(to.to_string()).or_insert(0.0) += amount;
+        *accounts.entry(from.to_string()).or_insert(0) -= m;
+        let to_entry = accounts.entry(to.to_string()).or_insert(0);
+        *to_entry = to_entry.saturating_add(m);
         Ok(())
     }
 
@@ -82,24 +110,25 @@ impl Ledger {
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative escrow".into()));
         }
+        let m = to_micros(amount);
         {
             let mut accounts = self.accounts.lock();
-            let available = accounts.get(from).copied().unwrap_or(0.0);
-            if available + 1e-9 < amount {
+            let available = accounts.get(from).copied().unwrap_or(0);
+            if available < m {
                 return Err(MarketError::InsufficientFunds {
                     account: from.to_string(),
                     needed: amount,
-                    available,
+                    available: from_micros(available),
                 });
             }
-            *accounts.entry(from.to_string()).or_insert(0.0) -= amount;
+            *accounts.entry(from.to_string()).or_insert(0) -= m;
         }
         let id = self.next_escrow.fetch_add(1, Ordering::Relaxed);
         self.escrows.lock().insert(
             id,
             Escrow {
                 from: from.to_string(),
-                remaining: amount,
+                remaining: m,
                 state: EscrowState::Held,
             },
         );
@@ -112,6 +141,7 @@ impl Ledger {
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative release".into()));
         }
+        let m = to_micros(amount);
         let mut escrows = self.escrows.lock();
         let e = escrows
             .get_mut(&escrow)
@@ -119,16 +149,61 @@ impl Ledger {
         if e.state != EscrowState::Held {
             return Err(MarketError::Invalid("escrow already closed".into()));
         }
-        if e.remaining + 1e-9 < amount {
+        if e.remaining < m {
             return Err(MarketError::InsufficientFunds {
                 account: format!("escrow#{escrow}"),
                 needed: amount,
-                available: e.remaining,
+                available: from_micros(e.remaining),
             });
         }
-        e.remaining -= amount;
-        *self.accounts.lock().entry(to.to_string()).or_insert(0.0) += amount;
+        e.remaining -= m;
+        let mut accounts = self.accounts.lock();
+        let to_entry = accounts.entry(to.to_string()).or_insert(0);
+        *to_entry = to_entry.saturating_add(m);
         Ok(())
+    }
+
+    /// Micro-credits of payout overshoot `release_up_to` absorbs: each
+    /// payout in a revenue split rounds independently (≤ 0.5 µ each),
+    /// so the final one can exceed the (also rounded) hold by the
+    /// accumulated dust — bounded well below this for any realistic
+    /// share count. Larger overshoots are real accounting bugs and
+    /// still fail loudly.
+    const RELEASE_DUST_MICROS: i64 = 100;
+
+    /// Pay `min(amount, remaining)` out of an escrow to `to`, returning
+    /// what was actually paid. This is the payout used by settlement,
+    /// where "the rest of the hold" is the intent; the clamp tolerates
+    /// only rounding dust ([`Self::RELEASE_DUST_MICROS`]).
+    /// [`Ledger::release`] stays strict for exact payouts.
+    pub fn release_up_to(&self, escrow: u64, to: &str, amount: f64) -> MarketResult<f64> {
+        if amount < 0.0 {
+            return Err(MarketError::Invalid("negative release".into()));
+        }
+        let mut escrows = self.escrows.lock();
+        let e = escrows
+            .get_mut(&escrow)
+            .ok_or(MarketError::UnknownId(escrow))?;
+        if e.state != EscrowState::Held {
+            return Err(MarketError::Invalid("escrow already closed".into()));
+        }
+        let requested = to_micros(amount);
+        if requested > e.remaining.saturating_add(Self::RELEASE_DUST_MICROS) {
+            return Err(MarketError::InsufficientFunds {
+                account: format!("escrow#{escrow}"),
+                needed: amount,
+                available: from_micros(e.remaining),
+            });
+        }
+        let m = requested.min(e.remaining);
+        if m <= 0 {
+            return Ok(0.0);
+        }
+        e.remaining -= m;
+        let mut accounts = self.accounts.lock();
+        let to_entry = accounts.entry(to.to_string()).or_insert(0);
+        *to_entry = to_entry.saturating_add(m);
+        Ok(from_micros(m))
     }
 
     /// Close the escrow, refunding whatever remains to the holder.
@@ -143,9 +218,11 @@ impl Ledger {
         }
         e.state = EscrowState::Closed;
         let refund = e.remaining;
-        e.remaining = 0.0;
-        *self.accounts.lock().entry(e.from.clone()).or_insert(0.0) += refund;
-        Ok(refund)
+        e.remaining = 0;
+        let mut accounts = self.accounts.lock();
+        let from_entry = accounts.entry(e.from.clone()).or_insert(0);
+        *from_entry = from_entry.saturating_add(refund);
+        Ok(from_micros(refund))
     }
 
     /// Funds still held in an open escrow (`None` for unknown/closed).
@@ -154,32 +231,49 @@ impl Ledger {
             .lock()
             .get(&escrow)
             .filter(|e| e.state == EscrowState::Held)
-            .map(|e| e.remaining)
+            .map(|e| from_micros(e.remaining))
     }
 
     /// Total currency across accounts and open escrows (conservation
     /// invariant: only `deposit` changes this).
     pub fn total_supply(&self) -> f64 {
-        let accounts: f64 = self.accounts.lock().values().sum();
-        let escrowed: f64 = self
+        let accounts: i64 = self
+            .accounts
+            .lock()
+            .values()
+            .fold(0i64, |acc, &v| acc.saturating_add(v));
+        let escrowed: i64 = self
             .escrows
             .lock()
             .values()
             .filter(|e| e.state == EscrowState::Held)
-            .map(|e| e.remaining)
-            .sum();
-        accounts + escrowed
+            .fold(0i64, |acc, e| acc.saturating_add(e.remaining));
+        from_micros(accounts.saturating_add(escrowed))
     }
 
-    /// All account balances, sorted by name (for reports).
+    /// All account balances, sorted by name (for reports and snapshots).
     pub fn balances(&self) -> Vec<(String, f64)> {
         let mut v: Vec<(String, f64)> = self
             .accounts
             .lock()
             .iter()
-            .map(|(k, &v)| (k.clone(), v))
+            .map(|(k, &v)| (k.clone(), from_micros(v)))
             .collect();
         v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All open escrow holds as `(escrow_id, holder, remaining)`, sorted
+    /// by id (for snapshots and durability digests).
+    pub fn escrow_holds(&self) -> Vec<(u64, String, f64)> {
+        let mut v: Vec<(u64, String, f64)> = self
+            .escrows
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.state == EscrowState::Held)
+            .map(|(&id, e)| (id, e.from.clone(), from_micros(e.remaining)))
+            .collect();
+        v.sort_by_key(|&(id, _, _)| id);
         v
     }
 }
@@ -217,6 +311,23 @@ mod tests {
     }
 
     #[test]
+    fn amounts_round_to_micro_credits() {
+        let l = Ledger::new();
+        // Sub-micro residue is rounded away at the boundary: classic
+        // float drift like 0.1 + 0.2 stores exactly 0.3.
+        l.deposit("a", 0.1);
+        l.deposit("a", 0.2);
+        assert_eq!(l.balance("a"), 0.3);
+        // Below half a micro-credit a deposit is a no-op.
+        l.deposit("a", 4e-7);
+        assert_eq!(l.balance("a"), 0.3);
+        // A transfer computed with float error still conserves exactly.
+        l.transfer("a", "b", 0.1 + 0.2 - 0.3 + 0.1).unwrap();
+        assert_eq!(l.balance("b"), 0.1);
+        assert_eq!(l.total_supply(), 0.3);
+    }
+
+    #[test]
     fn escrow_lifecycle_conserves_supply() {
         let l = Ledger::new();
         l.deposit("buyer", 100.0);
@@ -232,6 +343,44 @@ mod tests {
         assert_eq!(refund, 15.0);
         assert_eq!(l.balance("buyer"), 55.0);
         assert_eq!(l.total_supply(), 100.0);
+    }
+
+    #[test]
+    fn release_up_to_absorbs_rounding_dust() {
+        let l = Ledger::new();
+        l.deposit("buyer", 1.0);
+        // Hold 10.5 µ; three "equal" shares of 3.5 µ each round to 4 µ,
+        // so the strict release would fail on the third. release_up_to
+        // pays out the remainder instead.
+        let e = l.hold("buyer", 0.0000105).unwrap();
+        assert_eq!(l.release_up_to(e, "s1", 0.0000035).unwrap(), 0.000004);
+        assert_eq!(l.release_up_to(e, "s2", 0.0000035).unwrap(), 0.000004);
+        let third = l.release_up_to(e, "s3", 0.0000035).unwrap();
+        assert_eq!(third, 0.000003, "last share clamps to the remainder");
+        assert_eq!(l.escrow_remaining(e), Some(0.0));
+        assert_eq!(l.total_supply(), 1.0);
+        // Still strict about lifecycle and about non-dust overshoots.
+        l.close(e).unwrap();
+        assert!(l.release_up_to(e, "s1", 0.1).is_err());
+        let e2 = l.hold("buyer", 0.5).unwrap();
+        assert!(
+            l.release_up_to(e2, "s1", 0.6).is_err(),
+            "whole-credit overshoot is an accounting bug, not dust"
+        );
+    }
+
+    #[test]
+    fn oversized_amounts_clamp_instead_of_overflowing() {
+        let l = Ledger::new();
+        // Far beyond MAX_AMOUNT: clamped at the boundary, and repeated
+        // deposits saturate instead of wrapping negative.
+        l.deposit("whale", 1e300);
+        assert_eq!(l.balance("whale"), MAX_AMOUNT);
+        for _ in 0..12 {
+            l.deposit("whale", MAX_AMOUNT);
+        }
+        assert!(l.balance("whale") > 0.0, "no wraparound to negative");
+        assert!(l.total_supply() > 0.0);
     }
 
     #[test]
@@ -277,6 +426,17 @@ mod tests {
     }
 
     #[test]
+    fn escrow_holds_enumerates_open_holds() {
+        let l = Ledger::new();
+        l.deposit("b", 30.0);
+        let e1 = l.hold("b", 10.0).unwrap();
+        let e2 = l.hold("b", 5.0).unwrap();
+        l.close(e1).unwrap();
+        let holds = l.escrow_holds();
+        assert_eq!(holds, vec![(e2, "b".to_string(), 5.0)]);
+    }
+
+    #[test]
     fn concurrent_transfers_conserve() {
         use std::sync::Arc;
         let l = Arc::new(Ledger::new());
@@ -295,6 +455,7 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert!((l.total_supply() - 1000.0).abs() < 1e-6);
+        // Micro-credit storage makes conservation exact, not approximate.
+        assert_eq!(l.total_supply(), 1000.0);
     }
 }

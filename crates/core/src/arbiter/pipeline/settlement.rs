@@ -81,15 +81,18 @@ impl DataMarket {
 
         // Atomic-ish: verify funds, then transfer piecewise.
         let escrow = self.ledger.hold(&sale.buyer, sale.price)?;
+        // Payouts go through `release_up_to`: fee and shares are each
+        // micro-rounded independently, so the last payout may exceed
+        // the (also rounded) hold by sub-micro dust.
         if fee > 0.0 {
-            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
+            self.ledger.release_up_to(escrow, ARBITER_ACCOUNT, fee)?;
         }
         for share in &shares {
             let owner = match self.metadata.get(share.dataset) {
                 Some(e) => e.owner,
                 None => ARBITER_ACCOUNT.to_string(), // provenance-free residual
             };
-            self.ledger.release(escrow, &owner, share.amount)?;
+            self.ledger.release_up_to(escrow, &owner, share.amount)?;
         }
         self.ledger.close(escrow)?; // refund rounding residue, if any
 
@@ -256,7 +259,10 @@ impl DataMarket {
         let audited = self.rng.lock().gen::<f64>() < mech.audit_prob;
         let true_value = offer.wtp.curve.price(satisfaction);
         let mut penalty = 0.0;
-        if audited && reported + 1e-9 < true_value {
+        // Differences below the ledger's micro-credit granularity are
+        // not payable, so they cannot count as under-reporting (the
+        // escrowed cap itself is rounded to micro-credits).
+        if audited && reported + 1e-6 < true_value {
             penalty = mech.penalty_mult * (true_value - reported);
             let round = self.round();
             if let Some(p) = self.participants.lock().get_mut(&buyer) {
@@ -281,10 +287,10 @@ impl DataMarket {
                 Some(e) => e.owner,
                 None => ARBITER_ACCOUNT.to_string(),
             };
-            self.ledger.release(escrow, &owner, share.amount)?;
+            self.ledger.release_up_to(escrow, &owner, share.amount)?;
         }
         if fee > 0.0 {
-            self.ledger.release(escrow, ARBITER_ACCOUNT, fee)?;
+            self.ledger.release_up_to(escrow, ARBITER_ACCOUNT, fee)?;
         }
         self.ledger.close(escrow)?;
 

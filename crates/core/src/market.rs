@@ -243,6 +243,27 @@ impl DataMarket {
         self.participants.lock().get(name).cloned()
     }
 
+    /// All participants, sorted by name (enumerable for snapshots and
+    /// service-layer digests).
+    pub fn participants(&self) -> Vec<Participant> {
+        let mut v: Vec<Participant> = self.participants.lock().values().cloned().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// Credit an account directly (command-application hook for the
+    /// service layer's `Deposit` command; buyers normally deposit
+    /// through [`crate::buyer::BuyerHandle::deposit`]).
+    pub fn deposit(&self, account: &str, amount: f64) {
+        self.ledger.deposit(account, amount);
+    }
+
+    /// The ledger (read access for snapshots / durability digests: the
+    /// service layer enumerates balances and open escrow holds).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
     /// A seller-facing handle.
     pub fn seller(&self, name: &str) -> SellerHandle<'_> {
         self.enroll(name, "seller");

@@ -1,0 +1,151 @@
+//! Property tests for the arbiter ledger: currency conservation under
+//! random interleaved deposit / transfer / escrow / release / close
+//! sequences. With integer micro-credit storage the invariant is exact:
+//! the total supply equals the sum of minted deposits bit-for-bit, and
+//! no account ever goes negative.
+
+use dmp_core::arbiter::ledger::Ledger;
+use proptest::prelude::*;
+
+const ACCOUNTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// One randomly generated ledger operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Deposit { who: usize, amount: f64 },
+    Transfer { from: usize, to: usize, amount: f64 },
+    Hold { who: usize, amount: f64 },
+    Release { slot: usize, to: usize, amount: f64 },
+    Close { slot: usize },
+}
+
+fn decode(kind: u8, a: usize, b: usize, amount: f64) -> Op {
+    match kind % 5 {
+        0 => Op::Deposit {
+            who: a % ACCOUNTS.len(),
+            amount,
+        },
+        1 => Op::Transfer {
+            from: a % ACCOUNTS.len(),
+            to: b % ACCOUNTS.len(),
+            amount,
+        },
+        2 => Op::Hold {
+            who: a % ACCOUNTS.len(),
+            amount,
+        },
+        3 => Op::Release {
+            slot: a,
+            to: b % ACCOUNTS.len(),
+            amount,
+        },
+        _ => Op::Close { slot: a },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conservation_under_interleaved_ops(
+        raw in proptest::collection::vec(
+            (0u8..5, 0usize..8, 0usize..8, 0.0f64..50.0),
+            1..120,
+        )
+    ) {
+        let ledger = Ledger::new();
+        let mut minted_micros: i64 = 0;
+        let mut escrows: Vec<u64> = Vec::new();
+
+        for (kind, a, b, amount) in raw {
+            match decode(kind, a, b, amount) {
+                Op::Deposit { who, amount } => {
+                    ledger.deposit(ACCOUNTS[who], amount);
+                    // Mirror the boundary rounding: what the ledger mints
+                    // is the micro-credit rounding of the request.
+                    let m = (amount * 1e6).round() as i64;
+                    if m > 0 {
+                        minted_micros += m;
+                    }
+                }
+                Op::Transfer { from, to, amount } => {
+                    let _ = ledger.transfer(ACCOUNTS[from], ACCOUNTS[to], amount);
+                }
+                Op::Hold { who, amount } => {
+                    if let Ok(id) = ledger.hold(ACCOUNTS[who], amount) {
+                        escrows.push(id);
+                    }
+                }
+                Op::Release { slot, to, amount } => {
+                    if !escrows.is_empty() {
+                        let id = escrows[slot % escrows.len()];
+                        let _ = ledger.release(id, ACCOUNTS[to], amount);
+                    }
+                }
+                Op::Close { slot } => {
+                    if !escrows.is_empty() {
+                        let id = escrows[slot % escrows.len()];
+                        let _ = ledger.close(id);
+                    }
+                }
+            }
+
+            // Exact conservation at every step: deposits are the only
+            // mint, and every balance/escrow stays non-negative.
+            let expected = minted_micros as f64 / 1e6;
+            prop_assert_eq!(ledger.total_supply(), expected);
+            for acct in ACCOUNTS {
+                prop_assert!(ledger.balance(acct) >= 0.0);
+            }
+            for (_, _, remaining) in ledger.escrow_holds() {
+                prop_assert!(remaining >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn balances_and_holds_reconstruct_total_supply(
+        raw in proptest::collection::vec(
+            (0u8..5, 0usize..8, 0usize..8, 0.0f64..20.0),
+            1..60,
+        )
+    ) {
+        let ledger = Ledger::new();
+        let mut escrows: Vec<u64> = Vec::new();
+        for (kind, a, b, amount) in raw {
+            match decode(kind, a, b, amount) {
+                Op::Deposit { who, amount } => ledger.deposit(ACCOUNTS[who], amount),
+                Op::Transfer { from, to, amount } => {
+                    let _ = ledger.transfer(ACCOUNTS[from], ACCOUNTS[to], amount);
+                }
+                Op::Hold { who, amount } => {
+                    if let Ok(id) = ledger.hold(ACCOUNTS[who], amount) {
+                        escrows.push(id);
+                    }
+                }
+                Op::Release { slot, to, amount } => {
+                    if !escrows.is_empty() {
+                        let id = escrows[slot % escrows.len()];
+                        let _ = ledger.release(id, ACCOUNTS[to], amount);
+                    }
+                }
+                Op::Close { slot } => {
+                    if !escrows.is_empty() {
+                        let id = escrows[slot % escrows.len()];
+                        let _ = ledger.close(id);
+                    }
+                }
+            }
+        }
+        // The snapshot enumerators see everything total_supply sees.
+        // Summation order in f64 can differ below micro-credit
+        // granularity, so compare in whole micro-credits.
+        let from_accounts: f64 = ledger.balances().iter().map(|(_, v)| v).sum();
+        let from_escrows: f64 = ledger.escrow_holds().iter().map(|(_, _, v)| v).sum();
+        let micros = |x: f64| (x * 1e6).round() as i64;
+        prop_assert_eq!(
+            micros(ledger.total_supply()),
+            micros(from_accounts + from_escrows)
+        );
+    }
+}

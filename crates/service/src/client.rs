@@ -1,0 +1,88 @@
+//! A tiny blocking HTTP client for the gateway, shared by the e2e
+//! tests, the `serve` example and the throughput benches. One
+//! [`Client`] holds one keep-alive connection.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::http::{read_response, HttpError};
+use crate::wire::Json;
+
+/// One keep-alive connection to a gateway.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// Connect.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            addr,
+        })
+    }
+
+    /// The gateway address this client talks to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Issue one request; returns `(status, parsed body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> std::io::Result<(u16, Json)> {
+        use std::io::Write;
+        let body_text = body.map(Json::dump).unwrap_or_default();
+        write!(
+            self.writer,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n{}",
+            self.addr,
+            body_text.len(),
+            body_text
+        )?;
+        self.writer.flush()?;
+        let (status, bytes) = read_response(&mut self.reader).map_err(|e| match e {
+            HttpError::Io(io) => io,
+            other => std::io::Error::other(format!("{other:?}")),
+        })?;
+        let text = String::from_utf8_lossy(&bytes);
+        let json = Json::parse(&text)
+            .map_err(|e| std::io::Error::other(format!("bad response JSON: {e}")))?;
+        Ok((status, json))
+    }
+
+    /// `GET path`, expecting 200.
+    pub fn get(&mut self, path: &str) -> std::io::Result<Json> {
+        let (status, json) = self.request("GET", path, None)?;
+        if status != 200 {
+            return Err(std::io::Error::other(format!(
+                "GET {path} -> {status}: {}",
+                json.dump()
+            )));
+        }
+        Ok(json)
+    }
+
+    /// `POST path`, expecting 200.
+    pub fn post(&mut self, path: &str, body: &Json) -> std::io::Result<Json> {
+        let (status, json) = self.request("POST", path, Some(body))?;
+        if status != 200 {
+            return Err(std::io::Error::other(format!(
+                "POST {path} -> {status}: {}",
+                json.dump()
+            )));
+        }
+        Ok(json)
+    }
+}

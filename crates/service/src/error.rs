@@ -1,0 +1,43 @@
+//! Service-layer errors.
+
+use std::fmt;
+
+use crate::wire::WireError;
+
+/// Anything that can go wrong between a wire request and the market.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Journal / snapshot / socket I/O failed.
+    Io(std::io::Error),
+    /// The request body was not valid wire JSON (or not a valid
+    /// command).
+    Wire(WireError),
+    /// The market refused the command (unknown participant, PII,
+    /// insufficient funds, ...). The command is still journaled —
+    /// rejection is deterministic under replay.
+    Rejected(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Wire(e) => write!(f, "bad request: {e}"),
+            ServiceError::Rejected(msg) => write!(f, "rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}

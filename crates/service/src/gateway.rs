@@ -1,0 +1,479 @@
+//! The network gateway: a multi-threaded `std::net::TcpListener`
+//! HTTP/1.1 server with a **bounded worker pool** in front of a
+//! [`ServiceNode`].
+//!
+//! One acceptor thread pushes connections into a bounded channel;
+//! `workers` threads drain it, each running a keep-alive request loop.
+//! When every worker is busy the channel exerts backpressure on the
+//! acceptor instead of spawning unbounded threads.
+//!
+//! | Endpoint          | Command journaled        | Response              |
+//! |-------------------|--------------------------|-----------------------|
+//! | `POST /enroll`    | `Enroll` (+ `Deposit`)   | shard assignment      |
+//! | `POST /deposits`  | `Deposit`                | new balance           |
+//! | `POST /offers`    | `SubmitOffer`            | offer id + shard      |
+//! | `POST /asks`      | `SubmitAsk`              | dataset id + shard    |
+//! | `POST /licenses`  | `GrantLicense`           | dataset id + shard    |
+//! | `POST /rounds`    | `RunRound`               | merged round reports  |
+//! | `POST /snapshot`  | — (admin, not a mutation)| checkpointed seq      |
+//! | `GET /ledger/:name` | —                      | balance               |
+//! | `GET /ledger`     | —                        | all balances          |
+//! | `GET /health`     | —                        | liveness + seq        |
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::command::{Command, LicenseSpec};
+use crate::error::ServiceError;
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::node::ServiceNode;
+use crate::wire::Json;
+
+/// Gateway deployment knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker pool size (bounded; also bounds queued connections).
+    pub workers: usize,
+    /// Maximum accepted request body, in bytes.
+    pub max_body: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            max_body: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A running gateway; dropping it (or calling [`Gateway::shutdown`])
+/// stops the acceptor and joins the workers.
+pub struct Gateway {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Bind and start serving `node`.
+    pub fn serve(node: Arc<ServiceNode>, cfg: GatewayConfig) -> std::io::Result<Gateway> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = cfg.workers.max(1);
+
+        // Bounded hand-off: when all workers are busy and the queue is
+        // full, the acceptor blocks instead of buffering without limit.
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let node = Arc::clone(&node);
+            let cfg = cfg.clone();
+            let stop = Arc::clone(&stop);
+            worker_handles.push(std::thread::spawn(move || loop {
+                let stream = {
+                    let guard = rx.lock();
+                    guard.recv()
+                };
+                match stream {
+                    Ok(stream) => serve_connection(&node, stream, &cfg, &stop),
+                    Err(_) => return, // acceptor gone: shutdown
+                }
+            }));
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(s) => {
+                            if tx.send(s).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // tx drops here; workers drain the queue and exit.
+            })
+        };
+
+        Ok(Gateway {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain in-flight connections, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// How often an idle keep-alive connection re-checks the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(100);
+
+fn serve_connection(node: &ServiceNode, stream: TcpStream, cfg: &GatewayConfig, stop: &AtomicBool) {
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut idle = Duration::ZERO;
+    loop {
+        // Shutdown check between requests — a busy keep-alive client
+        // must not pin this worker past Gateway::shutdown.
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Idle wait between requests: a short socket timeout so the
+        // loop notices shutdown promptly. Parsing only starts once
+        // bytes are buffered, so an idle timeout can never discard a
+        // partially-read request.
+        let _ = writer.set_read_timeout(Some(IDLE_POLL));
+        use std::io::BufRead;
+        match reader.fill_buf() {
+            Ok([]) => return, // clean EOF
+            Ok(_) => idle = Duration::ZERO,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += IDLE_POLL;
+                if stop.load(Ordering::SeqCst) || idle >= cfg.read_timeout {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return, // reset / broken pipe
+        }
+        // A request is in flight: give it the full read timeout; any
+        // stall or error mid-request closes the connection (resuming
+        // would desync the stream).
+        let _ = writer.set_read_timeout(Some(cfg.read_timeout));
+        match read_request(&mut reader, cfg.max_body) {
+            Ok(req) => {
+                let keep_alive = !req.wants_close();
+                let response = route(node, &req);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(HttpError::Eof) => return,
+            Err(HttpError::TooLarge) => {
+                let _ = Response::json(413, err_body("request body too large"))
+                    .write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Malformed(msg)) => {
+                let _ = Response::json(400, err_body(&msg)).write_to(&mut writer, false);
+                return;
+            }
+            Err(HttpError::Io(_)) => return,
+        }
+    }
+}
+
+fn err_body(msg: &str) -> String {
+    Json::obj([("error", Json::str(msg))]).dump()
+}
+
+fn parse_body(req: &Request) -> Result<Json, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Response::json(400, err_body("body is not UTF-8")))?;
+    Json::parse(text).map_err(|e| Response::json(400, err_body(&e.to_string())))
+}
+
+fn apply_response(result: Result<crate::shard::Outcome, ServiceError>) -> Response {
+    match result {
+        Ok(outcome) => Response::json(200, outcome.to_json().dump()),
+        Err(ServiceError::Rejected(msg)) => Response::json(400, err_body(&msg)),
+        Err(ServiceError::Wire(e)) => Response::json(400, err_body(&e.to_string())),
+        Err(ServiceError::Io(e)) => {
+            Response::json(500, err_body(&format!("journal write failed: {e}")))
+        }
+    }
+}
+
+fn route(node: &ServiceNode, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => Response::json(
+            200,
+            Json::obj([
+                ("status", Json::str("ok")),
+                ("shards", Json::Num(node.router().shard_count() as f64)),
+                ("applied", Json::Num(node.applied() as f64)),
+                ("round", Json::Num(node.router().shard(0).round() as f64)),
+            ])
+            .dump(),
+        ),
+        ("GET", "/ledger") => {
+            let balances = node.router().all_balances();
+            Response::json(
+                200,
+                Json::obj([(
+                    "balances",
+                    Json::Obj(
+                        balances
+                            .into_iter()
+                            .map(|(name, bal)| (name, Json::Num(bal)))
+                            .collect(),
+                    ),
+                )])
+                .dump(),
+            )
+        }
+        ("GET", path) if path.starts_with("/ledger/") => {
+            let name = &path["/ledger/".len()..];
+            if name.is_empty() || !node.router().participant_exists(name) {
+                return Response::json(404, err_body("unknown account"));
+            }
+            Response::json(
+                200,
+                Json::obj([
+                    ("account", Json::str(name)),
+                    ("balance", Json::Num(node.router().balance(name))),
+                    ("shard", Json::Num(node.router().shard_of(name) as f64)),
+                ])
+                .dump(),
+            )
+        }
+        ("POST", "/enroll") => {
+            let body = match parse_body(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let name = match body.req_str("name") {
+                Ok(n) => n,
+                Err(e) => return Response::json(400, err_body(&e.to_string())),
+            };
+            let role = body
+                .get("role")
+                .and_then(Json::as_str)
+                .unwrap_or("participant")
+                .to_string();
+            // Validate the optional enrollment deposit *before* any
+            // command applies: an invalid amount must not leave a
+            // half-done enroll-without-deposit behind.
+            let deposit = match body.get("deposit") {
+                None => None,
+                Some(j) => match j.as_f64() {
+                    Some(a)
+                        if a.is_finite()
+                            && (0.0..=dmp_core::arbiter::ledger::MAX_AMOUNT).contains(&a) =>
+                    {
+                        Some(a)
+                    }
+                    _ => {
+                        return Response::json(
+                            400,
+                            err_body(&format!(
+                                "'deposit' must be a non-negative number <= {}",
+                                dmp_core::arbiter::ledger::MAX_AMOUNT
+                            )),
+                        )
+                    }
+                },
+            };
+            let enroll = node.apply(Command::Enroll {
+                name: name.clone(),
+                role,
+            });
+            let shard = match &enroll {
+                Ok(crate::shard::Outcome::Enrolled { shard, .. }) => *shard,
+                _ => return apply_response(enroll),
+            };
+            // The deposit is a second journaled command; the response
+            // reports both outcomes (enrollment + resulting balance).
+            if let Some(amount) = deposit {
+                match node.apply(Command::Deposit {
+                    account: name.clone(),
+                    amount,
+                }) {
+                    Ok(crate::shard::Outcome::Deposited { balance, .. }) => {
+                        return Response::json(
+                            200,
+                            Json::obj([
+                                ("enrolled", Json::str(name)),
+                                ("shard", Json::Num(shard as f64)),
+                                ("balance", Json::Num(balance)),
+                            ])
+                            .dump(),
+                        );
+                    }
+                    other => return apply_response(other),
+                }
+            }
+            apply_response(enroll)
+        }
+        ("POST", "/deposits") => {
+            let body = match parse_body(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let cmd = match (body.req_str("account"), body.req_f64("amount")) {
+                (Ok(account), Ok(amount)) => Command::Deposit { account, amount },
+                (Err(e), _) | (_, Err(e)) => return Response::json(400, err_body(&e.to_string())),
+            };
+            apply_response(node.apply(cmd))
+        }
+        ("POST", "/offers") => {
+            let body = match parse_body(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            // Reuse the command decoder: an offer body is the command
+            // object minus the "op" discriminator.
+            let mut with_op = vec![("op".to_string(), Json::str("offer"))];
+            if let Json::Obj(pairs) = body {
+                with_op.extend(pairs);
+            }
+            match Command::decode(&Json::Obj(with_op)) {
+                Ok(cmd @ Command::SubmitOffer(_)) => apply_response(node.apply(cmd)),
+                Ok(_) => Response::json(400, err_body("not an offer body")),
+                Err(e) => Response::json(400, err_body(&e.to_string())),
+            }
+        }
+        ("POST", "/asks") => {
+            let body = match parse_body(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let mut with_op = vec![("op".to_string(), Json::str("ask"))];
+            if let Json::Obj(pairs) = body {
+                with_op.extend(pairs);
+            }
+            match Command::decode(&Json::Obj(with_op)) {
+                Ok(cmd @ Command::SubmitAsk(_)) => apply_response(node.apply(cmd)),
+                Ok(_) => Response::json(400, err_body("not an ask body")),
+                Err(e) => Response::json(400, err_body(&e.to_string())),
+            }
+        }
+        ("POST", "/licenses") => {
+            let body = match parse_body(req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let cmd = match (
+                body.req_str("seller"),
+                body.req_u64("dataset"),
+                body.get("license"),
+            ) {
+                (Ok(seller), Ok(dataset), Some(license_json)) => {
+                    match LicenseSpec::decode(license_json) {
+                        Ok(license) => Command::GrantLicense {
+                            seller,
+                            dataset,
+                            license,
+                        },
+                        Err(e) => return Response::json(400, err_body(&e.to_string())),
+                    }
+                }
+                (Err(e), _, _) | (_, Err(e), _) => {
+                    return Response::json(400, err_body(&e.to_string()))
+                }
+                (_, _, None) => return Response::json(400, err_body("missing field 'license'")),
+            };
+            apply_response(node.apply(cmd))
+        }
+        ("POST", "/rounds") => {
+            let rounds = if req.body.is_empty() {
+                1
+            } else {
+                let body = match parse_body(req) {
+                    Ok(b) => b,
+                    Err(resp) => return resp,
+                };
+                match body.get("rounds") {
+                    None => 1,
+                    // Strict: a fractional or out-of-range count is an
+                    // error, not a silent default.
+                    Some(j) => match j.as_u64() {
+                        Some(n) => n,
+                        None => {
+                            return Response::json(
+                                400,
+                                err_body("'rounds' must be a positive integer"),
+                            )
+                        }
+                    },
+                }
+            };
+            if rounds == 0 || rounds > Command::MAX_ROUNDS_PER_COMMAND {
+                return Response::json(
+                    400,
+                    err_body(&format!(
+                        "'rounds' must be in 1..={} (one journaled command blocks \
+                         writers while it runs and replays in full on recovery)",
+                        Command::MAX_ROUNDS_PER_COMMAND
+                    )),
+                );
+            }
+            apply_response(node.apply(Command::RunRound {
+                rounds: rounds as u32,
+            }))
+        }
+        ("POST", "/snapshot") => match node.snapshot_now() {
+            Ok(seq) => Response::json(
+                200,
+                Json::obj([("snapshot_seq", Json::Num(seq as f64))]).dump(),
+            ),
+            Err(e) => Response::json(500, err_body(&e.to_string())),
+        },
+        ("GET" | "POST", _) => Response::json(404, err_body("unknown route")),
+        _ => Response::json(405, err_body("method not allowed")),
+    }
+}

@@ -1,0 +1,314 @@
+//! Minimal HTTP/1.1 framing over `std::io` streams — just enough for
+//! the gateway (and its client helper): request-line + headers +
+//! `Content-Length` bodies, keep-alive by default, no chunked encoding.
+
+use std::io::{BufRead, Write};
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Method (`GET`, `POST`, ...), upper-case as received.
+    pub method: String,
+    /// Path, without query string.
+    pub path: String,
+    /// Lower-cased header `(name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Header lookup (names are stored lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the peer asked to close the connection after this
+    /// request (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+}
+
+/// Errors surfaced to the connection loop.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Clean EOF before a request line: the peer is done.
+    Eof,
+    /// Malformed request (connection should answer 400 and close).
+    Malformed(String),
+    /// Body larger than the configured cap (answer 413 and close).
+    TooLarge,
+    /// Underlying socket error.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Longest accepted request/status/header line, in bytes — enforced
+/// *while* reading, so a peer cannot grow server memory with an
+/// endless line.
+const MAX_LINE: usize = 8 * 1024;
+
+/// Most headers accepted per message.
+const MAX_HEADERS: usize = 100;
+
+/// Read one `\n`-terminated line, capped at `MAX_LINE` bytes. Returns
+/// `None` on clean EOF before any byte.
+fn read_line_bounded(stream: &mut impl BufRead) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let buf = stream.fill_buf()?;
+            if buf.is_empty() {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::Malformed("eof mid-line".into()));
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    line.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        stream.consume(consumed);
+        if line.len() > MAX_LINE {
+            return Err(HttpError::TooLarge);
+        }
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| HttpError::Malformed("line is not UTF-8".into()));
+        }
+    }
+}
+
+/// Read one request off a buffered stream.
+pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Request, HttpError> {
+    let Some(line) = read_line_bounded(stream)? else {
+        return Err(HttpError::Eof);
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    if !path.starts_with('/') {
+        return Err(HttpError::Malformed(
+            "request target must be absolute".into(),
+        ));
+    }
+
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let Some(header) = read_line_bounded(stream)? else {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        };
+        if header.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::Malformed(format!("bad header '{header}'")));
+        };
+        let name = name.trim().to_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+        }
+        headers.push((name, value));
+    }
+    if content_length > max_body {
+        return Err(HttpError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body (JSON text throughout the gateway).
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            500 => "Internal Server Error",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize onto a stream.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        write!(
+            stream,
+            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+            self.status,
+            self.reason(),
+            self.body.len(),
+            connection,
+            self.body
+        )?;
+        stream.flush()
+    }
+}
+
+/// Read one response (client side). Returns `(status, body)`.
+pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpError> {
+    let Some(line) = read_line_bounded(stream)? else {
+        return Err(HttpError::Eof);
+    };
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| HttpError::Malformed(format!("bad status line '{line}'")))?;
+    let mut content_length = 0usize;
+    let mut seen = 0usize;
+    loop {
+        let Some(header) = read_line_bounded(stream)? else {
+            return Err(HttpError::Malformed("eof inside headers".into()));
+        };
+        if header.is_empty() {
+            break;
+        }
+        seen += 1;
+        if seen > MAX_HEADERS {
+            return Err(HttpError::TooLarge);
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn request_round_trips_through_bytes() {
+        let raw = b"POST /offers?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nbody";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/offers");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn oversized_body_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999\r\n\r\n";
+        let mut reader = BufReader::new(&raw[..]);
+        assert!(matches!(
+            read_request(&mut reader, 10),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn endless_header_line_rejected_while_reading() {
+        // No newline ever arrives: the cap must trigger mid-line, not
+        // after buffering the whole thing.
+        let mut raw = b"GET / HTTP/1.1\r\nx-big: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', 64 * 1024));
+        let mut reader = BufReader::new(&raw[..]);
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn too_many_headers_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\n".to_vec();
+        for i in 0..200 {
+            raw.extend_from_slice(format!("x-h{i}: v\r\n").as_bytes());
+        }
+        raw.extend_from_slice(b"\r\n");
+        let mut reader = BufReader::new(&raw[..]);
+        assert!(matches!(
+            read_request(&mut reader, 1024),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn eof_is_clean_end() {
+        let mut reader = BufReader::new(&b""[..]);
+        assert!(matches!(read_request(&mut reader, 10), Err(HttpError::Eof)));
+    }
+
+    #[test]
+    fn response_serializes_and_parses() {
+        let mut buf = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut buf, true)
+            .unwrap();
+        let mut reader = BufReader::new(&buf[..]);
+        let (status, body) = read_response(&mut reader).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, b"{\"ok\":true}");
+    }
+}

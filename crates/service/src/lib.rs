@@ -1,0 +1,58 @@
+//! # dmp-service
+//!
+//! The platform boundary the paper's DMMS (Fig. 2) implies but a
+//! library alone cannot provide: a **durable, sharded market gateway**.
+//! Buyers and sellers talk to the arbiter over a network interface, and
+//! the platform is accountable for every allocation and payment it
+//! makes — so every externally-visible mutation is event-sourced:
+//!
+//! * [`command`] — each mutation (enroll, deposit, offer, ask, license
+//!   grant, run_round) is one serializable [`command::Command`];
+//! * [`wire`] — a hand-rolled JSON codec (no crates.io access, so no
+//!   serde) with a proptest round-trip suite;
+//! * [`journal`] — a length-prefixed, CRC-protected write-ahead log:
+//!   commands are fsync'd *before* they are applied;
+//! * [`snapshot`] — periodic compacted command checkpoints carrying a
+//!   state digest that **verifies** recovery reproduced the exact
+//!   pre-crash state (leaning on the bit-identical round pipeline);
+//! * [`shard`] — participants hash across M independent
+//!   [`dmp_core::DataMarket`] shards; rounds run shard-parallel via
+//!   rayon and merge into one report;
+//! * [`node`] — [`node::ServiceNode`]: journal → apply → snapshot, and
+//!   `snapshot + journal replay` crash recovery;
+//! * [`gateway`] — a multi-threaded `std::net` HTTP/1.1 server with a
+//!   bounded worker pool;
+//! * [`client`] — a minimal blocking client for tests, benches and
+//!   examples.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use dmp_core::market::MarketConfig;
+//! use dmp_service::gateway::{Gateway, GatewayConfig};
+//! use dmp_service::node::{ServiceConfig, ServiceNode};
+//!
+//! let cfg = ServiceConfig::new("./market-data", MarketConfig::external(7));
+//! let node = Arc::new(ServiceNode::open(cfg).unwrap());
+//! let gateway = Gateway::serve(node, GatewayConfig::default()).unwrap();
+//! println!("serving on {}", gateway.addr());
+//! ```
+
+pub mod client;
+pub mod command;
+pub mod error;
+pub mod gateway;
+pub mod http;
+pub mod journal;
+pub mod node;
+pub mod shard;
+pub mod snapshot;
+pub mod wire;
+
+pub use client::Client;
+pub use command::{AskSpec, Command, LicenseSpec, OfferSpec};
+pub use error::ServiceError;
+pub use gateway::{Gateway, GatewayConfig};
+pub use journal::Journal;
+pub use node::{ServiceConfig, ServiceNode};
+pub use shard::{MergedRoundReport, Outcome, ShardRouter};
+pub use wire::{Json, WireError};

@@ -1,0 +1,338 @@
+//! The [`ServiceNode`]: journal + snapshots + shard router behind one
+//! linearized `apply` path.
+//!
+//! Write path (WAL ordering):
+//!
+//! ```text
+//! request → Command → journal.append (fsync) → router.apply → Outcome
+//! ```
+//!
+//! A command is durable before it is applied, so the externally-visible
+//! state is always reconstructible. Recovery runs `snapshot + replay`:
+//! load the newest intact snapshot, replay its command prefix into a
+//! fresh router, verify the state digest, then replay the journal tail
+//! (`seq >` snapshot). A digest mismatch or torn snapshot falls back to
+//! replaying the whole journal — the journal is the source of truth,
+//! snapshots only make recovery fast and *verified*.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dmp_core::market::MarketConfig;
+use parking_lot::Mutex;
+
+use crate::command::Command;
+use crate::error::ServiceError;
+use crate::journal::Journal;
+use crate::shard::{Outcome, ShardRouter};
+use crate::snapshot::{self, Snapshot};
+
+/// Node deployment configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Durability directory (journal + snapshots).
+    pub dir: PathBuf,
+    /// Base market configuration (each shard derives its seed from it).
+    pub market: MarketConfig,
+    /// Shard count (participants hash across these).
+    pub shards: usize,
+    /// Write a snapshot every N applied commands (0 = only on demand).
+    pub snapshot_every: u64,
+    /// `fdatasync` the journal on every append.
+    pub fsync: bool,
+}
+
+impl ServiceConfig {
+    /// Defaults: 4 shards, snapshot every 256 commands, fsync on.
+    pub fn new(dir: impl Into<PathBuf>, market: MarketConfig) -> Self {
+        ServiceConfig {
+            dir: dir.into(),
+            market,
+            shards: 4,
+            snapshot_every: 256,
+            fsync: true,
+        }
+    }
+
+    /// Override the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Override the snapshot cadence.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Toggle per-append fsync.
+    pub fn with_fsync(mut self, fsync: bool) -> Self {
+        self.fsync = fsync;
+        self
+    }
+}
+
+struct NodeInner {
+    journal: Journal,
+    /// Full command history since genesis (snapshot prefix + tail);
+    /// what the next snapshot will contain.
+    history: Vec<Command>,
+}
+
+/// A durable, sharded market node.
+pub struct ServiceNode {
+    cfg: ServiceConfig,
+    router: ShardRouter,
+    inner: Mutex<NodeInner>,
+    applied: AtomicU64,
+}
+
+impl ServiceNode {
+    /// The replay-relevant identity of a node deployment. Reopening a
+    /// directory with a different fingerprint would silently hash
+    /// participants onto different shards and draw different RNG
+    /// streams, so recovery would "succeed" with the wrong state —
+    /// [`ServiceNode::open`] persists this and refuses a mismatch.
+    fn config_fingerprint(cfg: &ServiceConfig) -> String {
+        format!(
+            "v1 shards={} seed={} kind={:?} max_candidates={} contribution_reward={}",
+            cfg.shards,
+            cfg.market.seed,
+            cfg.market.kind,
+            cfg.market.max_candidates,
+            cfg.market.contribution_reward,
+        )
+    }
+
+    /// Open a node, running crash recovery against `cfg.dir`.
+    pub fn open(cfg: ServiceConfig) -> Result<ServiceNode, ServiceError> {
+        std::fs::create_dir_all(&cfg.dir)?;
+
+        // Guard the durability contract: journal replay only reproduces
+        // the pre-crash state under the config that wrote it.
+        let fingerprint = Self::config_fingerprint(&cfg);
+        let meta_path = cfg.dir.join("node.meta");
+        match std::fs::read_to_string(&meta_path) {
+            Ok(existing) if existing.trim() != fingerprint => {
+                return Err(ServiceError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "service config does not match the journal in {}: \
+                         on disk '{}', requested '{}'",
+                        cfg.dir.display(),
+                        existing.trim(),
+                        fingerprint
+                    ),
+                )));
+            }
+            Ok(_) => {}
+            Err(_) => std::fs::write(&meta_path, &fingerprint)?,
+        }
+
+        let journal_path = cfg.dir.join("journal.wal");
+        let (journal, journal_records) = Journal::open(&journal_path, cfg.fsync)?;
+
+        let mut router = ShardRouter::new(&cfg.market, cfg.shards);
+        let mut history: Vec<Command> = Vec::new();
+        let mut applied: u64 = 0;
+
+        // Phase 1: snapshot. Replay its prefix and verify the digest.
+        let mut snapshot_ok = false;
+        if let Some(snap) = snapshot::load_latest(&cfg.dir) {
+            for cmd in &snap.commands {
+                let _ = router.apply(cmd);
+            }
+            if router.state_digest() == snap.digest {
+                applied = snap.seq;
+                history = snap.commands;
+                snapshot_ok = true;
+            } else {
+                // Replay disagreed with the checkpointed digest: the
+                // snapshot is unusable. Rebuild from genesis below.
+                router = ShardRouter::new(&cfg.market, cfg.shards);
+            }
+        }
+
+        // Phase 2: journal tail (or the whole journal when no snapshot
+        // survived). Rejected commands replay as rejections — apply
+        // errors are part of the deterministic history.
+        for (seq, cmd) in journal_records {
+            if snapshot_ok && seq <= applied {
+                continue;
+            }
+            let _ = router.apply(&cmd);
+            history.push(cmd);
+            applied = seq;
+        }
+
+        Ok(ServiceNode {
+            cfg,
+            router,
+            inner: Mutex::new(NodeInner { journal, history }),
+            applied: AtomicU64::new(applied),
+        })
+    }
+
+    /// Apply one command: journal first (durable), then mutate the
+    /// market, then maybe snapshot. Total order across callers.
+    pub fn apply(&self, cmd: Command) -> Result<Outcome, ServiceError> {
+        let mut inner = self.inner.lock();
+        let seq = self.applied.load(Ordering::Relaxed) + 1;
+        inner.journal.append(seq, &cmd)?;
+        let result = self.router.apply(&cmd);
+        inner.history.push(cmd);
+        self.applied.store(seq, Ordering::Relaxed);
+        if self.cfg.snapshot_every > 0 && seq.is_multiple_of(self.cfg.snapshot_every) {
+            let snap = Snapshot {
+                seq,
+                digest: self.router.state_digest(),
+                commands: inner.history.clone(),
+            };
+            // Best-effort: the command is already journaled and applied,
+            // so a failed checkpoint must not turn a succeeded mutation
+            // into a client-visible error (the journal stays
+            // authoritative; recovery just replays more of it).
+            if let Err(e) = snapshot::write_snapshot(&self.cfg.dir, &snap) {
+                eprintln!(
+                    "dmp-service: snapshot at seq {seq} failed ({e}); \
+                     continuing on journal alone"
+                );
+            }
+        }
+        result
+    }
+
+    /// Write a snapshot right now (admin hook; also used by tests).
+    pub fn snapshot_now(&self) -> Result<u64, ServiceError> {
+        let inner = self.inner.lock();
+        let seq = self.applied.load(Ordering::Relaxed);
+        let snap = Snapshot {
+            seq,
+            digest: self.router.state_digest(),
+            commands: inner.history.clone(),
+        };
+        snapshot::write_snapshot(&self.cfg.dir, &snap)?;
+        Ok(seq)
+    }
+
+    /// Sequence number of the last applied command.
+    pub fn applied(&self) -> u64 {
+        self.applied.load(Ordering::Relaxed)
+    }
+
+    /// The shard router (reads don't go through the journal).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The node configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Digest of the externally-visible market state.
+    pub fn state_digest(&self) -> u64 {
+        self.router.state_digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::OfferSpec;
+    use dmp_mechanism::design::MarketDesign;
+
+    fn config(name: &str) -> ServiceConfig {
+        let dir = std::env::temp_dir().join(format!("dmp-node-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let market =
+            MarketConfig::external(5).with_design(MarketDesign::posted_price_baseline(10.0));
+        ServiceConfig::new(dir, market).with_shards(2)
+    }
+
+    #[test]
+    fn apply_then_reopen_restores_state() {
+        let cfg = config("reopen");
+        let digest = {
+            let node = ServiceNode::open(cfg.clone()).unwrap();
+            node.apply(Command::Enroll {
+                name: "alice".into(),
+                role: "buyer".into(),
+            })
+            .unwrap();
+            node.apply(Command::Deposit {
+                account: "alice".into(),
+                amount: 42.0,
+            })
+            .unwrap();
+            node.apply(Command::SubmitOffer(OfferSpec::simple("alice", ["k"], 5.0)))
+                .unwrap();
+            node.state_digest()
+        };
+        let node = ServiceNode::open(cfg).unwrap();
+        assert_eq!(node.applied(), 3);
+        assert_eq!(node.state_digest(), digest);
+        assert!(node.router().balance("alice") >= 42.0);
+    }
+
+    #[test]
+    fn rejected_commands_are_journaled_and_replay() {
+        let cfg = config("rejected");
+        {
+            let node = ServiceNode::open(cfg.clone()).unwrap();
+            // Offer from a never-enrolled buyer: rejected but journaled.
+            assert!(node
+                .apply(Command::SubmitOffer(OfferSpec::simple("ghost", ["k"], 1.0)))
+                .is_err());
+            assert_eq!(node.applied(), 1);
+        }
+        let node = ServiceNode::open(cfg).unwrap();
+        assert_eq!(node.applied(), 1, "rejected command still replays");
+    }
+
+    #[test]
+    fn mismatched_config_refused_on_reopen() {
+        let cfg = config("fingerprint");
+        {
+            ServiceNode::open(cfg.clone()).unwrap();
+        }
+        // Same dir, different shard count: replay would route
+        // participants differently, so open must refuse.
+        let reshaped = cfg.clone().with_shards(8);
+        assert!(ServiceNode::open(reshaped).is_err());
+        // The original config still opens.
+        assert!(ServiceNode::open(cfg).is_ok());
+    }
+
+    #[test]
+    fn snapshot_accelerated_recovery_matches_full_replay() {
+        let cfg = config("snap").with_snapshot_every(2);
+        {
+            let node = ServiceNode::open(cfg.clone()).unwrap();
+            for i in 0..5 {
+                node.apply(Command::Enroll {
+                    name: format!("p{i}"),
+                    role: "buyer".into(),
+                })
+                .unwrap();
+            }
+        }
+        // Snapshot exists at seq 4; journal tail has seq 5.
+        let node = ServiceNode::open(cfg.clone()).unwrap();
+        assert_eq!(node.applied(), 5);
+        // A journal-only rebuild agrees bit-for-bit.
+        let mut cfg2 = cfg;
+        let dir2 = cfg2.dir.with_extension("journal-only");
+        let _ = std::fs::remove_dir_all(&dir2);
+        std::fs::create_dir_all(&dir2).unwrap();
+        std::fs::copy(
+            node.config().dir.join("journal.wal"),
+            dir2.join("journal.wal"),
+        )
+        .unwrap();
+        cfg2.dir = dir2;
+        let journal_only = ServiceNode::open(cfg2).unwrap();
+        assert_eq!(journal_only.state_digest(), node.state_digest());
+    }
+}

@@ -1,0 +1,486 @@
+//! Horizontal partitioning: participants hash onto M independent
+//! [`DataMarket`] shards, and rounds run across shards **in parallel**
+//! (rayon), with per-shard [`RoundReport`]s merged into one
+//! [`MergedRoundReport`].
+//!
+//! Routing is by stable FNV-1a hash of the participant name, so a
+//! command stream replays onto the same shards in any process, on any
+//! run — a requirement for journal-replay determinism. Each shard gets
+//! a distinct, deterministic RNG seed (`base_seed + shard_index`).
+//! Buyers match datasets within their own shard; cross-shard trades
+//! are a ROADMAP follow-on.
+
+use dmp_core::market::{DataMarket, MarketConfig, RoundReport};
+use rayon::prelude::*;
+
+use dmp_relation::DatasetId;
+
+use crate::command::Command;
+use crate::error::ServiceError;
+use crate::wire::Json;
+
+/// FNV-1a 64-bit hash (stable across processes and platforms; the
+/// routing function must never change under replay).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What applying one [`Command`] produced (the gateway serializes this
+/// into the HTTP response body).
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Participant enrolled (idempotent).
+    Enrolled {
+        /// Principal name.
+        name: String,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// Funds minted.
+    Deposited {
+        /// Account name.
+        account: String,
+        /// Balance after the deposit.
+        balance: f64,
+    },
+    /// Offer accepted into a shard's offer book.
+    OfferAccepted {
+        /// Shard-local offer id.
+        offer: u64,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// Dataset registered (and reserve/license applied when given).
+    AskAccepted {
+        /// Shard-local dataset id.
+        dataset: u64,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// License attached.
+    LicenseGranted {
+        /// Dataset id.
+        dataset: u64,
+        /// Owning shard.
+        shard: usize,
+    },
+    /// Rounds executed across all shards.
+    RoundsRun(Vec<MergedRoundReport>),
+}
+
+impl Outcome {
+    /// JSON form for gateway responses.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Outcome::Enrolled { name, shard } => Json::obj([
+                ("enrolled", Json::str(name.clone())),
+                ("shard", Json::Num(*shard as f64)),
+            ]),
+            Outcome::Deposited { account, balance } => Json::obj([
+                ("account", Json::str(account.clone())),
+                ("balance", Json::Num(*balance)),
+            ]),
+            Outcome::OfferAccepted { offer, shard } => Json::obj([
+                ("offer", Json::Num(*offer as f64)),
+                ("shard", Json::Num(*shard as f64)),
+            ]),
+            Outcome::AskAccepted { dataset, shard } => Json::obj([
+                ("dataset", Json::Num(*dataset as f64)),
+                ("shard", Json::Num(*shard as f64)),
+            ]),
+            Outcome::LicenseGranted { dataset, shard } => Json::obj([
+                ("licensed", Json::Num(*dataset as f64)),
+                ("shard", Json::Num(*shard as f64)),
+            ]),
+            Outcome::RoundsRun(reports) => Json::obj([(
+                "rounds",
+                Json::Arr(reports.iter().map(MergedRoundReport::to_json).collect()),
+            )]),
+        }
+    }
+}
+
+/// Per-shard round reports merged into platform-level totals.
+#[derive(Debug, Clone)]
+pub struct MergedRoundReport {
+    /// Round number (uniform across shards).
+    pub round: u64,
+    /// Offers considered, summed over shards.
+    pub considered: usize,
+    /// Sales cleared, summed over shards.
+    pub sales: usize,
+    /// Revenue collected (ex ante), summed.
+    pub revenue: f64,
+    /// Arbiter fees collected, summed.
+    pub fees: f64,
+    /// Offers expired, summed.
+    pub expired: usize,
+    /// Ex post deliveries created, summed.
+    pub deliveries: usize,
+    /// The raw per-shard reports (shard index = position).
+    pub per_shard: Vec<RoundReport>,
+}
+
+impl MergedRoundReport {
+    /// Merge one report per shard (position = shard index).
+    pub fn merge(per_shard: Vec<RoundReport>) -> Self {
+        MergedRoundReport {
+            round: per_shard.first().map(|r| r.round).unwrap_or(0),
+            considered: per_shard.iter().map(|r| r.considered).sum(),
+            sales: per_shard.iter().map(|r| r.sales.len()).sum(),
+            revenue: per_shard.iter().map(|r| r.revenue).sum(),
+            fees: per_shard.iter().map(|r| r.fees).sum(),
+            expired: per_shard.iter().map(|r| r.expired).sum(),
+            deliveries: per_shard.iter().map(|r| r.deliveries.len()).sum(),
+            per_shard,
+        }
+    }
+
+    /// JSON form for gateway responses.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("round", Json::Num(self.round as f64)),
+            ("considered", Json::Num(self.considered as f64)),
+            ("sales", Json::Num(self.sales as f64)),
+            ("revenue", Json::Num(self.revenue)),
+            ("fees", Json::Num(self.fees)),
+            ("expired", Json::Num(self.expired as f64)),
+            ("deliveries", Json::Num(self.deliveries as f64)),
+        ])
+    }
+}
+
+/// M independent market shards behind one routing function.
+pub struct ShardRouter {
+    shards: Vec<DataMarket>,
+}
+
+impl ShardRouter {
+    /// Deploy `shards` markets from one base config; shard `i` seeds its
+    /// RNG with `base.seed + i` so shards draw independent, reproducible
+    /// streams.
+    pub fn new(base: &MarketConfig, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let markets = (0..shards)
+            .map(|i| {
+                let mut cfg = base.clone();
+                cfg.seed = base.seed.wrapping_add(i as u64);
+                DataMarket::new(cfg)
+            })
+            .collect();
+        ShardRouter { shards: markets }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning a participant name.
+    pub fn shard_of(&self, name: &str) -> usize {
+        (fnv1a(name.as_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Direct shard access (diagnostics, tests, digests).
+    pub fn shard(&self, i: usize) -> &DataMarket {
+        &self.shards[i]
+    }
+
+    /// All shards.
+    pub fn shards(&self) -> &[DataMarket] {
+        &self.shards
+    }
+
+    /// Apply one command, routing by the participant it names. Errors
+    /// from the market (unknown participant, refused registration, ...)
+    /// surface as [`ServiceError::Rejected`].
+    pub fn apply(&self, cmd: &Command) -> Result<Outcome, ServiceError> {
+        match cmd {
+            Command::Enroll { name, role } => {
+                let shard = self.shard_of(name);
+                self.shards[shard].enroll(name.clone(), role.clone());
+                Ok(Outcome::Enrolled {
+                    name: name.clone(),
+                    shard,
+                })
+            }
+            Command::Deposit { account, amount } => {
+                if *amount < 0.0 || !amount.is_finite() {
+                    return Err(ServiceError::Rejected(
+                        "deposit amount must be a non-negative finite number".into(),
+                    ));
+                }
+                if *amount > dmp_core::arbiter::ledger::MAX_AMOUNT {
+                    return Err(ServiceError::Rejected(format!(
+                        "deposit amount exceeds the ledger maximum of {} credits",
+                        dmp_core::arbiter::ledger::MAX_AMOUNT
+                    )));
+                }
+                let shard = self.shard_of(account);
+                let market = &self.shards[shard];
+                // Only enrolled principals (and the arbiter) hold
+                // accounts: minting into an unknown name would create a
+                // balance `GET /ledger/:name` then denies exists.
+                if market.participant(account).is_none()
+                    && account != dmp_core::market::ARBITER_ACCOUNT
+                {
+                    return Err(ServiceError::Rejected(format!(
+                        "unknown account '{account}': enroll before depositing"
+                    )));
+                }
+                market.deposit(account, *amount);
+                Ok(Outcome::Deposited {
+                    account: account.clone(),
+                    balance: market.balance(account),
+                })
+            }
+            Command::SubmitOffer(spec) => {
+                let shard = self.shard_of(&spec.buyer);
+                let offer = self.shards[shard]
+                    .submit_wtp_for_purpose(spec.to_wtp(), spec.purpose.clone())
+                    .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                Ok(Outcome::OfferAccepted { offer, shard })
+            }
+            Command::SubmitAsk(spec) => {
+                let shard = self.shard_of(&spec.seller);
+                let market = &self.shards[shard];
+                let rel = spec
+                    .table
+                    .to_relation()
+                    .map_err(|e| ServiceError::Rejected(e.to_string()))?;
+                let seller = market.seller(&spec.seller);
+                let dataset = seller
+                    .share(rel)
+                    .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                if let Some(reserve) = spec.reserve {
+                    seller
+                        .set_reserve(dataset, reserve)
+                        .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                }
+                if let Some(license) = &spec.license {
+                    seller
+                        .set_license(dataset, license.to_license())
+                        .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                }
+                Ok(Outcome::AskAccepted {
+                    dataset: dataset.0,
+                    shard,
+                })
+            }
+            Command::GrantLicense {
+                seller,
+                dataset,
+                license,
+            } => {
+                let shard = self.shard_of(seller);
+                self.shards[shard]
+                    .seller(seller)
+                    .set_license(DatasetId(*dataset), license.to_license())
+                    .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                Ok(Outcome::LicenseGranted {
+                    dataset: *dataset,
+                    shard,
+                })
+            }
+            Command::RunRound { rounds } => {
+                let mut reports = Vec::with_capacity(*rounds as usize);
+                for _ in 0..*rounds {
+                    reports.push(self.run_round());
+                }
+                Ok(Outcome::RoundsRun(reports))
+            }
+        }
+    }
+
+    /// Run one round on every shard in parallel and merge the reports.
+    /// Shards are independent markets, so parallel execution is
+    /// bit-identical to sequential (each shard's pipeline already is).
+    pub fn run_round(&self) -> MergedRoundReport {
+        let reports: Vec<RoundReport> = self
+            .shards
+            .par_iter()
+            .map(|market| market.run_round())
+            .collect();
+        MergedRoundReport::merge(reports)
+    }
+
+    /// Balance lookup, routed to the owning shard.
+    pub fn balance(&self, account: &str) -> f64 {
+        self.shards[self.shard_of(account)].balance(account)
+    }
+
+    /// Whether any shard knows this participant.
+    pub fn participant_exists(&self, name: &str) -> bool {
+        self.shards[self.shard_of(name)].participant(name).is_some()
+    }
+
+    /// All balances across shards as `(account, balance)`, sorted by
+    /// account name.
+    pub fn all_balances(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .shards
+            .iter()
+            .flat_map(|m| m.ledger().balances())
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// FNV-1a digest over the externally-visible market state: per
+    /// shard, the round counter, every ledger balance and open escrow
+    /// (in micro-credits), and the full offer book. Two routers with
+    /// equal digests agree bit-for-bit on balances and allocations —
+    /// snapshots store this to verify recovery.
+    pub fn state_digest(&self) -> u64 {
+        let mut canon = String::new();
+        for (i, market) in self.shards.iter().enumerate() {
+            canon.push_str(&format!("shard {i} round {}\n", market.round()));
+            for (account, balance) in market.ledger().balances() {
+                canon.push_str(&format!("bal {account} {}\n", micros(balance)));
+            }
+            for (id, holder, remaining) in market.ledger().escrow_holds() {
+                canon.push_str(&format!("esc {id} {holder} {}\n", micros(remaining)));
+            }
+            for offer in market.offers() {
+                canon.push_str(&format!(
+                    "offer {} {} {} {} {:?} {}\n",
+                    offer.id,
+                    offer.wtp.buyer,
+                    offer.purpose,
+                    offer.submitted_at,
+                    offer.state,
+                    micros(offer.wtp.max_price()),
+                ));
+            }
+            for p in market.participants() {
+                canon.push_str(&format!(
+                    "part {} {} {} {}\n",
+                    p.name,
+                    p.role,
+                    p.excluded_until,
+                    micros(p.reputation)
+                ));
+            }
+        }
+        fnv1a(canon.as_bytes())
+    }
+}
+
+/// Micro-credit rendering for digests (stable integer form; same
+/// granularity the ledger stores).
+fn micros(x: f64) -> i64 {
+    (x * dmp_core::arbiter::ledger::MICROS_PER_CREDIT).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_mechanism::design::MarketDesign;
+
+    fn router(shards: usize) -> ShardRouter {
+        let cfg = MarketConfig::external(11).with_design(MarketDesign::posted_price_baseline(10.0));
+        ShardRouter::new(&cfg, shards)
+    }
+
+    #[test]
+    fn routing_is_stable_and_total() {
+        let r = router(4);
+        for name in ["alice", "bob", "carol", "dave", "eve"] {
+            let s = r.shard_of(name);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of(name), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn enroll_and_deposit_land_on_one_shard() {
+        let r = router(4);
+        r.apply(&Command::Enroll {
+            name: "alice".into(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+        let out = r
+            .apply(&Command::Deposit {
+                account: "alice".into(),
+                amount: 50.0,
+            })
+            .unwrap();
+        match out {
+            Outcome::Deposited { balance, .. } => assert!(balance >= 50.0),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert!(r.balance("alice") >= 50.0);
+        let populated: usize = r
+            .shards()
+            .iter()
+            .filter(|m| m.participant("alice").is_some())
+            .count();
+        assert_eq!(populated, 1, "participant lives on exactly one shard");
+    }
+
+    #[test]
+    fn digest_tracks_state_changes() {
+        let r = router(2);
+        let d0 = r.state_digest();
+        r.apply(&Command::Enroll {
+            name: "alice".into(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+        let d1 = r.state_digest();
+        assert_ne!(d0, d1, "digest must change when state changes");
+        // An identical router replaying identical commands agrees.
+        let r2 = router(2);
+        r2.apply(&Command::Enroll {
+            name: "alice".into(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+        assert_eq!(r2.state_digest(), d1);
+    }
+
+    #[test]
+    fn rounds_merge_across_shards() {
+        let r = router(3);
+        let merged = r.run_round();
+        assert_eq!(merged.per_shard.len(), 3);
+        assert_eq!(merged.considered, 0);
+    }
+
+    #[test]
+    fn deposit_to_unknown_account_rejected() {
+        let r = router(2);
+        assert!(matches!(
+            r.apply(&Command::Deposit {
+                account: "ghost".into(),
+                amount: 5.0
+            }),
+            Err(ServiceError::Rejected(_))
+        ));
+        // The arbiter account is implicit — no enrollment required.
+        assert!(r
+            .apply(&Command::Deposit {
+                account: dmp_core::market::ARBITER_ACCOUNT.into(),
+                amount: 5.0
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn negative_deposit_rejected() {
+        let r = router(2);
+        assert!(matches!(
+            r.apply(&Command::Deposit {
+                account: "x".into(),
+                amount: -1.0
+            }),
+            Err(ServiceError::Rejected(_))
+        ));
+    }
+}

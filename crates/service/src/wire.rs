@@ -1,0 +1,541 @@
+//! Hand-rolled JSON wire codec. The build environment has no crates.io
+//! access, so there is no serde: this module implements the subset of
+//! JSON the gateway and journal need — full parse/serialize round-trip
+//! for null, bool, finite numbers, strings (with `\uXXXX` escapes and
+//! surrogate pairs), arrays and objects.
+//!
+//! Canonical form: objects keep insertion order, numbers serialize via
+//! Rust's shortest round-trip `f64` formatting, and non-finite numbers
+//! are rejected at encode time (JSON has no NaN/Infinity). `dump ∘
+//! parse` is the identity on every value this module can produce; the
+//! property suite in `tests/wire_props.rs` pins that down.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse / decode error with byte position context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset in the input (0 for structural decode errors).
+    pub pos: usize,
+}
+
+impl WireError {
+    /// A structural (non-positional) decode error.
+    pub fn new(msg: impl Into<String>) -> Self {
+        WireError {
+            msg: msg.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum nesting depth accepted by the parser (stack safety).
+const MAX_DEPTH: usize = 64;
+
+impl Json {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer accessor (rejects fractional numbers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Required-field helpers for decoders: a missing or mistyped field
+    /// is a structural [`WireError`].
+    pub fn req_str(&self, key: &str) -> Result<String, WireError> {
+        self.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| WireError::new(format!("missing string field '{key}'")))
+    }
+
+    /// Required number field.
+    pub fn req_f64(&self, key: &str) -> Result<f64, WireError> {
+        self.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| WireError::new(format!("missing number field '{key}'")))
+    }
+
+    /// Required integer field.
+    pub fn req_u64(&self, key: &str) -> Result<u64, WireError> {
+        self.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::new(format!("missing integer field '{key}'")))
+    }
+
+    /// Required array field.
+    pub fn req_arr<'a>(&'a self, key: &str) -> Result<&'a [Json], WireError> {
+        self.get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| WireError::new(format!("missing array field '{key}'")))
+    }
+
+    /// Serialize to a compact JSON string. Panics on non-finite numbers
+    /// (the codec never produces them; see [`Json::try_dump`]).
+    pub fn dump(&self) -> String {
+        self.try_dump()
+            .expect("non-finite number cannot be serialized to JSON")
+    }
+
+    /// Serialize, reporting non-finite numbers as an error.
+    pub fn try_dump(&self) -> Result<String, WireError> {
+        let mut out = String::new();
+        self.write(&mut out)?;
+        Ok(out)
+    }
+
+    fn write(&self, out: &mut String) -> Result<(), WireError> {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    return Err(WireError::new("non-finite number"));
+                }
+                // Rust's shortest round-trip f64 formatting; valid JSON.
+                out.push_str(&format!("{n}"));
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out)?;
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out)?;
+                }
+                out.push('}');
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a JSON document (one value, surrounded by whitespace only).
+    pub fn parse(input: &str) -> Result<Json, WireError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> WireError {
+        WireError {
+            msg: msg.into(),
+            pos: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), WireError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, WireError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, WireError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, WireError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xdc00..0xe000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("lone low surrogate"))?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8; find the char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, WireError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, WireError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("0", Json::Num(0.0)),
+            ("-12.5", Json::Num(-12.5)),
+            ("1e-6", Json::Num(1e-6)),
+            ("\"hi\"", Json::str("hi")),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), value);
+            assert_eq!(Json::parse(&value.dump()).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::obj([
+            ("name", Json::str("alice")),
+            ("scores", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5)])),
+            (
+                "nested",
+                Json::obj([("ok", Json::Bool(true)), ("none", Json::Null)]),
+            ),
+        ]);
+        let text = v.dump();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(
+            text,
+            r#"{"name":"alice","scores":[1,2.5],"nested":{"ok":true,"none":null}}"#
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let v = Json::str("line\nquote\"back\\slash\ttab\u{0001}u\u{1F600}");
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
+        // Incoming \u escapes, including surrogate pairs, decode too.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00 \u0041""#).unwrap(),
+            Json::str("\u{1F600} A")
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "\"abc",
+            "{\"a\" 1}",
+            "1 2",
+            "{:1}",
+            "[1,]",
+            "nan",
+            "\"\\ud800x\"",
+            "01a",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected_at_encode() {
+        assert!(Json::Num(f64::NAN).try_dump().is_err());
+        assert!(Json::Num(f64::INFINITY).try_dump().is_err());
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v.req_arr("a").unwrap().len(), 2);
+        assert_eq!(v.get("b"), Some(&Json::Null));
+    }
+}

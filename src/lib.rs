@@ -25,6 +25,7 @@ pub use dmp_integration as integration;
 pub use dmp_mechanism as mechanism;
 pub use dmp_privacy as privacy;
 pub use dmp_relation as relation;
+pub use dmp_service as service;
 pub use dmp_simulator as simulator;
 pub use dmp_tasks as tasks;
 pub use dmp_valuation as valuation;
