@@ -1237,6 +1237,70 @@ fn svc_service_baseline() {
         Json::Num(rounds_per_s),
     ));
     json_rows.push(("journal_replay_cmds_per_s".into(), Json::Num(cmds_per_s)));
+
+    // Two-phase cross-shard exchange throughput: a 4-shard router with
+    // buyers and sellers scattered across shards, fresh offers every
+    // round, candidate phase shard-parallel, one global clearing pass,
+    // ordered settlement on the shared ledger.
+    {
+        use dmp_service::shard::ShardRouter;
+        let market =
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0));
+        let router = ShardRouter::new(&market, 4);
+        for i in 0..8 {
+            router
+                .apply(&Command::Enroll {
+                    name: format!("s{i}"),
+                    role: "seller".into(),
+                })
+                .unwrap();
+            router
+                .apply(&Command::Enroll {
+                    name: format!("b{i}"),
+                    role: "buyer".into(),
+                })
+                .unwrap();
+            router
+                .apply(&Command::Deposit {
+                    account: format!("b{i}"),
+                    amount: 1e6,
+                })
+                .unwrap();
+            let _ = router.apply(&Command::SubmitAsk(AskSpec {
+                seller: format!("s{i}"),
+                table: TableSpec {
+                    name: format!("t{i}"),
+                    columns: vec![("k".into(), ColType::Int), ("v".into(), ColType::Float)],
+                    rows: (0..6)
+                        .map(|r| vec![CellSpec::Int(r), CellSpec::Float(r as f64 * 1.5)])
+                        .collect(),
+                },
+                reserve: None,
+                license: None,
+            }));
+        }
+        const XROUNDS: usize = 64;
+        let mut cross_trades = 0usize;
+        let (_, ms) = time_ms(|| {
+            for round in 0..XROUNDS {
+                for i in 0..8 {
+                    let _ = router.apply(&Command::SubmitOffer(OfferSpec::simple(
+                        format!("b{}", (round + i) % 8),
+                        ["k", "v"],
+                        15.0,
+                    )));
+                }
+                cross_trades += router.run_round().cross_shard;
+            }
+        });
+        let xrps = XROUNDS as f64 / (ms / 1e3);
+        t.row(vec![
+            "cross-shard exchange round".into(),
+            format!("4 shards, 8 offers/round, {cross_trades} cross-shard trades"),
+            format!("{} rounds/s", f2(xrps)),
+        ]);
+        json_rows.push(("cross_shard_rounds_per_s".into(), Json::Num(xrps)));
+    }
     t.print();
 
     let out = Json::Obj(json_rows).dump();

@@ -22,9 +22,13 @@ use crate::error::{MarketError, MarketResult};
 pub const MICROS_PER_CREDIT: f64 = 1_000_000.0;
 
 /// Largest amount (in credits) a single operation accepts; amounts are
-/// clamped here at the boundary so micro-credit arithmetic can never
-/// overflow `i64` (1e12 credits = 1e18 µ, comfortably inside ±9.2e18;
-/// stored balances additionally saturate instead of wrapping).
+/// clamped here at the boundary so micro-credit arithmetic on one
+/// operation can never overflow `i64` (1e12 credits = 1e18 µ,
+/// comfortably inside ±9.2e18). Accumulated balances use **checked**
+/// arithmetic on every transfer/escrow path: a credit that would
+/// overflow is refused with [`MarketError::BalanceOverflow`] and no
+/// state change. Only `deposit` — the explicit mint — saturates at the
+/// `i64` ceiling, and that clamp is visible in `total_supply`.
 pub const MAX_AMOUNT: f64 = 1e12;
 
 /// Round an amount in credits to whole micro-credits.
@@ -81,7 +85,10 @@ impl Ledger {
         from_micros(self.accounts.lock().get(account).copied().unwrap_or(0))
     }
 
-    /// Transfer between accounts; fails on insufficient funds.
+    /// Transfer between accounts; fails on insufficient funds, and on a
+    /// credit that would overflow the receiver (checked, not saturating:
+    /// clamping the credit side while the debit side paid in full would
+    /// silently destroy currency).
     pub fn transfer(&self, from: &str, to: &str, amount: f64) -> MarketResult<()> {
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative transfer".into()));
@@ -101,8 +108,20 @@ impl Ledger {
         }
         *accounts.entry(from.to_string()).or_insert(0) -= m;
         let to_entry = accounts.entry(to.to_string()).or_insert(0);
-        *to_entry = to_entry.saturating_add(m);
-        Ok(())
+        match to_entry.checked_add(m) {
+            Some(v) => {
+                *to_entry = v;
+                Ok(())
+            }
+            None => {
+                // Undo the debit under the same lock: a refused
+                // transfer leaves no partial state.
+                *accounts.entry(from.to_string()).or_insert(0) += m;
+                Err(MarketError::BalanceOverflow {
+                    account: to.to_string(),
+                })
+            }
+        }
     }
 
     /// Hold `amount` from an account in escrow; returns the escrow id.
@@ -156,10 +175,17 @@ impl Ledger {
                 available: from_micros(e.remaining),
             });
         }
-        e.remaining -= m;
+        // Checked credit *before* the escrow debit: a refused payout
+        // leaves the hold untouched instead of vanishing the money.
         let mut accounts = self.accounts.lock();
         let to_entry = accounts.entry(to.to_string()).or_insert(0);
-        *to_entry = to_entry.saturating_add(m);
+        let credited = to_entry
+            .checked_add(m)
+            .ok_or_else(|| MarketError::BalanceOverflow {
+                account: to.to_string(),
+            })?;
+        *to_entry = credited;
+        e.remaining -= m;
         Ok(())
     }
 
@@ -199,10 +225,15 @@ impl Ledger {
         if m <= 0 {
             return Ok(0.0);
         }
-        e.remaining -= m;
         let mut accounts = self.accounts.lock();
         let to_entry = accounts.entry(to.to_string()).or_insert(0);
-        *to_entry = to_entry.saturating_add(m);
+        let credited = to_entry
+            .checked_add(m)
+            .ok_or_else(|| MarketError::BalanceOverflow {
+                account: to.to_string(),
+            })?;
+        *to_entry = credited;
+        e.remaining -= m;
         Ok(from_micros(m))
     }
 
@@ -216,12 +247,20 @@ impl Ledger {
         if e.state != EscrowState::Held {
             return Err(MarketError::Invalid("escrow already closed".into()));
         }
-        e.state = EscrowState::Closed;
+        // Checked refund first: on overflow the escrow stays held (and
+        // its funds stay counted) instead of silently clamping away.
         let refund = e.remaining;
-        e.remaining = 0;
         let mut accounts = self.accounts.lock();
         let from_entry = accounts.entry(e.from.clone()).or_insert(0);
-        *from_entry = from_entry.saturating_add(refund);
+        let refunded =
+            from_entry
+                .checked_add(refund)
+                .ok_or_else(|| MarketError::BalanceOverflow {
+                    account: e.from.clone(),
+                })?;
+        *from_entry = refunded;
+        e.state = EscrowState::Closed;
+        e.remaining = 0;
         Ok(from_micros(refund))
     }
 
@@ -381,6 +420,65 @@ mod tests {
         }
         assert!(l.balance("whale") > 0.0, "no wraparound to negative");
         assert!(l.total_supply() > 0.0);
+    }
+
+    /// Saturate an account at the `i64` micro-credit ceiling via the
+    /// (documented, clamping) mint path.
+    fn max_out(l: &Ledger, account: &str) {
+        for _ in 0..12 {
+            l.deposit(account, MAX_AMOUNT);
+        }
+    }
+
+    #[test]
+    fn transfer_into_full_account_is_refused_not_clamped() {
+        let l = Ledger::new();
+        max_out(&l, "whale");
+        l.deposit("minnow", 10.0);
+        let whale_before = l.balance("whale");
+        let err = l.transfer("minnow", "whale", 10.0).unwrap_err();
+        assert!(matches!(err, MarketError::BalanceOverflow { ref account } if account == "whale"));
+        // No partial state: the debit rolled back, the ceiling held.
+        assert_eq!(l.balance("minnow"), 10.0);
+        assert_eq!(l.balance("whale"), whale_before);
+        // A self-transfer near the ceiling is a no-op, not an inflation.
+        l.transfer("whale", "whale", 1.0).unwrap();
+        assert_eq!(l.balance("whale"), whale_before);
+    }
+
+    #[test]
+    fn escrow_release_into_full_account_is_refused() {
+        let l = Ledger::new();
+        max_out(&l, "whale");
+        l.deposit("buyer", 20.0);
+        let e = l.hold("buyer", 20.0).unwrap();
+        assert!(matches!(
+            l.release(e, "whale", 5.0),
+            Err(MarketError::BalanceOverflow { .. })
+        ));
+        assert!(matches!(
+            l.release_up_to(e, "whale", 5.0),
+            Err(MarketError::BalanceOverflow { .. })
+        ));
+        // The hold is untouched and still pays out elsewhere.
+        assert_eq!(l.escrow_remaining(e), Some(20.0));
+        l.release(e, "seller", 20.0).unwrap();
+    }
+
+    #[test]
+    fn escrow_refund_overflow_keeps_the_hold_open() {
+        let l = Ledger::new();
+        l.deposit("whale", 100.0);
+        let e = l.hold("whale", 50.0).unwrap();
+        max_out(&l, "whale");
+        let err = l.close(e).unwrap_err();
+        assert!(matches!(err, MarketError::BalanceOverflow { .. }));
+        // Still held (not silently zeroed), so the funds stay counted.
+        assert_eq!(l.escrow_remaining(e), Some(50.0));
+        // Payouts to a roomy account still drain it; the emptied escrow
+        // then closes cleanly.
+        l.release(e, "seller", 50.0).unwrap();
+        l.close(e).unwrap();
     }
 
     #[test]

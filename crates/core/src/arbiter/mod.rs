@@ -28,8 +28,8 @@ pub mod wtp_evaluator;
 pub use ledger::Ledger;
 pub use mashup_builder::BuiltMashup;
 pub use pipeline::{
-    CandidateStage, ClearingStage, ExpiryStage, RoundContext, RoundReport, RoundStage,
-    SettlementStage,
+    CandidateSet, CandidateStage, ClearingStage, ExpiryStage, RoundContext, RoundReport,
+    RoundStage, SettlementStage,
 };
 pub use pricing::{RoundBid, Sale};
 pub use wtp_evaluator::Evaluation;

@@ -55,9 +55,17 @@ impl RoundContext {
     /// Open a new round: bump the round counter, advance logical time,
     /// and draw the round seed from the market's seeded RNG.
     pub(crate) fn open(market: &DataMarket) -> Self {
+        let round_seed = market.rng.lock().gen::<u64>();
+        Self::open_seeded(market, round_seed)
+    }
+
+    /// Open a new round under an externally-coordinated seed (two-phase
+    /// cross-shard rounds: every shard of a deployment must derive its
+    /// per-offer tie-break streams from the *same* seed, or an M-shard
+    /// market would clear differently from the 1-shard market).
+    pub(crate) fn open_seeded(market: &DataMarket, round_seed: u64) -> Self {
         let round = market.round_counter.fetch_add(1, Ordering::Relaxed) + 1;
         let now = market.tick();
-        let round_seed = market.rng.lock().gen::<u64>();
         RoundContext {
             round,
             now,
@@ -89,6 +97,28 @@ impl RoundContext {
             .rotate_left(17)
             ^ 0xD1B5_4A32_D192_ED03;
         StdRng::seed_from_u64(mixed)
+    }
+
+    /// Export the candidate phase's outcome for global (cross-shard)
+    /// clearing: the round number and every bid the [`super::CandidateStage`]
+    /// produced. Winning mashups stay in the context — only the bids
+    /// travel, and cleared sales come back to [`crate::market::DataMarket::settle_sale`].
+    pub fn candidate_set(&self) -> super::CandidateSet {
+        super::CandidateSet {
+            round: self.round,
+            bids: self.bids.clone(),
+        }
+    }
+
+    /// [`RoundContext::candidate_set`], but **moving** the bids out of
+    /// the context (the per-round hot path: after clearing, settlement
+    /// only consults [`RoundContext::best_mashups`], so the bids need
+    /// not be retained). The context is left with no bids.
+    pub fn take_candidate_set(&mut self) -> super::CandidateSet {
+        super::CandidateSet {
+            round: self.round,
+            bids: std::mem::take(&mut self.bids),
+        }
     }
 
     /// Close the round: publish negotiation/demand state on the market

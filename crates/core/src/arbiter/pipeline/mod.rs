@@ -45,7 +45,7 @@ pub use context::RoundContext;
 pub use expiry::ExpiryStage;
 pub use settlement::SettlementStage;
 
-use crate::arbiter::pricing::Sale;
+use crate::arbiter::pricing::{RoundBid, Sale};
 use crate::arbiter::services::DemandReport;
 use crate::market::DataMarket;
 
@@ -70,6 +70,22 @@ pub fn default_pipeline() -> Vec<Box<dyn RoundStage>> {
         Box::new(ClearingStage),
         Box::new(SettlementStage),
     ]
+}
+
+/// One shard's exportable candidate-phase output: everything a global
+/// clearing pass needs from this market for the round. The bids carry
+/// globally-meaningful state only (global offer ids, dataset ids from
+/// the shared catalog, reserve floors, license multipliers) — winning
+/// mashup *relations* stay on the shard that built them and are joined
+/// back at settlement, so a candidate set is cheap to move (and, at the
+/// service layer, to serialize onto a wire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateSet {
+    /// The round these candidates belong to (uniform across shards of
+    /// one deployment — rounds run in lockstep).
+    pub round: u64,
+    /// One bid per offer that found a sellable mashup.
+    pub bids: Vec<RoundBid>,
 }
 
 /// What one `run_round` did.

@@ -35,33 +35,45 @@ impl RoundStage for SettlementStage {
     }
 
     fn run(&self, market: &DataMarket, ctx: &mut RoundContext) {
+        let sales = std::mem::take(&mut ctx.sales);
+        for sale in sales {
+            Self::settle_one(market, ctx, sale);
+        }
+    }
+}
+
+impl SettlementStage {
+    /// Settle one cleared sale into the market — the per-sale body of
+    /// the stage, also driven sale-by-sale (in global offer-id order)
+    /// by the service layer's cross-shard exchange. A sale whose
+    /// winning mashup is not in this context (routed to the wrong
+    /// shard) is ignored; one whose buyer cannot fund the escrow leaves
+    /// the offer pending.
+    pub(crate) fn settle_one(market: &DataMarket, ctx: &mut RoundContext, sale: Sale) {
         let ex_post = matches!(
             market.config.design.elicitation,
             ElicitationProtocol::ExPost(_)
         );
-        let sales = std::mem::take(&mut ctx.sales);
-        for sale in sales {
-            let mashup = match ctx.best_mashups.get(&sale.offer_id) {
-                Some(m) => m.clone(),
-                None => continue,
-            };
-            if ex_post {
-                match market.deliver_ex_post(&sale, &mashup) {
-                    Ok(delivery_id) => {
-                        ctx.deliveries.push(delivery_id);
-                        ctx.completed_sales.push(sale);
-                    }
-                    Err(_) => { /* deposit unavailable: offer stays pending */ }
+        let mashup = match ctx.best_mashups.get(&sale.offer_id) {
+            Some(m) => m.clone(),
+            None => return,
+        };
+        if ex_post {
+            match market.deliver_ex_post(&sale, &mashup) {
+                Ok(delivery_id) => {
+                    ctx.deliveries.push(delivery_id);
+                    ctx.completed_sales.push(sale);
                 }
-            } else {
-                match market.settle(&sale, &mashup, ctx.round) {
-                    Ok(record) => {
-                        ctx.revenue += record.price;
-                        ctx.fees += record.fee;
-                        ctx.completed_sales.push(sale);
-                    }
-                    Err(_) => { /* insufficient funds: offer stays pending */ }
+                Err(_) => { /* deposit unavailable: offer stays pending */ }
+            }
+        } else {
+            match market.settle(&sale, &mashup, ctx.round) {
+                Ok(record) => {
+                    ctx.revenue += record.price;
+                    ctx.fees += record.fee;
+                    ctx.completed_sales.push(sale);
                 }
+                Err(_) => { /* insufficient funds: offer stays pending */ }
             }
         }
     }

@@ -11,7 +11,7 @@ use dmp_mechanism::design::MarketDesign;
 use dmp_relation::DatasetId;
 
 /// One buyer's bid entering a clearing round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoundBid {
     /// The offer this bid came from.
     pub offer_id: u64,

@@ -27,6 +27,14 @@ pub enum MarketError {
         /// Available amount.
         available: f64,
     },
+    /// A credit would overflow the ledger's integer micro-credit
+    /// storage. The operation is refused with **no state change** —
+    /// silently clamping would break the conservation invariant
+    /// (`total_supply == sum of deposits`) without any caller noticing.
+    BalanceOverflow {
+        /// The account (or escrow) whose balance would overflow.
+        account: String,
+    },
     /// A license forbids the attempted operation.
     LicenseViolation(String),
     /// The seller platform refused a registration (e.g. PII found).
@@ -56,6 +64,9 @@ impl fmt::Display for MarketError {
                 f,
                 "insufficient funds in {account}: need {needed}, have {available}"
             ),
+            MarketError::BalanceOverflow { account } => {
+                write!(f, "balance overflow in {account}: credit refused")
+            }
             MarketError::LicenseViolation(m) => write!(f, "license violation: {m}"),
             MarketError::RegistrationRefused(m) => write!(f, "registration refused: {m}"),
             MarketError::PrivacyBudget(m) => write!(f, "privacy budget: {m}"),

@@ -12,6 +12,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::SeedableRng;
@@ -139,13 +140,44 @@ pub struct Participant {
 /// The account name the arbiter accrues fees into.
 pub const ARBITER_ACCOUNT: &str = "__arbiter__";
 
+/// State every shard of one deployment **shares**: the dataset catalog
+/// (metadata + lineage), the licensing terms attached to it (reserves,
+/// licenses, contextual-integrity policies, exclusivity holds) and the
+/// settlement ledger.
+///
+/// Sharding the market (service layer) partitions *participants* —
+/// their offer books, round execution, audit chains — purely as a
+/// throughput measure; it must not thin the match graph or fork the
+/// currency supply. Putting the catalog and the ledger behind shared
+/// handles is what makes an M-shard deployment clear the same trades
+/// and hold the same balances as the 1-shard market for the same
+/// command stream. A standalone [`DataMarket`] owns a private substrate
+/// (`DataMarket::new`), so library users see no difference.
+#[derive(Clone, Default)]
+pub struct MarketSubstrate {
+    pub(crate) metadata: Arc<MetadataEngine>,
+    pub(crate) lineage: Arc<LineageLog>,
+    pub(crate) ledger: Arc<Ledger>,
+    pub(crate) reserves: Arc<Mutex<HashMap<DatasetId, f64>>>,
+    pub(crate) licenses: Arc<Mutex<HashMap<DatasetId, License>>>,
+    pub(crate) ci_policies: Arc<Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>>,
+    pub(crate) exclusive_holds: Arc<Mutex<HashMap<DatasetId, (String, u64)>>>,
+}
+
+impl MarketSubstrate {
+    /// A fresh, empty substrate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The deployed data market.
 pub struct DataMarket {
     pub(crate) config: MarketConfig,
-    pub(crate) metadata: MetadataEngine,
-    pub(crate) lineage: LineageLog,
+    pub(crate) metadata: Arc<MetadataEngine>,
+    pub(crate) lineage: Arc<LineageLog>,
     pub(crate) privacy: PrivacyBudget,
-    pub(crate) ledger: Ledger,
+    pub(crate) ledger: Arc<Ledger>,
     pub(crate) audit: AuditLog,
     pub(crate) disputes: DisputeManager,
     clock: AtomicU64,
@@ -159,10 +191,10 @@ pub struct DataMarket {
     pub(crate) transactions: Mutex<Vec<TransactionRecord>>,
     pub(crate) deliveries: Mutex<Vec<Delivery>>,
     pub(crate) purchases: Mutex<Vec<Purchase>>,
-    pub(crate) reserves: Mutex<HashMap<DatasetId, f64>>,
-    pub(crate) licenses: Mutex<HashMap<DatasetId, License>>,
-    pub(crate) ci_policies: Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>,
-    pub(crate) exclusive_holds: Mutex<HashMap<DatasetId, (String, u64)>>,
+    pub(crate) reserves: Arc<Mutex<HashMap<DatasetId, f64>>>,
+    pub(crate) licenses: Arc<Mutex<HashMap<DatasetId, License>>>,
+    pub(crate) ci_policies: Arc<Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>>,
+    pub(crate) exclusive_holds: Arc<Mutex<HashMap<DatasetId, (String, u64)>>>,
     pub(crate) participants: Mutex<HashMap<String, Participant>>,
     pub(crate) last_missing: Mutex<Vec<Vec<String>>>,
     pub(crate) last_negotiations: Mutex<Vec<NegotiationRequest>>,
@@ -170,15 +202,23 @@ pub struct DataMarket {
 }
 
 impl DataMarket {
-    /// Deploy a market with a configuration.
+    /// Deploy a market with a configuration and a private substrate.
     pub fn new(config: MarketConfig) -> Self {
+        Self::with_substrate(config, MarketSubstrate::new())
+    }
+
+    /// Deploy a market *shard* onto an existing substrate: the catalog,
+    /// licensing terms and ledger are shared with every other market on
+    /// the same substrate, while participants, offer books, clocks and
+    /// RNG streams stay private to this shard.
+    pub fn with_substrate(config: MarketConfig, substrate: MarketSubstrate) -> Self {
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         DataMarket {
             config,
-            metadata: MetadataEngine::new(),
-            lineage: LineageLog::new(),
+            metadata: substrate.metadata,
+            lineage: substrate.lineage,
             privacy: PrivacyBudget::new(),
-            ledger: Ledger::new(),
+            ledger: substrate.ledger,
             audit: AuditLog::new(),
             disputes: DisputeManager::new(),
             clock: AtomicU64::new(0),
@@ -190,14 +230,29 @@ impl DataMarket {
             transactions: Mutex::new(Vec::new()),
             deliveries: Mutex::new(Vec::new()),
             purchases: Mutex::new(Vec::new()),
-            reserves: Mutex::new(HashMap::new()),
-            licenses: Mutex::new(HashMap::new()),
-            ci_policies: Mutex::new(HashMap::new()),
-            exclusive_holds: Mutex::new(HashMap::new()),
+            reserves: substrate.reserves,
+            licenses: substrate.licenses,
+            ci_policies: substrate.ci_policies,
+            exclusive_holds: substrate.exclusive_holds,
             participants: Mutex::new(HashMap::new()),
             last_missing: Mutex::new(Vec::new()),
             last_negotiations: Mutex::new(Vec::new()),
             rng: Mutex::new(rng),
+        }
+    }
+
+    /// A handle to this market's substrate (clone it into
+    /// [`DataMarket::with_substrate`] to deploy further shards over the
+    /// same catalog and ledger).
+    pub fn substrate(&self) -> MarketSubstrate {
+        MarketSubstrate {
+            metadata: Arc::clone(&self.metadata),
+            lineage: Arc::clone(&self.lineage),
+            ledger: Arc::clone(&self.ledger),
+            reserves: Arc::clone(&self.reserves),
+            licenses: Arc::clone(&self.licenses),
+            ci_policies: Arc::clone(&self.ci_policies),
+            exclusive_holds: Arc::clone(&self.exclusive_holds),
         }
     }
 
@@ -336,35 +391,68 @@ impl DataMarket {
         wtp: WtpFunction,
         purpose: impl Into<String>,
     ) -> MarketResult<u64> {
-        let buyer = wtp.buyer.clone();
-        let current_round = self.round();
-        {
-            let participants = self.participants.lock();
-            let p = participants
-                .get(&buyer)
-                .ok_or_else(|| MarketError::UnknownParticipant(buyer.clone()))?;
-            if p.excluded_until > current_round {
-                return Err(MarketError::Invalid(format!(
-                    "{buyer} is excluded until round {}",
-                    p.excluded_until
-                )));
-            }
-        }
+        self.check_submittable(&wtp.buyer)?;
         let id = self.next_offer.fetch_add(1, Ordering::Relaxed);
+        self.insert_offer(id, wtp, purpose.into());
+        Ok(id)
+    }
+
+    /// Submit a WTP offer under a **caller-assigned** offer id. Sharded
+    /// deployments use this to hand out *globally unique* ids across
+    /// shards: the per-offer RNG stream that breaks candidate ties is
+    /// derived from `(round_seed, offer_id)`, so ids must not depend on
+    /// which shard an offer landed on if an M-shard market is to clear
+    /// exactly like the 1-shard market. The id must be unused; the
+    /// market's own id allocator is bumped past it so mixed explicit /
+    /// automatic submission stays collision-free.
+    pub fn submit_wtp_with_id(
+        &self,
+        id: u64,
+        wtp: WtpFunction,
+        purpose: impl Into<String>,
+    ) -> MarketResult<u64> {
+        self.check_submittable(&wtp.buyer)?;
+        if self.offers.lock().contains_key(&id) {
+            return Err(MarketError::Invalid(format!("offer id {id} already taken")));
+        }
+        self.next_offer.fetch_max(id + 1, Ordering::Relaxed);
+        self.insert_offer(id, wtp, purpose.into());
+        Ok(id)
+    }
+
+    /// Shared submission guard: the buyer must be enrolled and not
+    /// currently excluded.
+    fn check_submittable(&self, buyer: &str) -> MarketResult<()> {
+        let current_round = self.round();
+        let participants = self.participants.lock();
+        let p = participants
+            .get(buyer)
+            .ok_or_else(|| MarketError::UnknownParticipant(buyer.to_string()))?;
+        if p.excluded_until > current_round {
+            return Err(MarketError::Invalid(format!(
+                "{buyer} is excluded until round {}",
+                p.excluded_until
+            )));
+        }
+        Ok(())
+    }
+
+    fn insert_offer(&self, id: u64, wtp: WtpFunction, purpose: String) {
         let at = self.tick();
-        self.audit
-            .record(AuditEvent::WtpSubmitted { offer: id, buyer });
+        self.audit.record(AuditEvent::WtpSubmitted {
+            offer: id,
+            buyer: wtp.buyer.clone(),
+        });
         self.offers.lock().insert(
             id,
             Offer {
                 id,
                 wtp,
-                purpose: purpose.into(),
+                purpose,
                 submitted_at: at,
                 state: OfferState::Pending,
             },
         );
-        Ok(id)
     }
 
     /// Submit with the default "analytics" purpose.
@@ -386,6 +474,41 @@ impl DataMarket {
         for stage in stages {
             stage.run(self, &mut ctx);
         }
+        ctx.finish(self)
+    }
+
+    /// **Phase 1** of a two-phase (cross-shard) round: open the round
+    /// under an externally-supplied seed and run expiry + candidate
+    /// generation, but do **not** clear or settle. The returned context
+    /// carries the candidate bids ([`pipeline::RoundContext::candidate_set`])
+    /// for a global clearing pass; hand the context back to
+    /// [`DataMarket::settle_sale`] / [`DataMarket::close_round`] to
+    /// finish the round. The seed replaces the market's own RNG draw so
+    /// every shard of a deployment ties-breaks from one coordinated
+    /// stream keyed by global offer ids.
+    pub fn begin_round_seeded(&self, round_seed: u64) -> pipeline::RoundContext {
+        let mut ctx = pipeline::RoundContext::open_seeded(self, round_seed);
+        pipeline::ExpiryStage.run(self, &mut ctx);
+        pipeline::CandidateStage::default().run(self, &mut ctx);
+        ctx
+    }
+
+    /// **Phase 2** (per cleared sale): settle one externally-cleared
+    /// sale into this market — ex ante payment or ex post delivery,
+    /// exactly as [`pipeline::SettlementStage`] would. The sale's offer
+    /// must live on this market (its winning mashup is looked up in the
+    /// context); sales without a recorded mashup are ignored.
+    pub fn settle_sale(
+        &self,
+        ctx: &mut pipeline::RoundContext,
+        sale: crate::arbiter::pricing::Sale,
+    ) {
+        pipeline::SettlementStage::settle_one(self, ctx, sale);
+    }
+
+    /// **Phase 3**: close a two-phase round — publish negotiation and
+    /// demand state and produce the round report.
+    pub fn close_round(&self, ctx: pipeline::RoundContext) -> RoundReport {
         ctx.finish(self)
     }
 

@@ -2,9 +2,14 @@
 //! random interleaved deposit / transfer / escrow / release / close
 //! sequences. With integer micro-credit storage the invariant is exact:
 //! the total supply equals the sum of minted deposits bit-for-bit, and
-//! no account ever goes negative.
+//! no account ever goes negative. Near the `i64` micro-credit ceiling,
+//! every transfer/escrow credit is **checked**: an operation either
+//! succeeds conserving supply exactly, or fails (`BalanceOverflow` /
+//! `InsufficientFunds`) leaving the total untouched — never a silent
+//! clamp.
 
-use dmp_core::arbiter::ledger::Ledger;
+use dmp_core::arbiter::ledger::{Ledger, MAX_AMOUNT};
+use dmp_core::error::MarketError;
 use proptest::prelude::*;
 
 const ACCOUNTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
@@ -147,5 +152,84 @@ proptest! {
             micros(ledger.total_supply()),
             micros(from_accounts + from_escrows)
         );
+    }
+
+    /// Near the `i64` ceiling, every transfer/escrow op either succeeds
+    /// conserving the total exactly, or fails leaving it untouched —
+    /// the checked-arithmetic contract. (The old `saturating_add` paths
+    /// would "succeed" here while quietly destroying the credited
+    /// amount.)
+    #[test]
+    fn near_cap_ops_conserve_or_fail_cleanly(
+        raw in proptest::collection::vec(
+            // Amounts up to MAX_AMOUNT so single ops can cross the
+            // remaining headroom of a nearly-full account.
+            (1u8..5, 0usize..8, 0usize..8, 0.0f64..MAX_AMOUNT),
+            1..60,
+        )
+    ) {
+        let ledger = Ledger::new();
+        // "whale" sits at the saturation ceiling; the others have room.
+        for _ in 0..12 {
+            ledger.deposit(ACCOUNTS[0], MAX_AMOUNT);
+        }
+        ledger.deposit(ACCOUNTS[1], 1000.0);
+        let mut escrows: Vec<u64> = Vec::new();
+
+        for (kind, a, b, amount) in raw {
+            let before = ledger.total_supply();
+            // kind starts at 1: deposits (the only mint) are excluded,
+            // so the total must be *invariant* across every op.
+            let result = match decode(kind, a, b, amount) {
+                Op::Deposit { .. } => unreachable!("kind range starts at 1"),
+                Op::Transfer { from, to, amount } => {
+                    ledger.transfer(ACCOUNTS[from], ACCOUNTS[to], amount)
+                }
+                Op::Hold { who, amount } => match ledger.hold(ACCOUNTS[who], amount) {
+                    Ok(id) => {
+                        escrows.push(id);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
+                },
+                Op::Release { slot, to, amount } => {
+                    if escrows.is_empty() {
+                        Ok(())
+                    } else {
+                        let id = escrows[slot % escrows.len()];
+                        ledger.release(id, ACCOUNTS[to], amount)
+                    }
+                }
+                Op::Close { slot } => {
+                    if escrows.is_empty() {
+                        Ok(())
+                    } else {
+                        let id = escrows[slot % escrows.len()];
+                        ledger.close(id).map(|_| ())
+                    }
+                }
+            };
+            if let Err(e) = &result {
+                prop_assert!(
+                    matches!(
+                        e,
+                        MarketError::BalanceOverflow { .. }
+                            | MarketError::InsufficientFunds { .. }
+                            | MarketError::Invalid(_)
+                            | MarketError::UnknownId(_)
+                    ),
+                    "unexpected near-cap error: {e}"
+                );
+            }
+            prop_assert_eq!(
+                ledger.total_supply(),
+                before,
+                "op changed the total without minting (result: {:?})",
+                result.is_ok()
+            );
+            for acct in ACCOUNTS {
+                prop_assert!(ledger.balance(acct) >= 0.0);
+            }
+        }
     }
 }

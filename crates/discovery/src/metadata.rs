@@ -100,6 +100,28 @@ pub struct MetadataEngine {
     entries: RwLock<HashMap<DatasetId, DatasetEntry>>,
     next_id: AtomicU64,
     clock: AtomicU64,
+    /// Catalog mutation counter: bumped by every register / update /
+    /// tag / remove. Keys the built-index cache below.
+    generation: AtomicU64,
+    /// Default-threshold discovery indexes for `generation` — building
+    /// the relationship index is O(columns²) over the whole catalog, so
+    /// it is built at most once per catalog version, **extended
+    /// incrementally** when the catalog only grew, and shared by every
+    /// reader (every offer evaluation, every shard) instead of being
+    /// rebuilt per query.
+    index_cache: Mutex<Option<IndexCacheEntry>>,
+}
+
+/// One cached index build: the generation it reflects, the
+/// `(id, version, tag count)` fingerprint of the catalog it was built
+/// over (to detect pure-append growth — an update or new tag on an
+/// *existing* entry perturbs the prefix and forces a full rebuild),
+/// and the built indexes.
+#[derive(Debug)]
+struct IndexCacheEntry {
+    generation: u64,
+    fingerprint: Vec<(DatasetId, u32, u32)>,
+    indexes: Arc<crate::index::Indexes>,
 }
 
 impl MetadataEngine {
@@ -110,6 +132,72 @@ impl MetadataEngine {
 
     fn tick(&self) -> u64 {
         self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The catalog mutation generation (changes whenever a rebuild of
+    /// derived structures would observe different contents).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Default-threshold discovery indexes for the current catalog
+    /// version, built on first use and cached until the next mutation.
+    /// When the catalog has only *grown* since the cached build (the
+    /// common market flow: sellers register, nobody updates/withdraws),
+    /// the cached index is extended incrementally — O(new × all) pair
+    /// comparisons instead of O(all²) — and the result is bit-identical
+    /// to a full rebuild ([`crate::index::IndexBuilder::extend`]).
+    /// Racing builders produce identical indexes, and a mutation
+    /// mid-build simply leaves a stale entry the next caller redoes.
+    pub fn cached_indexes(&self) -> Arc<crate::index::Indexes> {
+        let generation = self.generation();
+        let previous = {
+            let cache = self.index_cache.lock();
+            match cache.as_ref() {
+                Some(entry) if entry.generation == generation => {
+                    return Arc::clone(&entry.indexes);
+                }
+                Some(entry) => Some((entry.fingerprint.clone(), Arc::clone(&entry.indexes))),
+                None => None,
+            }
+        };
+        // Build outside the cache lock: O(columns²) work must not block
+        // readers that already have a current snapshot.
+        let entries = self.entries();
+        let fingerprint: Vec<(DatasetId, u32, u32)> = entries
+            .iter()
+            .map(|e| (e.id, e.version, e.tags.len() as u32))
+            .collect();
+        let builder = crate::index::IndexBuilder::new();
+        let built = match previous {
+            // Pure append since the cached build (ids are monotone, so
+            // growth shows up as a strict fingerprint prefix): extend.
+            Some((old_fp, old_idx))
+                if fingerprint.len() >= old_fp.len()
+                    && fingerprint[..old_fp.len()] == old_fp[..] =>
+            {
+                let (old_entries, new_entries) = entries.split_at(old_fp.len());
+                Arc::new(builder.extend(&old_idx, old_entries, new_entries))
+            }
+            _ => Arc::new(builder.build(self)),
+        };
+        // Cache only if no mutation raced the snapshot: generation
+        // bumps happen under the entries write lock, so generation
+        // unchanged across the snapshot ⇒ the build describes exactly
+        // generation `generation`. On a race, serve the (at least as
+        // fresh) build uncached; the next caller rebuilds cleanly.
+        if self.generation() == generation {
+            *self.index_cache.lock() = Some(IndexCacheEntry {
+                generation,
+                fingerprint,
+                indexes: Arc::clone(&built),
+            });
+        }
+        built
     }
 
     /// Raise the engine's logical clock to at least `at_least`. Callers
@@ -144,7 +232,13 @@ impl MetadataEngine {
             snapshots: vec![snapshot],
             tags: Vec::new(),
         };
-        self.entries.write().insert(id, entry);
+        let mut entries = self.entries.write();
+        entries.insert(id, entry);
+        // Bump under the write lock: readers that snapshot the entries
+        // and then read the generation can tell exactly which catalog
+        // contents a generation number describes.
+        self.bump_generation();
+        drop(entries);
         id
     }
 
@@ -218,6 +312,8 @@ impl MetadataEngine {
         for e in entries.into_inner() {
             map.insert(e.id, e);
         }
+        self.bump_generation();
+        drop(map);
         ids
     }
 
@@ -237,7 +333,10 @@ impl MetadataEngine {
         let snap = snapshot_of(&rel, entry.version, at, std::slice::from_ref(&entry.owner));
         entry.snapshots.push(snap);
         entry.relation = Arc::new(rel);
-        Some(entry.version)
+        let version = entry.version;
+        self.bump_generation();
+        drop(entries);
+        Some(version)
     }
 
     /// Attach a tag / semantic annotation (negotiation rounds, §4.1).
@@ -248,7 +347,9 @@ impl MetadataEngine {
                 let tag = tag.into();
                 if !e.tags.contains(&tag) {
                     e.tags.push(tag);
+                    self.bump_generation();
                 }
+                drop(entries);
                 true
             }
             None => false,
@@ -257,7 +358,13 @@ impl MetadataEngine {
 
     /// Remove a dataset (seller withdraws it).
     pub fn remove(&self, id: DatasetId) -> bool {
-        self.entries.write().remove(&id).is_some()
+        let mut entries = self.entries.write();
+        let removed = entries.remove(&id).is_some();
+        if removed {
+            self.bump_generation();
+        }
+        drop(entries);
+        removed
     }
 
     /// Fetch a dataset entry (cloned snapshot of its metadata).

@@ -122,7 +122,7 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
     }
 
     let mut headers = Vec::new();
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     loop {
         let Some(header) = read_line_bounded(stream)? else {
             return Err(HttpError::Malformed("eof inside headers".into()));
@@ -139,12 +139,23 @@ pub fn read_request(stream: &mut impl BufRead, max_body: usize) -> Result<Reques
         let name = name.trim().to_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = value
+            let parsed: usize = value
                 .parse()
                 .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+            // Conflicting duplicates are the request-smuggling classic:
+            // two parsers on the path disagreeing on the body boundary
+            // desyncs the connection. Reject rather than last-one-wins
+            // (RFC 9110 §8.6 allows collapsing *identical* repeats).
+            if content_length.is_some_and(|prev| prev != parsed) {
+                return Err(HttpError::Malformed(
+                    "conflicting duplicate content-length headers".into(),
+                ));
+            }
+            content_length = Some(parsed);
         }
         headers.push((name, value));
     }
+    let content_length = content_length.unwrap_or(0);
     if content_length > max_body {
         return Err(HttpError::TooLarge);
     }
@@ -214,7 +225,7 @@ pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpEr
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| HttpError::Malformed(format!("bad status line '{line}'")))?;
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut seen = 0usize;
     loop {
         let Some(header) = read_line_bounded(stream)? else {
@@ -229,14 +240,21 @@ pub fn read_response(stream: &mut impl BufRead) -> Result<(u16, Vec<u8>), HttpEr
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Malformed("bad content-length".into()))?;
+                // Same smuggling guard as the server side.
+                if content_length.is_some_and(|prev| prev != parsed) {
+                    return Err(HttpError::Malformed(
+                        "conflicting duplicate content-length headers".into(),
+                    ));
+                }
+                content_length = Some(parsed);
             }
         }
     }
-    let mut body = vec![0u8; content_length];
+    let mut body = vec![0u8; content_length.unwrap_or(0)];
     stream.read_exact(&mut body)?;
     Ok((status, body))
 }
@@ -255,6 +273,37 @@ mod tests {
         assert_eq!(req.path, "/offers");
         assert_eq!(req.header("host"), Some("localhost"));
         assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn conflicting_duplicate_content_length_rejected() {
+        // Classic request-smuggling shape: two parsers could disagree on
+        // where the body ends. Must be a hard 400, not last-one-wins.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody";
+        let mut reader = BufReader::new(&raw[..]);
+        match read_request(&mut reader, 1024) {
+            Err(HttpError::Malformed(msg)) => assert!(msg.contains("content-length"), "{msg}"),
+            other => panic!("conflicting duplicates accepted: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_duplicate_content_length_tolerated() {
+        // RFC 9110 §8.6: identical repeated values may be collapsed.
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        let mut reader = BufReader::new(&raw[..]);
+        let req = read_request(&mut reader, 1024).unwrap();
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn response_with_conflicting_content_length_rejected() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 1\r\ncontent-length: 9\r\n\r\nx";
+        let mut reader = BufReader::new(&raw[..]);
+        assert!(matches!(
+            read_response(&mut reader),
+            Err(HttpError::Malformed(_))
+        ));
     }
 
     #[test]

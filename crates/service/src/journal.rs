@@ -94,6 +94,12 @@ pub struct Journal {
     /// Bytes of fully-written, replayable records (the append cursor;
     /// a failed append rolls the file back to this boundary).
     valid_len: u64,
+    /// Set when a failed append could not be rolled back: the file may
+    /// end in a torn frame the writer cannot account for. A poisoned
+    /// journal refuses all further appends — writing *past* a torn
+    /// frame would strand durable records behind garbage, because
+    /// recovery stops scanning at the first bad frame.
+    poisoned: bool,
     /// `fdatasync` every append (off trades durability for throughput;
     /// the OS still sees the write immediately, so only a *machine*
     /// crash can lose the tail).
@@ -146,6 +152,7 @@ impl Journal {
                 file,
                 path,
                 valid_len: valid_len as u64,
+                poisoned: false,
                 fsync,
             },
             records,
@@ -160,6 +167,12 @@ impl Journal {
     /// successful append can never strand durable records behind a
     /// torn frame.
     pub fn append(&mut self, seq: u64, cmd: &Command) -> std::io::Result<()> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "journal is poisoned: a failed append could not be rolled back, so the \
+                 file may end in a torn frame; reopen the journal to truncate and resume",
+            ));
+        }
         let payload = Json::obj([("seq", Json::Num(seq as f64)), ("cmd", cmd.encode())])
             .try_dump()
             .map_err(|e| {
@@ -196,14 +209,36 @@ impl Journal {
                 Ok(())
             }
             Err(e) => {
-                // Best-effort rollback of a partial frame (ENOSPC and
-                // friends); if even that fails the next open's frame
-                // scan still stops at the torn record.
-                let _ = self.file.set_len(self.valid_len);
-                let _ = self.file.seek(SeekFrom::End(0));
+                // Roll back the partial frame (ENOSPC and friends). If
+                // the rollback itself fails, the file may hold a torn
+                // frame this writer can no longer see past — recovery
+                // would stop at it, so appending *more* records behind
+                // it would silently lose them. Poison the journal:
+                // every later append fails loudly until a reopen
+                // re-scans and truncates the tail.
+                let rolled_back = self
+                    .file
+                    .set_len(self.valid_len)
+                    .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
+                if rolled_back.is_err() {
+                    self.poisoned = true;
+                }
                 Err(e)
             }
         }
+    }
+
+    /// Whether a failed rollback has poisoned this journal (appends are
+    /// refused until the file is reopened and its tail re-truncated).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Test hook: force the poisoned state a failed rollback would set
+    /// (an `ftruncate` failure is not portably inducible from a test).
+    #[doc(hidden)]
+    pub fn poison_for_test(&mut self) {
+        self.poisoned = true;
     }
 
     /// The journal file path.
@@ -358,6 +393,26 @@ mod tests {
         assert_eq!(records.len(), 1, "replay keeps only the consistent prefix");
         // The file was truncated back to that prefix, so appends resume
         // on a clean boundary.
+        j.append(2, &Command::RunRound { rounds: 1 }).unwrap();
+        let (_, records) = Journal::open(&path, true).unwrap();
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn poisoned_journal_refuses_appends_until_reopen() {
+        let path = tmp("poisoned");
+        let (mut j, _) = Journal::open(&path, true).unwrap();
+        j.append(1, &Command::RunRound { rounds: 1 }).unwrap();
+        assert!(!j.is_poisoned());
+        j.poison_for_test();
+        let err = j.append(2, &Command::RunRound { rounds: 1 }).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        // Reopen re-scans the tail and clears the poison; the journal
+        // resumes on a clean frame boundary.
+        drop(j);
+        let (mut j, records) = Journal::open(&path, true).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(!j.is_poisoned());
         j.append(2, &Command::RunRound { rounds: 1 }).unwrap();
         let (_, records) = Journal::open(&path, true).unwrap();
         assert_eq!(records.len(), 2);

@@ -15,9 +15,11 @@
 //! * [`snapshot`] — periodic compacted command checkpoints carrying a
 //!   state digest that **verifies** recovery reproduced the exact
 //!   pre-crash state (leaning on the bit-identical round pipeline);
-//! * [`shard`] — participants hash across M independent
-//!   [`dmp_core::DataMarket`] shards; rounds run shard-parallel via
-//!   rayon and merge into one report;
+//! * [`shard`] — participants hash across M [`dmp_core::DataMarket`]
+//!   shards sharing one catalog + ledger substrate; every round is a
+//!   two-phase exchange (shard-parallel candidate phase → one global
+//!   clearing pass → ordered settlement), so an M-shard deployment
+//!   clears exactly the trades the 1-shard market would;
 //! * [`node`] — [`node::ServiceNode`]: journal → apply → snapshot, and
 //!   `snapshot + journal replay` crash recovery;
 //! * [`gateway`] — a multi-threaded `std::net` HTTP/1.1 server with a

@@ -95,8 +95,13 @@ impl ServiceNode {
     /// streams, so recovery would "succeed" with the wrong state —
     /// [`ServiceNode::open`] persists this and refuses a mismatch.
     fn config_fingerprint(cfg: &ServiceConfig) -> String {
+        // v2: two-phase cross-shard clearing (global offer ids, shared
+        // substrate, coordinator round seeds). A v1 journal replayed
+        // under v2 semantics would produce different trades, so the
+        // version is part of the fingerprint and v1 directories are
+        // refused rather than silently re-interpreted.
         format!(
-            "v1 shards={} seed={} kind={:?} max_candidates={} contribution_reward={}",
+            "v2 shards={} seed={} kind={:?} max_candidates={} contribution_reward={}",
             cfg.shards,
             cfg.market.seed,
             cfg.market.kind,

@@ -1,23 +1,44 @@
-//! Horizontal partitioning: participants hash onto M independent
-//! [`DataMarket`] shards, and rounds run across shards **in parallel**
-//! (rayon), with per-shard [`RoundReport`]s merged into one
-//! [`MergedRoundReport`].
+//! Horizontal partitioning with **cross-shard clearing**: participants
+//! hash onto M [`DataMarket`] shards that share one
+//! [`dmp_core::market::MarketSubstrate`] (catalog + licensing terms +
+//! settlement ledger), and every round runs as a two-phase exchange:
 //!
-//! Routing is by stable FNV-1a hash of the participant name, so a
-//! command stream replays onto the same shards in any process, on any
-//! run — a requirement for journal-replay determinism. Each shard gets
-//! a distinct, deterministic RNG seed (`base_seed + shard_index`).
-//! Buyers match datasets within their own shard; cross-shard trades
-//! are a ROADMAP follow-on.
+//! 1. **Candidate phase** (shard-parallel, rayon): each shard runs
+//!    expiry + candidate generation under one coordinator-issued round
+//!    seed and exports a serializable [`CandidateSet`] — it does *not*
+//!    clear locally;
+//! 2. **Exchange phase** (global): the [`ExchangeStage`] merges all
+//!    shards' candidate sets in global offer-id order and runs the
+//!    pricing engine **once** over the unified match graph, so bids
+//!    from different shards compete for the same products;
+//! 3. **Settlement phase** (ordered): cleared sales are routed back to
+//!    the shard owning each buyer and settled in global offer-id order
+//!    against the shared ledger, so money flows (including to sellers
+//!    whose accounts hash to other shards) land exactly where a
+//!    1-shard market would put them.
+//!
+//! Routing is by stable FNV-1a hash of the participant name, offer ids
+//! are allocated globally by the router, and all shards tie-break from
+//! the same round seed — together this makes sharding a **performance
+//! detail, not a semantics change**: an M-shard deployment clears the
+//! same trades, at the same prices, into the same balances as the
+//! 1-shard market for the same command stream (pinned by the
+//! `shard_equivalence` test suite).
 
-use dmp_core::market::{DataMarket, MarketConfig, RoundReport};
+use dmp_core::arbiter::pipeline::{CandidateSet, RoundContext};
+use dmp_core::arbiter::pricing::{clear, RoundBid, Sale};
+use dmp_core::market::{DataMarket, MarketConfig, MarketSubstrate, RoundReport};
+use dmp_mechanism::design::MarketDesign;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use dmp_relation::DatasetId;
 
 use crate::command::Command;
 use crate::error::ServiceError;
-use crate::wire::Json;
+use crate::wire::{Json, WireError};
 
 /// FNV-1a 64-bit hash (stable across processes and platforms; the
 /// routing function must never change under replay).
@@ -114,6 +135,10 @@ pub struct MergedRoundReport {
     pub considered: usize,
     /// Sales cleared, summed over shards.
     pub sales: usize,
+    /// Cleared sales whose winning mashup contains at least one dataset
+    /// owned by a seller on a *different* shard than the buyer — trades
+    /// that per-shard clearing could never have produced.
+    pub cross_shard: usize,
     /// Revenue collected (ex ante), summed.
     pub revenue: f64,
     /// Arbiter fees collected, summed.
@@ -133,6 +158,7 @@ impl MergedRoundReport {
             round: per_shard.first().map(|r| r.round).unwrap_or(0),
             considered: per_shard.iter().map(|r| r.considered).sum(),
             sales: per_shard.iter().map(|r| r.sales.len()).sum(),
+            cross_shard: 0,
             revenue: per_shard.iter().map(|r| r.revenue).sum(),
             fees: per_shard.iter().map(|r| r.fees).sum(),
             expired: per_shard.iter().map(|r| r.expired).sum(),
@@ -147,6 +173,7 @@ impl MergedRoundReport {
             ("round", Json::Num(self.round as f64)),
             ("considered", Json::Num(self.considered as f64)),
             ("sales", Json::Num(self.sales as f64)),
+            ("cross_shard", Json::Num(self.cross_shard as f64)),
             ("revenue", Json::Num(self.revenue)),
             ("fees", Json::Num(self.fees)),
             ("expired", Json::Num(self.expired as f64)),
@@ -155,25 +182,140 @@ impl MergedRoundReport {
     }
 }
 
-/// M independent market shards behind one routing function.
+/// The global clearing pass of a two-phase round: merge every shard's
+/// [`CandidateSet`] into one bid list (global offer-id order — the same
+/// order a 1-shard market would see) and run the pricing engine once
+/// over it.
+pub struct ExchangeStage {
+    design: MarketDesign,
+}
+
+impl ExchangeStage {
+    /// An exchange clearing under the deployment's market design.
+    pub fn new(design: MarketDesign) -> Self {
+        ExchangeStage { design }
+    }
+
+    /// Merge candidate sets into one bid list sorted by global offer
+    /// id. Offer ids are router-allocated and globally unique, so the
+    /// merged order is identical to the order a 1-shard offer book
+    /// would have produced. Takes the sets by value — this is the
+    /// per-round hot path, and the bids move rather than clone.
+    pub fn merge(sets: Vec<CandidateSet>) -> Vec<RoundBid> {
+        let mut bids: Vec<RoundBid> = sets.into_iter().flat_map(|s| s.bids).collect();
+        bids.sort_by_key(|b| b.offer_id);
+        bids
+    }
+
+    /// Clear the merged candidate graph: one global pricing pass, so
+    /// bids from different shards compete for the same product.
+    /// Returned sales are sorted by global offer id (the contract of
+    /// [`clear`]), which phase 3 relies on for settlement order.
+    pub fn clear(&self, sets: Vec<CandidateSet>) -> Vec<Sale> {
+        clear(&self.design, &Self::merge(sets))
+    }
+}
+
+/// Encode a [`CandidateSet`] for the wire (shards of a future
+/// multi-process deployment exchange candidates by value; in-process
+/// shards pass the struct directly, and this codec keeps the format
+/// pinned by round-trip tests).
+pub fn candidate_set_to_json(set: &CandidateSet) -> Json {
+    Json::obj([
+        ("round", Json::Num(set.round as f64)),
+        (
+            "bids",
+            Json::Arr(
+                set.bids
+                    .iter()
+                    .map(|b| {
+                        Json::obj([
+                            ("offer", Json::Num(b.offer_id as f64)),
+                            ("buyer", Json::str(b.buyer.clone())),
+                            ("bid", Json::Num(b.bid)),
+                            ("satisfaction", Json::Num(b.satisfaction)),
+                            (
+                                "datasets",
+                                Json::Arr(
+                                    b.datasets.iter().map(|d| Json::Num(d.0 as f64)).collect(),
+                                ),
+                            ),
+                            ("reserve_floor", Json::Num(b.reserve_floor)),
+                            ("license_multiplier", Json::Num(b.license_multiplier)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decode a [`CandidateSet`] from its wire form.
+pub fn candidate_set_from_json(json: &Json) -> Result<CandidateSet, WireError> {
+    let round = json.req_u64("round")?;
+    let mut bids = Vec::new();
+    for b in json.req_arr("bids")? {
+        let mut datasets = Vec::new();
+        for d in b.req_arr("datasets")? {
+            datasets.push(DatasetId(d.as_u64().ok_or_else(|| {
+                WireError::new("'datasets' must hold non-negative integers")
+            })?));
+        }
+        bids.push(RoundBid {
+            offer_id: b.req_u64("offer")?,
+            buyer: b.req_str("buyer")?,
+            bid: b.req_f64("bid")?,
+            satisfaction: b.req_f64("satisfaction")?,
+            datasets,
+            reserve_floor: b.req_f64("reserve_floor")?,
+            license_multiplier: b.req_f64("license_multiplier")?,
+        });
+    }
+    Ok(CandidateSet { round, bids })
+}
+
+/// Router-global mutable state: the global offer-id allocator and the
+/// round-seed coordinator. Both must be shard-count-independent — the
+/// per-offer tie-break streams derive from `(round_seed, offer_id)`, so
+/// sharing one allocator and one seed stream across shards is what lets
+/// an M-shard round replay the 1-shard round bid-for-bid.
+struct RouterState {
+    next_offer: u64,
+    round_rng: StdRng,
+}
+
+/// M market shards over one shared substrate, behind one routing
+/// function and one two-phase exchange.
 pub struct ShardRouter {
     shards: Vec<DataMarket>,
+    exchange: ExchangeStage,
+    state: Mutex<RouterState>,
 }
 
 impl ShardRouter {
-    /// Deploy `shards` markets from one base config; shard `i` seeds its
-    /// RNG with `base.seed + i` so shards draw independent, reproducible
-    /// streams.
+    /// Deploy `shards` markets from one base config onto a **shared
+    /// substrate** (catalog, licensing terms, ledger). Shard `i` seeds
+    /// its private RNG with `base.seed + i`; round seeds themselves come
+    /// from the router's coordinator stream (seeded with `base.seed`,
+    /// matching what a standalone 1-shard market would draw).
     pub fn new(base: &MarketConfig, shards: usize) -> Self {
         let shards = shards.max(1);
-        let markets = (0..shards)
+        let substrate = MarketSubstrate::new();
+        let markets: Vec<DataMarket> = (0..shards)
             .map(|i| {
                 let mut cfg = base.clone();
                 cfg.seed = base.seed.wrapping_add(i as u64);
-                DataMarket::new(cfg)
+                DataMarket::with_substrate(cfg, substrate.clone())
             })
             .collect();
-        ShardRouter { shards: markets }
+        ShardRouter {
+            shards: markets,
+            exchange: ExchangeStage::new(base.design.clone()),
+            state: Mutex::new(RouterState {
+                next_offer: 0,
+                round_rng: StdRng::seed_from_u64(base.seed),
+            }),
+        }
     }
 
     /// Number of shards.
@@ -241,9 +383,17 @@ impl ShardRouter {
             }
             Command::SubmitOffer(spec) => {
                 let shard = self.shard_of(&spec.buyer);
+                // Global offer ids: allocated by the router (not the
+                // shard) so the id — and with it the offer's tie-break
+                // RNG stream and its position in the global clearing
+                // order — does not depend on the shard count. Allocated
+                // on success only, so rejected submissions (which are
+                // journaled and replayed as rejections) do not burn ids.
+                let mut state = self.state.lock();
                 let offer = self.shards[shard]
-                    .submit_wtp_for_purpose(spec.to_wtp(), spec.purpose.clone())
+                    .submit_wtp_with_id(state.next_offer, spec.to_wtp(), spec.purpose.clone())
                     .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
+                state.next_offer = offer + 1;
                 Ok(Outcome::OfferAccepted { offer, shard })
             }
             Command::SubmitAsk(spec) => {
@@ -297,21 +447,82 @@ impl ShardRouter {
         }
     }
 
-    /// Run one round on every shard in parallel and merge the reports.
-    /// Shards are independent markets, so parallel execution is
-    /// bit-identical to sequential (each shard's pipeline already is).
+    /// Run one **two-phase cross-shard round**:
+    ///
+    /// 1. every shard runs expiry + candidate generation in parallel
+    ///    under one coordinator-issued round seed and exports its
+    ///    [`CandidateSet`];
+    /// 2. the [`ExchangeStage`] clears the merged candidate graph once,
+    ///    globally;
+    /// 3. cleared sales are routed back to each buyer's shard and
+    ///    settled **in global offer-id order** (settlement moves money
+    ///    on the shared ledger, so ordering is part of the semantics:
+    ///    a seller's proceeds from an earlier sale can fund their own
+    ///    later purchase, exactly as in a 1-shard market).
+    ///
+    /// The candidate phase dominates round cost and stays parallel; the
+    /// exchange and settlement phases are cheap, ledger-touching, and
+    /// deterministic.
     pub fn run_round(&self) -> MergedRoundReport {
-        let reports: Vec<RoundReport> = self
+        let round_seed = self.state.lock().round_rng.gen::<u64>();
+        // Phase 1: candidates, shard-parallel.
+        let mut ctxs: Vec<RoundContext> = self
             .shards
             .par_iter()
-            .map(|market| market.run_round())
+            .map(|market| market.begin_round_seeded(round_seed))
             .collect();
-        MergedRoundReport::merge(reports)
+        // Phase 2: one global clearing pass over all shards' bids. The
+        // bids move out of the contexts by value — settlement only
+        // needs the winning mashups, which stay behind.
+        let sets: Vec<CandidateSet> = ctxs
+            .iter_mut()
+            .map(RoundContext::take_candidate_set)
+            .collect();
+        let sales = self.exchange.clear(sets);
+        // Phase 3: ordered settlement, routed to the buyer's shard.
+        // `pricing::clear` returns sales sorted by global offer id —
+        // that order is part of the semantics (a seller's proceeds from
+        // an earlier sale can fund their own later purchase on the
+        // shared ledger, exactly as in a 1-shard market).
+        for sale in sales {
+            let home = self.shard_of(&sale.buyer);
+            self.shards[home].settle_sale(&mut ctxs[home], sale);
+        }
+        // Cross-shard accounting over sales that actually *settled*
+        // (cleared-but-unfunded sales leave their offers pending and
+        // must not be reported as trades): a settled sale is
+        // cross-shard when its mashup uses a dataset whose owner
+        // hashes to a different shard than the buyer.
+        let mut cross_shard = 0usize;
+        for (home, ctx) in ctxs.iter().enumerate() {
+            for sale in &ctx.completed_sales {
+                if let Some(m) = ctx.best_mashups.get(&sale.offer_id) {
+                    let crosses = m.datasets.iter().any(|&d| {
+                        self.shards[home]
+                            .metadata()
+                            .get(d)
+                            .map(|e| self.shard_of(&e.owner) != home)
+                            .unwrap_or(false)
+                    });
+                    if crosses {
+                        cross_shard += 1;
+                    }
+                }
+            }
+        }
+        let reports: Vec<RoundReport> = ctxs
+            .into_iter()
+            .zip(&self.shards)
+            .map(|(ctx, market)| market.close_round(ctx))
+            .collect();
+        let mut merged = MergedRoundReport::merge(reports);
+        merged.cross_shard = cross_shard;
+        merged
     }
 
-    /// Balance lookup, routed to the owning shard.
+    /// Balance lookup (the ledger is shared across shards).
     pub fn balance(&self, account: &str) -> f64 {
-        self.shards[self.shard_of(account)].balance(account)
+        self.shards[0].balance(account)
     }
 
     /// Whether any shard knows this participant.
@@ -319,33 +530,30 @@ impl ShardRouter {
         self.shards[self.shard_of(name)].participant(name).is_some()
     }
 
-    /// All balances across shards as `(account, balance)`, sorted by
-    /// account name.
+    /// All balances as `(account, balance)`, sorted by account name
+    /// (one shared ledger — already deduplicated by construction).
     pub fn all_balances(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .shards
-            .iter()
-            .flat_map(|m| m.ledger().balances())
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+        self.shards[0].ledger().balances()
     }
 
-    /// FNV-1a digest over the externally-visible market state: per
-    /// shard, the round counter, every ledger balance and open escrow
-    /// (in micro-credits), and the full offer book. Two routers with
-    /// equal digests agree bit-for-bit on balances and allocations —
-    /// snapshots store this to verify recovery.
+    /// FNV-1a digest over the externally-visible market state: the
+    /// shared ledger (every balance and open escrow, in micro-credits)
+    /// once, then per shard the round counter, the full offer book and
+    /// the participant roster. Two routers with equal digests agree
+    /// bit-for-bit on balances and allocations — snapshots store this
+    /// to verify recovery.
     pub fn state_digest(&self) -> u64 {
         let mut canon = String::new();
+        // Substrate state (shared across shards): enumerate once.
+        canon.push_str("ledger\n");
+        for (account, balance) in self.shards[0].ledger().balances() {
+            canon.push_str(&format!("bal {account} {}\n", micros(balance)));
+        }
+        for (id, holder, remaining) in self.shards[0].ledger().escrow_holds() {
+            canon.push_str(&format!("esc {id} {holder} {}\n", micros(remaining)));
+        }
         for (i, market) in self.shards.iter().enumerate() {
             canon.push_str(&format!("shard {i} round {}\n", market.round()));
-            for (account, balance) in market.ledger().balances() {
-                canon.push_str(&format!("bal {account} {}\n", micros(balance)));
-            }
-            for (id, holder, remaining) in market.ledger().escrow_holds() {
-                canon.push_str(&format!("esc {id} {holder} {}\n", micros(remaining)));
-            }
             for offer in market.offers() {
                 canon.push_str(&format!(
                     "offer {} {} {} {} {:?} {}\n",
@@ -451,6 +659,86 @@ mod tests {
         let merged = r.run_round();
         assert_eq!(merged.per_shard.len(), 3);
         assert_eq!(merged.considered, 0);
+        assert_eq!(merged.cross_shard, 0);
+    }
+
+    #[test]
+    fn shards_share_one_substrate() {
+        let r = router(4);
+        // A deposit routed through any shard is visible on every shard:
+        // the ledger is shared, not partitioned.
+        r.apply(&Command::Enroll {
+            name: "alice".into(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+        r.apply(&Command::Deposit {
+            account: "alice".into(),
+            amount: 50.0,
+        })
+        .unwrap();
+        for market in r.shards() {
+            assert_eq!(market.balance("alice"), 50.0);
+        }
+        // One entry in the merged view, not one per shard.
+        let alices = r
+            .all_balances()
+            .iter()
+            .filter(|(name, _)| name == "alice")
+            .count();
+        assert_eq!(alices, 1);
+    }
+
+    #[test]
+    fn exchange_merge_orders_bids_by_global_offer_id() {
+        let bid = |offer_id: u64| RoundBid {
+            offer_id,
+            buyer: format!("b{offer_id}"),
+            bid: 5.0,
+            satisfaction: 1.0,
+            datasets: vec![DatasetId(0)],
+            reserve_floor: 0.0,
+            license_multiplier: 1.0,
+        };
+        let sets = vec![
+            CandidateSet {
+                round: 1,
+                bids: vec![bid(3), bid(7)],
+            },
+            CandidateSet {
+                round: 1,
+                bids: vec![bid(1), bid(5)],
+            },
+        ];
+        let merged = ExchangeStage::merge(sets);
+        let ids: Vec<u64> = merged.iter().map(|b| b.offer_id).collect();
+        assert_eq!(ids, [1, 3, 5, 7], "merged order = 1-shard offer-book order");
+    }
+
+    #[test]
+    fn candidate_set_round_trips_through_the_wire() {
+        let set = CandidateSet {
+            round: 9,
+            bids: vec![RoundBid {
+                offer_id: 42,
+                buyer: "buyer \"q\" π".into(),
+                bid: 123.456789,
+                satisfaction: 0.875,
+                datasets: vec![DatasetId(3), DatasetId(11)],
+                reserve_floor: 7.25,
+                license_multiplier: 1.5,
+            }],
+        };
+        let encoded = candidate_set_to_json(&set).dump();
+        let decoded =
+            candidate_set_from_json(&Json::parse(&encoded).unwrap()).expect("decodes back");
+        assert_eq!(decoded, set, "wire round-trip changed the candidate set");
+        // Malformed sets are refused, not defaulted.
+        assert!(candidate_set_from_json(&Json::parse(r#"{"round":1}"#).unwrap()).is_err());
+        assert!(candidate_set_from_json(
+            &Json::parse(r#"{"round":1,"bids":[{"offer":1}]}"#).unwrap()
+        )
+        .is_err());
     }
 
     #[test]

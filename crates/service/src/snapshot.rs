@@ -63,9 +63,16 @@ pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> std::io::Result<PathBu
         f.sync_all()?;
     }
     fs::rename(&tmp_path, &final_path)?;
-    // Persist the rename itself (directory entry) where supported.
+    // Persist the rename itself (directory entry). A failed directory
+    // fsync means the snapshot may *vanish* on power loss even though
+    // the data blocks are safe — swallowing that error would let the
+    // caller report a durability point that does not exist. Propagate
+    // it; the node logs the failure and keeps running on the journal,
+    // and recovery falls back to the previous intact snapshot. (A
+    // directory that cannot be *opened* for syncing is a platform
+    // limitation, not a write failure — tolerated.)
     if let Ok(d) = File::open(dir) {
-        let _ = d.sync_all();
+        d.sync_all()?;
     }
     Ok(final_path)
 }
@@ -180,5 +187,30 @@ mod tests {
     fn empty_dir_has_no_snapshot() {
         let dir = tmp("empty");
         assert!(load_latest(&dir).is_none());
+    }
+
+    #[test]
+    fn write_failure_is_propagated_not_swallowed() {
+        // A regular file where the snapshot directory should be: every
+        // path of write_snapshot (create_dir_all onward) must surface
+        // the error to the caller instead of reporting a phantom
+        // durability point.
+        let dir = tmp("as-file");
+        let not_a_dir = dir.join("occupied");
+        fs::write(&not_a_dir, b"file, not dir").unwrap();
+        assert!(write_snapshot(&not_a_dir, &sample()).is_err());
+    }
+
+    #[test]
+    fn lost_newest_snapshot_falls_back_to_previous() {
+        // The failure mode an undurable rename leaves behind after a
+        // crash: the newest snapshot file simply is not there. Recovery
+        // must fall back to the previous intact snapshot.
+        let dir = tmp("lost");
+        let old = Snapshot { seq: 3, ..sample() };
+        write_snapshot(&dir, &old).unwrap();
+        let newest = write_snapshot(&dir, &sample()).unwrap();
+        fs::remove_file(&newest).unwrap();
+        assert_eq!(load_latest(&dir).unwrap().seq, 3);
     }
 }

@@ -1,0 +1,463 @@
+//! Shard-count equivalence: **sharding is a performance detail, not a
+//! semantics change**. The same command stream replayed into a 1-shard
+//! and an M-shard deployment must produce the same cleared trades, the
+//! same ledger balances (bit-for-bit), the same offer lifecycle and the
+//! same merged round totals — the two-phase exchange (global candidate
+//! merge → one clearing pass → ordered settlement on the shared ledger)
+//! is exactly what makes this hold.
+//!
+//! A property test replays random mixed command streams into 1-shard
+//! and 4-shard routers; deterministic tests pin the cross-shard unlock
+//! itself (a buyer matching a seller on another shard) and the
+//! node-level recovery path.
+
+use dmp_core::market::{MarketConfig, OfferState};
+use dmp_mechanism::design::MarketDesign;
+use dmp_service::command::{
+    AskSpec, CellSpec, ColType, Command, CurveSpec, LicenseSpec, OfferSpec, TableSpec, TaskSpec,
+};
+use dmp_service::node::{ServiceConfig, ServiceNode};
+use dmp_service::shard::{MergedRoundReport, Outcome, ShardRouter};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn market_config(seed: u64) -> MarketConfig {
+    MarketConfig::external(seed).with_design(MarketDesign::posted_price_baseline(12.0))
+}
+
+/// A deterministic stream of mixed commands: enrolls, deposits, asks
+/// over a small shared attribute pool (so buyers on one shard need
+/// sellers from another), offers, occasional exclusive licenses, and
+/// round executions.
+fn command_stream(rounds: usize, seed: u64) -> Vec<Command> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cmds = Vec::new();
+    let attrs = ["a", "b", "c", "d"];
+    for i in 0..5 {
+        cmds.push(Command::Enroll {
+            name: format!("seller{i}"),
+            role: "seller".into(),
+        });
+        cmds.push(Command::Enroll {
+            name: format!("buyer{i}"),
+            role: "buyer".into(),
+        });
+        cmds.push(Command::Deposit {
+            account: format!("buyer{i}"),
+            amount: 200.0 + i as f64,
+        });
+    }
+    let mut datasets_shared = 0u64;
+    for round in 0..rounds {
+        for _ in 0..rng.gen_range(1..4) {
+            match rng.gen_range(0..10) {
+                0..=3 => {
+                    // A seller shares a table covering a random slice of
+                    // the attribute pool.
+                    let start = rng.gen_range(0..attrs.len() - 1);
+                    let width = rng.gen_range(1..=attrs.len() - start);
+                    let cols: Vec<(String, ColType)> = attrs[start..start + width]
+                        .iter()
+                        .map(|c| (c.to_string(), ColType::Float))
+                        .collect();
+                    let rows = (0..rng.gen_range(2..6))
+                        .map(|_| {
+                            cols.iter()
+                                .map(|_| CellSpec::Float(rng.gen_range(0i64..500) as f64 / 10.0))
+                                .collect()
+                        })
+                        .collect();
+                    cmds.push(Command::SubmitAsk(AskSpec {
+                        seller: format!("seller{}", rng.gen_range(0..5)),
+                        table: TableSpec {
+                            name: format!("t{round}_{}", cmds.len()),
+                            columns: cols,
+                            rows,
+                        },
+                        reserve: if rng.gen_bool(0.3) {
+                            Some(rng.gen_range(0i64..8) as f64)
+                        } else {
+                            None
+                        },
+                        license: if rng.gen_bool(0.2) {
+                            Some(LicenseSpec::Exclusive {
+                                tax_rate: 0.25,
+                                hold_rounds: 2,
+                            })
+                        } else {
+                            None
+                        },
+                    }));
+                    datasets_shared += 1;
+                }
+                4..=7 => {
+                    // A buyer wants a random slice of the pool.
+                    let start = rng.gen_range(0..attrs.len() - 1);
+                    let width = rng.gen_range(1..=attrs.len() - start);
+                    cmds.push(Command::SubmitOffer(OfferSpec {
+                        buyer: format!("buyer{}", rng.gen_range(0..5)),
+                        attributes: attrs[start..start + width]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                        keywords: Vec::new(),
+                        task: TaskSpec::AttributeCoverage,
+                        curve: CurveSpec::Constant(rng.gen_range(10i64..40) as f64),
+                        min_rows: 1,
+                        purpose: "analytics".into(),
+                    }));
+                }
+                8 if datasets_shared > 0 => {
+                    cmds.push(Command::GrantLicense {
+                        seller: format!("seller{}", rng.gen_range(0..5)),
+                        dataset: rng.gen_range(0..datasets_shared),
+                        license: LicenseSpec::Standard,
+                    });
+                }
+                _ => {
+                    cmds.push(Command::Deposit {
+                        account: format!("buyer{}", rng.gen_range(0..5)),
+                        amount: rng.gen_range(1i64..50) as f64,
+                    });
+                }
+            }
+        }
+        cmds.push(Command::RunRound { rounds: 1 });
+    }
+    cmds
+}
+
+/// One settled trade, shard-count-independently keyed: `(round, global
+/// offer id, buyer, price bits, fee bits, satisfaction bits, datasets)`.
+type TradeKey = (u64, u64, String, u64, u64, u64, Vec<u64>);
+
+/// All settled trades across shards, sorted. Transaction ids are
+/// shard-local counters and deliberately excluded.
+fn trades(router: &ShardRouter) -> Vec<TradeKey> {
+    let mut out: Vec<_> = router
+        .shards()
+        .iter()
+        .flat_map(|m| m.transactions())
+        .map(|t| {
+            (
+                t.round,
+                t.offer_id,
+                t.buyer.clone(),
+                t.price.to_bits(),
+                t.fee.to_bits(),
+                t.satisfaction.to_bits(),
+                t.datasets.iter().map(|d| d.0).collect::<Vec<u64>>(),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Offer lifecycle keyed by global offer id, with shard-local record
+/// ids (tx / delivery) normalized away.
+fn offer_states(router: &ShardRouter) -> Vec<(u64, &'static str)> {
+    let mut out: Vec<_> = router
+        .shards()
+        .iter()
+        .flat_map(|m| m.offers())
+        .map(|o| {
+            (
+                o.id,
+                match o.state {
+                    OfferState::Pending => "pending",
+                    OfferState::Fulfilled { .. } => "fulfilled",
+                    OfferState::AwaitingReport { .. } => "awaiting",
+                    OfferState::Expired => "expired",
+                },
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Ledger balances + open escrows, bit-exact.
+type LedgerKey = (Vec<(String, u64)>, Vec<(u64, String, u64)>);
+
+fn ledger_state(router: &ShardRouter) -> LedgerKey {
+    let balances = router
+        .all_balances()
+        .into_iter()
+        .map(|(name, bal)| (name, bal.to_bits()))
+        .collect();
+    let escrows = router.shards()[0]
+        .ledger()
+        .escrow_holds()
+        .into_iter()
+        .map(|(id, holder, rem)| (id, holder, rem.to_bits()))
+        .collect();
+    (balances, escrows)
+}
+
+/// Round-report totals at micro-credit precision (shard sub-sums add in
+/// a different order than the 1-shard stream, so money totals are
+/// compared at the ledger's own granularity).
+fn report_totals(r: &MergedRoundReport) -> (u64, usize, usize, i64, i64, usize, usize) {
+    let micros = |x: f64| (x * 1e6).round() as i64;
+    (
+        r.round,
+        r.considered,
+        r.sales,
+        micros(r.revenue),
+        micros(r.fees),
+        r.expired,
+        r.deliveries,
+    )
+}
+
+/// Apply a stream to a fresh router with `shards` shards, collecting
+/// every merged round report along the way.
+fn replay(cmds: &[Command], seed: u64, shards: usize) -> (ShardRouter, Vec<MergedRoundReport>) {
+    let router = ShardRouter::new(&market_config(seed), shards);
+    let mut reports = Vec::new();
+    for cmd in cmds {
+        if let Ok(Outcome::RoundsRun(mut r)) = router.apply(cmd) {
+            reports.append(&mut r);
+        }
+    }
+    (router, reports)
+}
+
+fn assert_equivalent(cmds: &[Command], seed: u64, shards: usize) {
+    let (mono, mono_reports) = replay(cmds, seed, 1);
+    let (multi, multi_reports) = replay(cmds, seed, shards);
+
+    assert_eq!(
+        ledger_state(&mono),
+        ledger_state(&multi),
+        "seed {seed}: {shards}-shard ledger diverged from 1-shard"
+    );
+    assert_eq!(
+        trades(&mono),
+        trades(&multi),
+        "seed {seed}: {shards}-shard trades diverged from 1-shard"
+    );
+    assert_eq!(
+        offer_states(&mono),
+        offer_states(&multi),
+        "seed {seed}: {shards}-shard offer lifecycle diverged"
+    );
+    assert_eq!(mono_reports.len(), multi_reports.len());
+    for (a, b) in mono_reports.iter().zip(&multi_reports) {
+        assert_eq!(
+            report_totals(a),
+            report_totals(b),
+            "seed {seed}: round {} report diverged",
+            a.round
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The headline property: random mixed command streams clear
+    /// identically on 1 shard and on 4 shards.
+    #[test]
+    fn four_shards_clear_like_one(seed in 0u64..10_000) {
+        let cmds = command_stream(5, seed);
+        assert_equivalent(&cmds, seed, 4);
+    }
+
+    /// Shard counts that do not divide the participant population
+    /// evenly behave the same way.
+    #[test]
+    fn odd_shard_counts_clear_like_one(seed in 0u64..10_000, shards in 2usize..6) {
+        let cmds = command_stream(3, seed);
+        assert_equivalent(&cmds, seed, shards);
+    }
+}
+
+/// Non-vacuity guard for the property above: the random streams really
+/// do clear trades (and cross-shard ones), so the equivalence assertions
+/// are comparing real settlements, not empty markets.
+#[test]
+fn random_streams_produce_cross_shard_trades() {
+    let mut total_sales = 0usize;
+    let mut total_cross = 0usize;
+    for seed in 0..6u64 {
+        let cmds = command_stream(5, seed);
+        let (router, reports) = replay(&cmds, seed, 4);
+        total_sales += reports.iter().map(|r| r.sales).sum::<usize>();
+        total_cross += reports.iter().map(|r| r.cross_shard).sum::<usize>();
+        let _ = router;
+    }
+    assert!(
+        total_sales > 0,
+        "streams never cleared a sale — vacuous suite"
+    );
+    assert!(
+        total_cross > 0,
+        "streams never crossed a shard — the tentpole is untested"
+    );
+}
+
+/// The unlock itself: a buyer whose shard holds *no* datasets buys from
+/// a seller on another shard, and the report says so.
+#[test]
+fn cross_shard_trade_clears_and_pays_the_remote_seller() {
+    let router = ShardRouter::new(&market_config(11), 4);
+    // Find a seller/buyer pair that hash to different shards.
+    let (seller, buyer) = (0..100)
+        .flat_map(|i| (0..100).map(move |j| (format!("s{i}"), format!("b{j}"))))
+        .find(|(s, b)| router.shard_of(s) != router.shard_of(b))
+        .expect("some pair must split across 4 shards");
+
+    router
+        .apply(&Command::Enroll {
+            name: seller.clone(),
+            role: "seller".into(),
+        })
+        .unwrap();
+    router
+        .apply(&Command::Enroll {
+            name: buyer.clone(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+    router
+        .apply(&Command::Deposit {
+            account: buyer.clone(),
+            amount: 100.0,
+        })
+        .unwrap();
+    router
+        .apply(&Command::SubmitAsk(AskSpec {
+            seller: seller.clone(),
+            table: TableSpec {
+                name: "t".into(),
+                columns: vec![("k".into(), ColType::Int), ("v".into(), ColType::Str)],
+                rows: vec![
+                    vec![CellSpec::Int(1), CellSpec::Str("x".into())],
+                    vec![CellSpec::Int(2), CellSpec::Str("y".into())],
+                ],
+            },
+            reserve: None,
+            license: None,
+        }))
+        .unwrap();
+    router
+        .apply(&Command::SubmitOffer(OfferSpec::simple(
+            buyer.clone(),
+            ["k", "v"],
+            30.0,
+        )))
+        .unwrap();
+
+    let out = router.apply(&Command::RunRound { rounds: 1 }).unwrap();
+    let reports = match out {
+        Outcome::RoundsRun(r) => r,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert_eq!(reports[0].sales, 1, "the cross-shard offer must clear");
+    assert_eq!(
+        reports[0].cross_shard, 1,
+        "the sale must be counted as a cross-shard trade"
+    );
+    assert!(
+        router.balance(&seller) > 0.0,
+        "the remote seller must be paid on the shared ledger"
+    );
+    assert!(router.balance(&buyer) < 100.0, "the buyer must have paid");
+}
+
+/// A cross-shard sale that clears but cannot settle (unfunded buyer)
+/// is not a trade: the offer stays pending and the report counts
+/// neither a sale nor a cross-shard trade.
+#[test]
+fn unfunded_cleared_sale_is_not_a_cross_shard_trade() {
+    let router = ShardRouter::new(&market_config(11), 4);
+    let (seller, buyer) = (0..100)
+        .flat_map(|i| (0..100).map(move |j| (format!("s{i}"), format!("b{j}"))))
+        .find(|(s, b)| router.shard_of(s) != router.shard_of(b))
+        .expect("some pair must split across 4 shards");
+    router
+        .apply(&Command::Enroll {
+            name: seller.clone(),
+            role: "seller".into(),
+        })
+        .unwrap();
+    router
+        .apply(&Command::Enroll {
+            name: buyer.clone(),
+            role: "buyer".into(),
+        })
+        .unwrap();
+    // No deposit: the bid clears at the posted price, settlement fails.
+    router
+        .apply(&Command::SubmitAsk(AskSpec {
+            seller,
+            table: TableSpec {
+                name: "t".into(),
+                columns: vec![("k".into(), ColType::Int), ("v".into(), ColType::Str)],
+                rows: vec![vec![CellSpec::Int(1), CellSpec::Str("x".into())]],
+            },
+            reserve: None,
+            license: None,
+        }))
+        .unwrap();
+    router
+        .apply(&Command::SubmitOffer(OfferSpec::simple(
+            buyer,
+            ["k", "v"],
+            30.0,
+        )))
+        .unwrap();
+    let out = router.apply(&Command::RunRound { rounds: 1 }).unwrap();
+    let reports = match out {
+        Outcome::RoundsRun(r) => r,
+        other => panic!("unexpected outcome {other:?}"),
+    };
+    assert_eq!(reports[0].sales, 0, "unfunded sale must not settle");
+    assert_eq!(
+        reports[0].cross_shard, 0,
+        "an unsettled sale must not be reported as a cross-shard trade"
+    );
+}
+
+/// Node-level: the two-phase round is deterministic under journal
+/// replay, and a 4-shard node's durable state matches the 1-shard
+/// node's for the same command stream.
+#[test]
+fn node_recovery_preserves_cross_shard_equivalence() {
+    let tmp = |name: &str| {
+        let dir = std::env::temp_dir().join(format!("dmp-sheq-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+    let cmds = command_stream(4, 77);
+
+    let apply_all = |node: &ServiceNode| {
+        for cmd in &cmds {
+            let _ = node.apply(cmd.clone());
+        }
+    };
+
+    let cfg4 = ServiceConfig::new(tmp("four"), market_config(77))
+        .with_shards(4)
+        .with_snapshot_every(8);
+    let digest4 = {
+        let node = ServiceNode::open(cfg4.clone()).unwrap();
+        apply_all(&node);
+        node.state_digest()
+    };
+    // Reopen: snapshot + journal-tail replay must reproduce the state.
+    let node4 = ServiceNode::open(cfg4).unwrap();
+    assert_eq!(node4.state_digest(), digest4, "4-shard recovery diverged");
+
+    let cfg1 = ServiceConfig::new(tmp("one"), market_config(77)).with_shards(1);
+    let node1 = ServiceNode::open(cfg1).unwrap();
+    apply_all(&node1);
+
+    assert_eq!(
+        node1.router().all_balances(),
+        node4.router().all_balances(),
+        "1-shard vs recovered 4-shard balances diverged"
+    );
+}
