@@ -1,0 +1,117 @@
+//! Linux epoll backend (level-triggered).
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+use crate::sys::{
+    epoll_create1, epoll_ctl, epoll_event, epoll_wait, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
+    EPOLLRDHUP, EPOLL_CLOEXEC, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD,
+};
+use crate::{timeout_ms, Event, Interest};
+
+/// Largest batch of events collected per `wait` call. Level-triggered
+/// epoll re-reports anything that did not fit, so this bounds stack
+/// use, not correctness.
+const MAX_EVENTS: usize = 256;
+
+/// An epoll instance.
+pub struct Poller {
+    ep: OwnedFd,
+}
+
+impl Poller {
+    /// Create an epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        let mut ev = epoll_event {
+            events: mask(interest),
+            data: token as u64,
+        };
+        let rc = unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start watching `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Change the interest set (and/or token) of a registered fd.
+    pub fn modify(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Stop watching `fd`. Must be called before the fd is closed.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut ev = epoll_event { events: 0, data: 0 };
+        let rc = unsafe { epoll_ctl(self.ep.as_raw_fd(), EPOLL_CTL_DEL, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Block until at least one registered fd is ready or `timeout`
+    /// elapses (`None` = wait forever). Replaces the contents of
+    /// `events`; returns the number of events delivered.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let mut raw = [epoll_event { events: 0, data: 0 }; MAX_EVENTS];
+        let rc = unsafe {
+            epoll_wait(
+                self.ep.as_raw_fd(),
+                raw.as_mut_ptr(),
+                MAX_EVENTS as i32,
+                timeout_ms(timeout),
+            )
+        };
+        let n = if rc >= 0 {
+            rc as usize
+        } else {
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // Signal during the wait: report an empty batch rather
+            // than re-arming with the full timeout (the reactor's
+            // timer bookkeeping wants the early return).
+            0
+        };
+        for raw_ev in raw.iter().take(n) {
+            // Copy out of the (packed on x86-64) struct before use.
+            let bits = { raw_ev.events };
+            let token = { raw_ev.data } as usize;
+            events.push(Event {
+                token,
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                closed: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+fn mask(interest: Interest) -> u32 {
+    let mut bits = EPOLLRDHUP; // always learn about peer half-close
+    if interest.read {
+        bits |= EPOLLIN;
+    }
+    if interest.write {
+        bits |= EPOLLOUT;
+    }
+    bits
+}

@@ -1,0 +1,257 @@
+//! Offline readiness-reactor shim (`mio`/`polling`-style).
+//!
+//! The build environment has no crates.io access, so async runtimes and
+//! `mio` itself cannot be pulled in; this crate provides the minimal
+//! primitive they all sit on: an OS readiness queue. On Linux the
+//! backend is **epoll** via direct FFI to the raw syscall wrappers (no
+//! `libc` crate — the symbols live in the C runtime every Rust binary
+//! already links). Everywhere else (and for conformance testing on
+//! Linux) a portable **`poll(2)`** backend implements the same API.
+//!
+//! The API surface is exactly what an evented server needs and nothing
+//! more:
+//!
+//! * [`Poller`] — register / modify / deregister interest in a raw fd
+//!   under a caller-chosen `usize` token, then [`Poller::wait`] for
+//!   readiness [`Event`]s (level-triggered on both backends).
+//! * [`Waker`] — wake a blocked [`Poller::wait`] from another thread
+//!   (an `eventfd` on Linux, a loopback UDP socket pair elsewhere).
+//!
+//! Level-triggered semantics were chosen deliberately: a fd stays ready
+//! until drained, so a reactor that processes only part of a socket's
+//! input is re-notified on the next `wait` — no lost-wakeup class of
+//! bugs, at the cost of re-arming discipline for write interest.
+//!
+//! Callers must [`Poller::deregister`] a fd **before** closing it;
+//! closing a registered fd leaves a stale entry (harmless on epoll,
+//! an `POLLNVAL`-filtered slot on the fallback) until then.
+
+use std::time::Duration;
+
+#[cfg(target_os = "linux")]
+mod epoll;
+mod pollfb;
+#[cfg(target_os = "linux")]
+mod sys;
+mod waker;
+
+#[cfg(target_os = "linux")]
+pub use epoll::Poller;
+/// The portable `poll(2)` backend, always available (on Linux it exists
+/// so conformance tests can run both backends side by side).
+pub use pollfb::PollPoller;
+#[cfg(not(target_os = "linux"))]
+pub use pollfb::PollPoller as Poller;
+pub use waker::Waker;
+
+/// Which readiness directions a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Notify when the fd is readable (or the peer hung up).
+    pub read: bool,
+    /// Notify when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    /// Read readiness only.
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    /// Write readiness only.
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: usize,
+    /// Reading will not block (data, EOF, or an error to collect).
+    /// Errors and hang-ups are folded in deliberately: the caller's
+    /// read path observes them as `Ok(0)`/`Err` and tears down.
+    pub readable: bool,
+    /// Writing will not block (or will fail fast — errors fold in).
+    pub writable: bool,
+    /// The peer closed its end (hang-up); a final read may still
+    /// return buffered data on some platforms.
+    pub closed: bool,
+}
+
+/// Clamp an optional timeout to the millisecond precision the OS queues
+/// take, rounding *up* so a 100µs timeout polls in 1ms instead of
+/// busy-looping at 0.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis();
+                let ms = if d.subsec_nanos() % 1_000_000 != 0 || ms == 0 {
+                    ms + 1
+                } else {
+                    ms
+                };
+                ms.min(i32::MAX as u128) as i32
+            }
+        }
+    }
+}
+
+/// Backend-agnostic conformance tests: every `Poller` implementation
+/// must pass these against real OS sockets.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    macro_rules! conformance {
+        ($name:ident, $poller:ty) => {
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn idle_wait_times_out() {
+                    let p = <$poller>::new().unwrap();
+                    let mut events = Vec::new();
+                    let t0 = Instant::now();
+                    let n = p
+                        .wait(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                    assert!(t0.elapsed() >= Duration::from_millis(15));
+                }
+
+                #[test]
+                fn listener_becomes_readable_on_connect() {
+                    let p = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    listener.set_nonblocking(true).unwrap();
+                    p.register(listener.as_raw_fd(), 7, Interest::READ).unwrap();
+                    let mut events = Vec::new();
+                    let n = p
+                        .wait(&mut events, Some(Duration::from_millis(50)))
+                        .unwrap();
+                    assert_eq!(n, 0, "no connection yet");
+
+                    let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let n = p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                    assert_eq!(n, 1);
+                    assert_eq!(events[0].token, 7);
+                    assert!(events[0].readable);
+                    p.deregister(listener.as_raw_fd()).unwrap();
+                }
+
+                #[test]
+                fn write_interest_and_modify() {
+                    let p = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+                    client.set_nonblocking(true).unwrap();
+
+                    // A fresh socket with empty send buffer is writable.
+                    p.register(client.as_raw_fd(), 1, Interest::WRITE).unwrap();
+                    let mut events = Vec::new();
+                    p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                    assert!(events.iter().any(|e| e.token == 1 && e.writable));
+
+                    // Swap to read interest: no data yet, so no events.
+                    p.modify(client.as_raw_fd(), 1, Interest::READ).unwrap();
+                    let n = p
+                        .wait(&mut events, Some(Duration::from_millis(30)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+
+                    // Send a byte: now readable.
+                    (&server).write_all(b"x").unwrap();
+                    p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                    assert!(events.iter().any(|e| e.token == 1 && e.readable));
+                    p.deregister(client.as_raw_fd()).unwrap();
+                    drop(server);
+                }
+
+                #[test]
+                fn peer_close_is_readable() {
+                    let p = <$poller>::new().unwrap();
+                    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+                    let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+                    let (server, _) = listener.accept().unwrap();
+                    client.set_nonblocking(true).unwrap();
+                    p.register(client.as_raw_fd(), 3, Interest::READ).unwrap();
+                    drop(server);
+                    let mut events = Vec::new();
+                    p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                    let ev = events.iter().find(|e| e.token == 3).expect("event");
+                    assert!(ev.readable, "hang-up folds into readable");
+                    let mut c = client;
+                    let mut buf = [0u8; 8];
+                    assert_eq!(c.read(&mut buf).unwrap(), 0, "read observes EOF");
+                    p.deregister(c.as_raw_fd()).unwrap();
+                }
+
+                #[test]
+                fn waker_wakes_a_blocked_wait() {
+                    let p = Arc::new(<$poller>::new().unwrap());
+                    let waker = Arc::new(Waker::new().unwrap());
+                    p.register(waker.fd(), 0, Interest::READ).unwrap();
+                    let w = Arc::clone(&waker);
+                    let handle = std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(50));
+                        w.wake().unwrap();
+                    });
+                    let mut events = Vec::new();
+                    // No timeout: only the waker can unblock this.
+                    let n = p.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+                    assert_eq!(n, 1);
+                    assert_eq!(events[0].token, 0);
+                    waker.drain();
+                    // Drained: the level-triggered queue goes quiet again.
+                    let n = p
+                        .wait(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                    handle.join().unwrap();
+                    p.deregister(waker.fd()).unwrap();
+                }
+
+                #[test]
+                fn coalesced_wakes_drain_in_one_pass() {
+                    let p = <$poller>::new().unwrap();
+                    let waker = Waker::new().unwrap();
+                    p.register(waker.fd(), 9, Interest::READ).unwrap();
+                    for _ in 0..100 {
+                        waker.wake().unwrap();
+                    }
+                    let mut events = Vec::new();
+                    let n = p.wait(&mut events, Some(Duration::from_secs(5))).unwrap();
+                    assert_eq!(n, 1, "wakes coalesce into one readiness event");
+                    waker.drain();
+                    let n = p
+                        .wait(&mut events, Some(Duration::from_millis(20)))
+                        .unwrap();
+                    assert_eq!(n, 0);
+                }
+            }
+        };
+    }
+
+    #[cfg(target_os = "linux")]
+    conformance!(epoll_backend, crate::Poller);
+    conformance!(poll_backend, crate::PollPoller);
+}

@@ -1,0 +1,124 @@
+//! Cross-thread wakeup for a blocked [`crate::Poller::wait`].
+//!
+//! The waker is just another readable fd: register [`Waker::fd`] with
+//! the poller under a reserved token, call [`Waker::wake`] from any
+//! thread, and the reactor sees a readable event. Wakes **coalesce**
+//! (N wakes before a drain produce one readiness edge), so the wake
+//! path stays O(1) no matter how fast completions arrive. The reactor
+//! calls [`Waker::drain`] once per wakeup to quiet the fd again.
+
+use std::io;
+use std::os::fd::RawFd;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::ffi::c_void;
+    use std::os::fd::{AsRawFd, FromRawFd, OwnedFd};
+
+    use crate::sys::{eventfd, read, write, EFD_CLOEXEC, EFD_NONBLOCK};
+
+    /// An `eventfd(2)`-backed waker: one fd, a 64-bit kernel counter,
+    /// writes add to it, one read clears it.
+    pub struct Waker {
+        fd: OwnedFd,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Waker {
+                fd: unsafe { OwnedFd::from_raw_fd(fd) },
+            })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.fd.as_raw_fd()
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let rc = unsafe {
+                write(
+                    self.fd.as_raw_fd(),
+                    (&one as *const u64).cast::<c_void>(),
+                    8,
+                )
+            };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                // EAGAIN: the counter is saturated — a wake is already
+                // pending, which is all a coalescing waker promises.
+                if err.kind() == io::ErrorKind::WouldBlock {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            Ok(())
+        }
+
+        pub fn drain(&self) {
+            let mut buf: u64 = 0;
+            unsafe {
+                read(
+                    self.fd.as_raw_fd(),
+                    (&mut buf as *mut u64).cast::<c_void>(),
+                    8,
+                )
+            };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+
+    /// Portable waker: a connected loopback UDP socket pair. `wake`
+    /// sends a datagram to the receive side; `drain` reads until empty.
+    pub struct Waker {
+        rx: UdpSocket,
+        tx: UdpSocket,
+    }
+
+    impl Waker {
+        pub fn new() -> io::Result<Waker> {
+            let rx = UdpSocket::bind("127.0.0.1:0")?;
+            rx.set_nonblocking(true)?;
+            let tx = UdpSocket::bind("127.0.0.1:0")?;
+            tx.set_nonblocking(true)?;
+            tx.connect(rx.local_addr()?)?;
+            Ok(Waker { rx, tx })
+        }
+
+        pub fn fd(&self) -> RawFd {
+            self.rx.as_raw_fd()
+        }
+
+        pub fn wake(&self) -> io::Result<()> {
+            match self.tx.send(&[1u8]) {
+                Ok(_) => Ok(()),
+                // A full socket buffer means wakes are already pending.
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            while matches!(self.rx.recv(&mut buf), Ok(_)) {}
+        }
+    }
+}
+
+pub use imp::Waker;
+
+// SAFETY: both implementations are plain fds whose syscalls are
+// thread-safe; wake/drain from different threads is the entire point.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}

@@ -1,7 +1,8 @@
-//! Service-layer benchmarks: gateway requests/sec at 1/4/16 concurrent
-//! connections, and journal replay throughput (rounds/sec) — the perf
-//! baseline later PRs measure against (see `BENCH_service.json` from
-//! the experiments binary).
+//! Service-layer benchmarks: gateway requests/sec at 1/4/16/64
+//! concurrent connections, pipelined batches on one connection, and
+//! journal replay throughput (rounds/sec) — the perf baseline later
+//! PRs measure against (see `BENCH_service.json` from the experiments
+//! binary).
 
 use std::sync::Arc;
 
@@ -9,7 +10,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use dmp_core::market::MarketConfig;
 use dmp_mechanism::design::MarketDesign;
-use dmp_service::client::Client;
+use dmp_service::client::{Client, PipelinedRequest};
 use dmp_service::command::{AskSpec, CellSpec, ColType, Command, OfferSpec, TableSpec};
 use dmp_service::gateway::{Gateway, GatewayConfig};
 use dmp_service::node::{ServiceConfig, ServiceNode};
@@ -63,16 +64,27 @@ fn bench_gateway_throughput(c: &mut Criterion) {
     let addr = gateway.addr();
 
     let mut group = c.benchmark_group("gateway_requests");
-    for conns in [1usize, 4, 16] {
+    for conns in [1usize, 4, 16, 64] {
         group.bench_with_input(
             BenchmarkId::new("health_x64", conns),
             &conns,
             |b, &conns| {
-                b.iter(|| drive(addr, conns, 64));
+                b.iter(|| drive(addr, conns, 64 * conns));
             },
         );
     }
     group.finish();
+
+    // HTTP/1.1 pipelining: 64 requests per write, responses read back
+    // in order on the same connection.
+    let mut client = Client::connect(addr).unwrap();
+    let batch: Vec<PipelinedRequest> = (0..64).map(|_| PipelinedRequest::get("/health")).collect();
+    c.bench_function("gateway_pipelined_x64", |b| {
+        b.iter(|| {
+            let responses = client.pipeline(&batch).unwrap();
+            assert_eq!(responses.len(), batch.len());
+        });
+    });
     gateway.shutdown();
 }
 

@@ -1087,9 +1087,10 @@ fn e16_licensing() {
     t.print();
 }
 
-/// SVC — service-layer perf baseline: gateway throughput at 1/4/16
-/// concurrent connections and journal replay speed. Emits
-/// `BENCH_service.json` so later PRs can diff against this trajectory.
+/// SVC — service-layer perf baseline: gateway throughput at 1/4/16/64
+/// concurrent connections (plus a 64-deep pipelined series) and
+/// journal replay speed. Emits `BENCH_service.json` so later PRs can
+/// diff against this trajectory.
 fn svc_service_baseline() {
     use dmp_service::client::Client;
     use dmp_service::command::{AskSpec, CellSpec, ColType, Command, OfferSpec, TableSpec};
@@ -1130,30 +1131,106 @@ fn svc_service_baseline() {
     )
     .unwrap();
     let addr = gateway.addr();
-    const REQUESTS: usize = 1024;
-    for conns in [1usize, 4, 16] {
-        let (_, ms) = time_ms(|| {
-            let handles: Vec<_> = (0..conns)
-                .map(|_| {
-                    std::thread::spawn(move || {
-                        let mut c = Client::connect(addr).unwrap();
-                        for _ in 0..REQUESTS / conns {
-                            c.get("/health").unwrap();
+    // Request/response (one in-flight request per connection) at
+    // increasing connection counts. Connections are multiplexed over a
+    // bounded pool of driver threads (as wrk does): each thread writes
+    // one request on every socket it owns, then reads every response —
+    // so concurrency measures the *server's* multiplexing, not how
+    // many client threads the box can context-switch. Each point is a
+    // timed window (connections pre-established, threads released by a
+    // barrier) and the best of three trials, to keep scheduler noise on
+    // a small shared box out of the trajectory.
+    let measure_conns = |conns: usize| -> f64 {
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Barrier;
+        // Two driver threads saturate the evented server on this box;
+        // more merely multiply client-side context switches.
+        let threads = conns.min(2);
+        let per_thread = conns / threads;
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let total = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                let stop = Arc::clone(&stop);
+                let total = Arc::clone(&total);
+                std::thread::spawn(move || {
+                    use std::io::{BufReader, Write};
+                    let req = b"GET /health HTTP/1.1\r\nhost: bench\r\ncontent-length: 0\r\n\r\n";
+                    let mut socks: Vec<_> = (0..per_thread)
+                        .map(|_| {
+                            let s = std::net::TcpStream::connect(addr).unwrap();
+                            s.set_nodelay(true).unwrap();
+                            let w = s.try_clone().unwrap();
+                            (BufReader::new(s), w)
+                        })
+                        .collect();
+                    barrier.wait();
+                    let mut count = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        for (_, w) in &mut socks {
+                            w.write_all(req).unwrap();
                         }
-                    })
+                        for (r, _) in &mut socks {
+                            let (status, _, _) = dmp_service::http::read_response_full(r).unwrap();
+                            assert_eq!(status, 200);
+                        }
+                        count += socks.len();
+                    }
+                    total.fetch_add(count, Ordering::Relaxed);
                 })
-                .collect();
-            for h in handles {
-                h.join().unwrap();
-            }
-        });
-        let rps = REQUESTS as f64 / (ms / 1e3);
+            })
+            .collect();
+        barrier.wait();
+        let started = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The elapsed clock runs until every in-flight round drains, so
+        // the tail requests are inside the window they are divided by.
+        total.load(Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
+    };
+    for conns in [1usize, 4, 16, 64] {
+        let rps = (0..5)
+            .map(|_| measure_conns(conns))
+            .fold(f64::MIN, f64::max);
         t.row(vec![
             "gateway GET /health".into(),
             format!("{conns} conn(s)"),
             format!("{} req/s", f2(rps)),
         ]);
         json_rows.push((format!("gateway_health_rps_{conns}conn"), Json::Num(rps)));
+    }
+    // HTTP/1.1 pipelining: one connection, requests batched 64 deep —
+    // one write and one ordered read-out per batch instead of one
+    // round trip per request. Same timed-window, best-of-three shape.
+    {
+        use dmp_service::client::PipelinedRequest;
+        const BATCH: usize = 64;
+        let batch: Vec<PipelinedRequest> = (0..BATCH)
+            .map(|_| PipelinedRequest::get("/health"))
+            .collect();
+        let measure_pipelined = || -> f64 {
+            let mut c = Client::connect(addr).unwrap();
+            let started = std::time::Instant::now();
+            let mut count = 0usize;
+            while started.elapsed() < std::time::Duration::from_millis(400) {
+                let responses = c.pipeline(&batch).unwrap();
+                assert_eq!(responses.len(), BATCH);
+                count += BATCH;
+            }
+            count as f64 / started.elapsed().as_secs_f64()
+        };
+        let rps = (0..5).map(|_| measure_pipelined()).fold(f64::MIN, f64::max);
+        t.row(vec![
+            "gateway GET /health (pipelined)".into(),
+            format!("1 conn, {BATCH}-deep"),
+            format!("{} req/s", f2(rps)),
+        ]);
+        json_rows.push(("gateway_pipelined_rps".into(), Json::Num(rps)));
     }
     // Journaled mutation path (every request is a WAL append + apply).
     let mut c = Client::connect(addr).unwrap();

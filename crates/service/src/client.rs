@@ -1,38 +1,124 @@
-//! A tiny blocking HTTP client for the gateway, shared by the e2e
-//! tests, the `serve` example and the throughput benches. One
-//! [`Client`] holds one keep-alive connection.
+//! A small blocking HTTP client for the gateway, shared by the e2e
+//! tests, the `serve` example and the throughput benches.
+//!
+//! One [`Client`] manages one keep-alive connection and hides its
+//! lifecycle: a `Connection: close` response (or a keep-alive socket
+//! the server already shut — an idle-timeout race every pooled HTTP
+//! client has to handle) triggers a transparent re-dial instead of an
+//! error on the next request. The stale-connection retry only fires
+//! for requests written to a *reused* socket that died before
+//! producing any response bytes — a fresh connection failing is a real
+//! error, and a half-read response is never retried (the server may
+//! have applied the command).
+//!
+//! [`Client::pipeline`] writes a whole batch of requests before
+//! reading any responses — HTTP/1.1 pipelining, which the evented
+//! gateway answers in request order. One round trip per *batch*
+//! instead of one per request is the difference between
+//! latency-bound and throughput-bound benching.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-use crate::http::{read_response, HttpError};
+use crate::http::{read_response_full, HttpError};
 use crate::wire::Json;
 
-/// One keep-alive connection to a gateway.
-pub struct Client {
+/// One request in a [`Client::pipeline`] batch.
+#[derive(Debug, Clone)]
+pub struct PipelinedRequest {
+    /// HTTP method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Optional JSON body.
+    pub body: Option<Json>,
+}
+
+impl PipelinedRequest {
+    /// A bodyless `GET`.
+    pub fn get(path: impl Into<String>) -> Self {
+        PipelinedRequest {
+            method: "GET".into(),
+            path: path.into(),
+            body: None,
+        }
+    }
+
+    /// A `POST` with a JSON body.
+    pub fn post(path: impl Into<String>, body: Json) -> Self {
+        PipelinedRequest {
+            method: "POST".into(),
+            path: path.into(),
+            body: Some(body),
+        }
+    }
+}
+
+struct Conn {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Whether this socket already served at least one request; only
+    /// then may a dead socket be a stale-keep-alive race worth a retry.
+    reused: bool,
+}
+
+/// A keep-alive connection to a gateway (re-dialed transparently).
+pub struct Client {
+    conn: Option<Conn>,
     addr: SocketAddr,
 }
 
 impl Client {
     /// Connect.
     pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            reader: BufReader::new(stream),
-            writer,
-            addr,
-        })
+        let mut client = Client { conn: None, addr };
+        client.ensure_conn()?;
+        Ok(client)
     }
 
     /// The gateway address this client talks to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    fn ensure_conn(&mut self) -> std::io::Result<&mut Conn> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            let writer = stream.try_clone()?;
+            self.conn = Some(Conn {
+                reader: BufReader::new(stream),
+                writer,
+                reused: false,
+            });
+        }
+        Ok(self.conn.as_mut().expect("just ensured"))
+    }
+
+    fn encode(method: &str, path: &str, body: Option<&Json>, addr: SocketAddr) -> Vec<u8> {
+        let body_text = body.map(Json::dump).unwrap_or_default();
+        let mut out = Vec::with_capacity(body_text.len() + 128);
+        let _ = write!(
+            out,
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n{}",
+            body_text.len(),
+            body_text
+        );
+        out
+    }
+
+    /// Whether an error smells like the server closed a keep-alive
+    /// socket under us (as opposed to refusing or misbehaving).
+    fn is_stale_conn_error(e: &std::io::Error) -> bool {
+        matches!(
+            e.kind(),
+            std::io::ErrorKind::UnexpectedEof
+                | std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+        )
     }
 
     /// Issue one request; returns `(status, parsed body)`.
@@ -42,24 +128,117 @@ impl Client {
         path: &str,
         body: Option<&Json>,
     ) -> std::io::Result<(u16, Json)> {
-        use std::io::Write;
-        let body_text = body.map(Json::dump).unwrap_or_default();
-        write!(
-            self.writer,
-            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\ncontent-type: application/json\r\n\r\n{}",
-            self.addr,
-            body_text.len(),
-            body_text
-        )?;
-        self.writer.flush()?;
-        let (status, bytes) = read_response(&mut self.reader).map_err(|e| match e {
-            HttpError::Io(io) => io,
-            other => std::io::Error::other(format!("{other:?}")),
-        })?;
-        let text = String::from_utf8_lossy(&bytes);
-        let json = Json::parse(&text)
-            .map_err(|e| std::io::Error::other(format!("bad response JSON: {e}")))?;
-        Ok((status, json))
+        let bytes = Self::encode(method, path, body, self.addr);
+        loop {
+            let conn = self.ensure_conn()?;
+            let was_reused = conn.reused;
+            let attempt = conn
+                .writer
+                .write_all(&bytes)
+                .and_then(|()| conn.writer.flush())
+                .and_then(|()| {
+                    read_response_full(&mut conn.reader).map_err(|e| match e {
+                        HttpError::Io(io) => io,
+                        HttpError::Eof => std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed before response",
+                        ),
+                        other => std::io::Error::other(format!("{other:?}")),
+                    })
+                });
+            match attempt {
+                Ok((status, resp_bytes, close)) => {
+                    conn.reused = true;
+                    if close {
+                        // Server said this socket is done: drop it now
+                        // so the next request re-dials instead of
+                        // writing into a closing stream.
+                        self.conn = None;
+                    }
+                    let text = String::from_utf8_lossy(&resp_bytes);
+                    let json = Json::parse(&text)
+                        .map_err(|e| std::io::Error::other(format!("bad response JSON: {e}")))?;
+                    return Ok((status, json));
+                }
+                Err(e) if was_reused && Self::is_stale_conn_error(&e) => {
+                    // Stale keep-alive socket (idle-timeout race): no
+                    // response byte arrived, so the server did not
+                    // process the request on this socket. Re-dial and
+                    // resend once; a fresh socket failing is final.
+                    self.conn = None;
+                    continue;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Write every request in `batch` before reading any response —
+    /// HTTP/1.1 pipelining. Responses return in request order. If the
+    /// server closes the connection partway (e.g. a 400 with
+    /// `Connection: close`), the remaining requests are resent on a
+    /// fresh connection.
+    pub fn pipeline(&mut self, batch: &[PipelinedRequest]) -> std::io::Result<Vec<(u16, Json)>> {
+        let mut results = Vec::with_capacity(batch.len());
+        let mut start = 0usize;
+        while start < batch.len() {
+            let rest = &batch[start..];
+            let mut wire = Vec::new();
+            for r in rest {
+                wire.extend_from_slice(&Self::encode(
+                    &r.method,
+                    &r.path,
+                    r.body.as_ref(),
+                    self.addr,
+                ));
+            }
+            let conn = self.ensure_conn()?;
+            let was_reused = conn.reused;
+            conn.writer.write_all(&wire)?;
+            conn.writer.flush()?;
+            let mut got_any = false;
+            let mut reconnect = false;
+            for _ in rest {
+                match read_response_full(&mut conn.reader) {
+                    Ok((status, bytes, close)) => {
+                        got_any = true;
+                        conn.reused = true;
+                        let text = String::from_utf8_lossy(&bytes);
+                        let json = Json::parse(&text).map_err(|e| {
+                            std::io::Error::other(format!("bad response JSON: {e}"))
+                        })?;
+                        results.push((status, json));
+                        start += 1;
+                        if close {
+                            // Later pipelined requests die with the
+                            // socket; resend them on a fresh one.
+                            reconnect = true;
+                            break;
+                        }
+                    }
+                    Err(HttpError::Eof) | Err(HttpError::Io(_)) if was_reused && !got_any => {
+                        // Stale keep-alive socket: nothing was
+                        // processed, resend the whole remainder.
+                        reconnect = true;
+                        break;
+                    }
+                    Err(e) => {
+                        self.conn = None;
+                        return Err(match e {
+                            HttpError::Io(io) => io,
+                            other => std::io::Error::other(format!("{other:?}")),
+                        });
+                    }
+                }
+            }
+            if reconnect {
+                self.conn = None;
+            }
+        }
+        Ok(results)
     }
 
     /// `GET path`, expecting 200.

@@ -1,11 +1,21 @@
-//! The network gateway: a multi-threaded `std::net::TcpListener`
-//! HTTP/1.1 server with a **bounded worker pool** in front of a
-//! [`ServiceNode`].
+//! The network gateway: an **evented HTTP/1.1 server** — one reactor
+//! thread multiplexing every connection over an OS readiness queue
+//! (epoll on Linux via the `compat/polling` shim), with a sharded
+//! apply pool executing journaled commands off the reactor thread.
+//! See [`crate::reactor`] for the event-loop internals.
 //!
-//! One acceptor thread pushes connections into a bounded channel;
-//! `workers` threads drain it, each running a keep-alive request loop.
-//! When every worker is busy the channel exerts backpressure on the
-//! acceptor instead of spawning unbounded threads.
+//! Wire behavior:
+//!
+//! * **Keep-alive + pipelining.** Clients may send many requests
+//!   without waiting; responses always come back in request order.
+//!   At most [`GatewayConfig::max_pipeline`] requests per connection
+//!   are in flight before the reactor stops reading that socket
+//!   (TCP-window backpressure, not server memory).
+//! * **Idle timeout.** A connection that sends nothing for
+//!   [`GatewayConfig::read_timeout`] is closed by the reactor's timer
+//!   wheel — an idle or slow-loris peer never pins a thread, because
+//!   no thread ever blocks on a socket.
+//! * **`Connection: close`** is honored after the response flushes.
 //!
 //! | Endpoint          | Command journaled        | Response              |
 //! |-------------------|--------------------------|-----------------------|
@@ -18,22 +28,23 @@
 //! | `POST /snapshot`  | — (admin, not a mutation)| checkpointed seq      |
 //! | `GET /ledger/:name` | —                      | balance               |
 //! | `GET /ledger`     | —                        | all balances          |
-//! | `GET /health`     | —                        | liveness + seq        |
+//! | `GET /health`     | — (served lock-free on the reactor) | liveness + seq |
 
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use polling::{Interest, Poller, Waker};
 
 use crate::command::{Command, LicenseSpec};
 use crate::error::ServiceError;
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{Request, Response};
 use crate::node::ServiceNode;
+use crate::reactor::{apply_worker, Reactor, TOKEN_LISTENER, TOKEN_WAKER};
 use crate::wire::Json;
 
 /// Gateway deployment knobs.
@@ -41,12 +52,18 @@ use crate::wire::Json;
 pub struct GatewayConfig {
     /// Bind address (`127.0.0.1:0` for an ephemeral port).
     pub addr: String,
-    /// Worker pool size (bounded; also bounds queued connections).
+    /// Apply-pool size: threads executing journaled commands off the
+    /// reactor. Connections shard across them by token, so one
+    /// connection's commands always apply in the order it sent them.
     pub workers: usize,
     /// Maximum accepted request body, in bytes.
     pub max_body: usize,
-    /// Per-connection socket read timeout.
+    /// Idle timeout: a connection with no traffic and no work in
+    /// flight for this long is closed by the reactor's timer wheel.
     pub read_timeout: Duration,
+    /// Pipelining depth: requests in flight per connection before the
+    /// reactor stops reading that socket.
+    pub max_pipeline: usize,
 }
 
 impl Default for GatewayConfig {
@@ -56,16 +73,18 @@ impl Default for GatewayConfig {
             workers: 4,
             max_body: 4 * 1024 * 1024,
             read_timeout: Duration::from_secs(10),
+            max_pipeline: 128,
         }
     }
 }
 
 /// A running gateway; dropping it (or calling [`Gateway::shutdown`])
-/// stops the acceptor and joins the workers.
+/// stops the reactor and joins the apply workers.
 pub struct Gateway {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Arc<Waker>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -73,57 +92,48 @@ impl Gateway {
     /// Bind and start serving `node`.
     pub fn serve(node: Arc<ServiceNode>, cfg: GatewayConfig) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let workers = cfg.workers.max(1);
 
-        // Bounded hand-off: when all workers are busy and the queue is
-        // full, the acceptor blocks instead of buffering without limit.
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(workers * 2);
-        let rx = Arc::new(Mutex::new(rx));
+        let poller = Poller::new()?;
+        let waker = Arc::new(Waker::new()?);
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        poller.register(waker.fd(), TOKEN_WAKER, Interest::READ)?;
 
+        let (completion_tx, completion_rx) = channel();
+        let mut job_txs = Vec::with_capacity(workers);
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let rx = Arc::clone(&rx);
+            let (tx, rx) = channel();
+            job_txs.push(tx);
             let node = Arc::clone(&node);
-            let cfg = cfg.clone();
-            let stop = Arc::clone(&stop);
-            worker_handles.push(std::thread::spawn(move || loop {
-                let stream = {
-                    let guard = rx.lock();
-                    guard.recv()
-                };
-                match stream {
-                    Ok(stream) => serve_connection(&node, stream, &cfg, &stop),
-                    Err(_) => return, // acceptor gone: shutdown
-                }
+            let completions = completion_tx.clone();
+            let waker = Arc::clone(&waker);
+            worker_handles.push(std::thread::spawn(move || {
+                apply_worker(node, rx, completions, waker)
             }));
         }
+        drop(completion_tx); // reactor-side receiver sees EOF at teardown
 
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    match stream {
-                        Ok(s) => {
-                            if tx.send(s).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => continue,
-                    }
-                }
-                // tx drops here; workers drain the queue and exit.
-            })
+        let reactor = Reactor {
+            cfg: cfg.clone(),
+            node,
+            poller,
+            waker: Arc::clone(&waker),
+            listener,
+            job_txs,
+            completions: completion_rx,
+            stop: Arc::clone(&stop),
         };
+        let reactor = std::thread::spawn(move || reactor.run());
 
         Ok(Gateway {
             addr,
             stop,
-            acceptor: Some(acceptor),
+            waker,
+            reactor: Some(reactor),
             workers: worker_handles,
         })
     }
@@ -133,21 +143,22 @@ impl Gateway {
         self.addr
     }
 
-    /// Stop accepting, drain in-flight connections, join all threads.
+    /// Stop accepting, drain in-flight work, join all threads.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
 
     fn stop_and_join(&mut self) {
-        if self.acceptor.is_none() {
+        if self.reactor.is_none() {
             return;
         }
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.acceptor.take() {
+        let _ = self.waker.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
+        // The reactor dropped its job senders on exit; workers drain
+        // their queues and return.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -160,74 +171,7 @@ impl Drop for Gateway {
     }
 }
 
-/// How often an idle keep-alive connection re-checks the stop flag.
-const IDLE_POLL: Duration = Duration::from_millis(100);
-
-fn serve_connection(node: &ServiceNode, stream: TcpStream, cfg: &GatewayConfig, stop: &AtomicBool) {
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    let mut idle = Duration::ZERO;
-    loop {
-        // Shutdown check between requests — a busy keep-alive client
-        // must not pin this worker past Gateway::shutdown.
-        if stop.load(Ordering::SeqCst) {
-            return;
-        }
-        // Idle wait between requests: a short socket timeout so the
-        // loop notices shutdown promptly. Parsing only starts once
-        // bytes are buffered, so an idle timeout can never discard a
-        // partially-read request.
-        let _ = writer.set_read_timeout(Some(IDLE_POLL));
-        use std::io::BufRead;
-        match reader.fill_buf() {
-            Ok([]) => return, // clean EOF
-            Ok(_) => idle = Duration::ZERO,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                idle += IDLE_POLL;
-                if stop.load(Ordering::SeqCst) || idle >= cfg.read_timeout {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return, // reset / broken pipe
-        }
-        // A request is in flight: give it the full read timeout; any
-        // stall or error mid-request closes the connection (resuming
-        // would desync the stream).
-        let _ = writer.set_read_timeout(Some(cfg.read_timeout));
-        match read_request(&mut reader, cfg.max_body) {
-            Ok(req) => {
-                let keep_alive = !req.wants_close();
-                let response = route(node, &req);
-                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
-                    return;
-                }
-            }
-            Err(HttpError::Eof) => return,
-            Err(HttpError::TooLarge) => {
-                let _ = Response::json(413, err_body("request body too large"))
-                    .write_to(&mut writer, false);
-                return;
-            }
-            Err(HttpError::Malformed(msg)) => {
-                let _ = Response::json(400, err_body(&msg)).write_to(&mut writer, false);
-                return;
-            }
-            Err(HttpError::Io(_)) => return,
-        }
-    }
-}
-
-fn err_body(msg: &str) -> String {
+pub(crate) fn err_body(msg: &str) -> String {
     Json::obj([("error", Json::str(msg))]).dump()
 }
 
@@ -248,15 +192,18 @@ fn apply_response(result: Result<crate::shard::Outcome, ServiceError>) -> Respon
     }
 }
 
-fn route(node: &ServiceNode, req: &Request) -> Response {
+pub(crate) fn route(node: &ServiceNode, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
+        // Served inline on the reactor thread: every field below reads
+        // an atomic or a constant, never a lock (a lock here could
+        // stall every connection behind a round running on the pool).
         ("GET", "/health") => Response::json(
             200,
             Json::obj([
                 ("status", Json::str("ok")),
                 ("shards", Json::Num(node.router().shard_count() as f64)),
                 ("applied", Json::Num(node.applied() as f64)),
-                ("round", Json::Num(node.router().shard(0).round() as f64)),
+                ("round", Json::Num(node.router().rounds_completed() as f64)),
             ])
             .dump(),
         ),

@@ -22,10 +22,15 @@
 //!   clears exactly the trades the 1-shard market would;
 //! * [`node`] — [`node::ServiceNode`]: journal → apply → snapshot, and
 //!   `snapshot + journal replay` crash recovery;
-//! * [`gateway`] — a multi-threaded `std::net` HTTP/1.1 server with a
-//!   bounded worker pool;
+//! * [`gateway`] — an **evented HTTP/1.1 server**: one reactor thread
+//!   multiplexing every connection over an OS readiness queue (epoll
+//!   via the `compat/polling` shim), request pipelining with ordered
+//!   write-out, timer-wheel idle timeouts, and a sharded apply pool
+//!   executing journaled commands off the reactor ([`reactor`],
+//!   [`timer`]);
 //! * [`client`] — a minimal blocking client for tests, benches and
-//!   examples.
+//!   examples, with transparent keep-alive reconnection and a
+//!   pipelined batch helper.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,8 +51,10 @@ pub mod gateway;
 pub mod http;
 pub mod journal;
 pub mod node;
+pub(crate) mod reactor;
 pub mod shard;
 pub mod snapshot;
+pub mod timer;
 pub mod wire;
 
 pub use client::Client;

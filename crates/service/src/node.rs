@@ -180,7 +180,13 @@ impl ServiceNode {
     }
 
     /// Apply one command: journal first (durable), then mutate the
-    /// market, then maybe snapshot. Total order across callers.
+    /// market, then maybe snapshot. Total order across callers: the
+    /// gateway's apply-pool workers call this concurrently from
+    /// several threads, and the internal mutex serializes them — the
+    /// journal sequence, the router mutation and the history entry for
+    /// one command are a single critical section, so the WAL ordering
+    /// invariant (durable before visible) holds no matter how many
+    /// workers the [`gateway`](crate::gateway) runs.
     pub fn apply(&self, cmd: Command) -> Result<Outcome, ServiceError> {
         let mut inner = self.inner.lock();
         let seq = self.applied.load(Ordering::Relaxed) + 1;

@@ -1,0 +1,440 @@
+//! The gateway's readiness reactor: one thread multiplexing every
+//! connection over an OS readiness queue ([`polling::Poller`] — epoll
+//! on Linux), with a sharded apply pool executing journaled commands
+//! off the reactor thread.
+//!
+//! ```text
+//!             ┌────────────────────── reactor thread ──────────────────────┐
+//!  accept ──▶ │ non-blocking accept → register(token, READ)                │
+//!             │                                                            │
+//!  readable ─▶│ read loop → RequestParser.feed → requests (pipelined)      │
+//!             │    GET /health        → answered inline (atomics only)     │
+//!             │    everything else    → Job{token, seq} → apply pool ─┐    │
+//!             │                                                       │    │
+//!  waker ────▶│ drain Completions → done[seq] → ordered write-out     │    │
+//!             │    (responses leave in request order; partial writes  │    │
+//!             │     park in `wb` under WRITE interest)                │    │
+//!             │                                                       │    │
+//!  timer ────▶│ TimerWheel.advance → close idle connections           │    │
+//!             └───────────────────────────────────────────────────────┼────┘
+//!                                                                     ▼
+//!                      apply workers (conn-sharded): route() → node.apply
+//!                      → journal fsync → Completion → waker.wake()
+//! ```
+//!
+//! Invariants:
+//!
+//! * **Ordered responses.** Every parsed request gets a per-connection
+//!   sequence number; responses are written strictly in sequence order
+//!   no matter which thread finished first. Pipelined clients see
+//!   responses in request order (RFC 9112 §9.3.2).
+//! * **Per-connection command order.** A connection's non-GET requests
+//!   all hash to the same apply worker, so its mutations journal in the
+//!   order it sent them.
+//! * **Bounded pipelining.** At most `max_pipeline` requests per
+//!   connection are in flight; past that the reactor stops *reading*
+//!   the socket (read interest drops), pushing backpressure into the
+//!   peer's TCP window instead of server memory.
+//! * **No blocking on the reactor thread.** Only `GET /health` — served
+//!   from atomics — is answered inline; any request that can touch a
+//!   lock or the disk runs on the pool.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use polling::{Interest, Poller, Waker};
+
+use crate::gateway::{err_body, route, GatewayConfig};
+use crate::http::{HttpError, Request, RequestParser, Response};
+use crate::node::ServiceNode;
+use crate::timer::TimerWheel;
+
+/// Token of the accept socket.
+pub(crate) const TOKEN_LISTENER: usize = 0;
+/// Token of the cross-thread waker fd.
+pub(crate) const TOKEN_WAKER: usize = 1;
+/// First token handed to an accepted connection.
+pub(crate) const TOKEN_BASE: usize = 2;
+
+/// Read chunk size. Level-triggered polling re-arms anything beyond
+/// this, so it bounds per-syscall work, not throughput.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// A parsed request travelling to the apply pool.
+pub(crate) struct Job {
+    token: usize,
+    seq: u64,
+    req: Request,
+    close: bool,
+}
+
+/// A serialized response travelling back to the reactor.
+pub(crate) struct Completion {
+    token: usize,
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Responses finished out of order, keyed by request sequence.
+    done: BTreeMap<u64, Vec<u8>>,
+    /// Next request sequence to assign at parse time.
+    next_seq: u64,
+    /// Next response sequence the socket owes the peer.
+    next_write: u64,
+    /// Bytes committed to the socket, partially written.
+    wb: Vec<u8>,
+    wb_pos: usize,
+    /// Interest currently installed in the poller.
+    interest: Interest,
+    /// No more requests will be read (peer EOF, `Connection: close`,
+    /// or a parse error already queued its final response).
+    read_closed: bool,
+    /// Close the socket once every assigned response has been flushed.
+    closing: bool,
+    /// Idle deadline (authoritative; the wheel holds lazy copies).
+    deadline: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, deadline: Instant) -> Conn {
+        Conn {
+            stream,
+            parser: RequestParser::new(),
+            done: BTreeMap::new(),
+            next_seq: 0,
+            next_write: 0,
+            wb: Vec::new(),
+            wb_pos: 0,
+            interest: Interest::READ,
+            read_closed: false,
+            closing: false,
+            deadline,
+        }
+    }
+
+    /// Requests parsed but not yet moved into the write buffer.
+    fn in_flight(&self) -> u64 {
+        self.next_seq - self.next_write
+    }
+
+    fn write_pending(&self) -> bool {
+        self.wb_pos < self.wb.len()
+    }
+
+    /// Nothing left to produce or flush for this peer.
+    fn drained(&self) -> bool {
+        self.in_flight() == 0 && self.done.is_empty() && !self.write_pending()
+    }
+}
+
+pub(crate) struct Reactor {
+    pub(crate) cfg: GatewayConfig,
+    pub(crate) node: Arc<ServiceNode>,
+    pub(crate) poller: Poller,
+    pub(crate) waker: Arc<Waker>,
+    pub(crate) listener: TcpListener,
+    pub(crate) job_txs: Vec<Sender<Job>>,
+    pub(crate) completions: Receiver<Completion>,
+    pub(crate) stop: Arc<AtomicBool>,
+}
+
+/// Spawn one apply worker: drains its job queue in FIFO order, runs the
+/// route handler (journal append + market mutation for POSTs), and
+/// wakes the reactor with the serialized response.
+pub(crate) fn apply_worker(
+    node: Arc<ServiceNode>,
+    jobs: Receiver<Job>,
+    completions: Sender<Completion>,
+    waker: Arc<Waker>,
+) {
+    while let Ok(job) = jobs.recv() {
+        let response = route(&node, &job.req);
+        let bytes = response.to_bytes(!job.close);
+        if completions
+            .send(Completion {
+                token: job.token,
+                seq: job.seq,
+                bytes,
+            })
+            .is_err()
+        {
+            return; // reactor gone: shutdown
+        }
+        let _ = waker.wake();
+    }
+}
+
+impl Reactor {
+    /// Run the event loop until the stop flag is raised.
+    pub(crate) fn run(self) {
+        let idle = self.cfg.read_timeout;
+        // Wheel geometry: 32 buckets spanning 2× the idle timeout, so
+        // one lap covers every deadline and ticks stay coarse.
+        let tick = (idle / 16).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        let mut wheel = TimerWheel::new(tick, 32);
+        let mut conns: HashMap<usize, Conn> = HashMap::new();
+        let mut next_token = TOKEN_BASE;
+        let mut events = Vec::new();
+
+        loop {
+            let timeout = wheel.next_timeout(Instant::now());
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_all(&mut conns, &mut next_token, &mut wheel),
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        let Some(mut conn) = conns.remove(&token) else {
+                            continue; // closed earlier in this batch
+                        };
+                        let keep = (!ev.readable || self.on_readable(&mut conn))
+                            && self.pump(&mut conn, token);
+                        if keep {
+                            conns.insert(token, conn);
+                        } else {
+                            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                        }
+                    }
+                }
+            }
+            self.drain_completions(&mut conns);
+            let now = Instant::now();
+            for token in wheel.advance(now) {
+                self.check_deadline(token, now, &mut conns, &mut wheel, idle);
+            }
+        }
+        // Teardown: deregister before the sockets drop (poller drops
+        // with us, but the fallback backend keeps a registry).
+        for (_, conn) in conns.drain() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        // job_txs drop here: apply workers drain their queues and exit.
+    }
+
+    fn accept_all(
+        &self,
+        conns: &mut HashMap<usize, Conn>,
+        next_token: &mut usize,
+        wheel: &mut TimerWheel,
+    ) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let deadline = Instant::now() + self.cfg.read_timeout;
+                    wheel.schedule(token as u64, deadline);
+                    conns.insert(token, Conn::new(stream, deadline));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (EMFILE, aborted handshake):
+                // stop this batch, the listener stays registered.
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Pull whatever the socket has. Returns `false` to drop the
+    /// connection immediately (I/O error with nothing worth flushing).
+    fn on_readable(&self, conn: &mut Conn) -> bool {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            if conn.read_closed || conn.in_flight() >= self.cfg.max_pipeline as u64 {
+                return true; // paused: bytes stay in the kernel buffer
+            }
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.read_closed = true;
+                    return true; // half-close: flush what is owed first
+                }
+                Ok(n) => {
+                    conn.deadline = Instant::now() + self.cfg.read_timeout;
+                    conn.parser.feed(&chunk[..n]);
+                    if n < READ_CHUNK {
+                        return true; // short read: socket is drained
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false, // reset: nothing to salvage
+            }
+        }
+    }
+
+    /// Turn buffered bytes into requests, dispatch them, move finished
+    /// responses out in order, and re-arm interest. Returns `false`
+    /// when the connection is finished and must be dropped.
+    fn pump(&self, conn: &mut Conn, token: usize) -> bool {
+        self.drain_parser(conn, token);
+        if !flush(conn) {
+            return false;
+        }
+        if (conn.closing || conn.read_closed) && conn.drained() {
+            return false; // everything owed has left; close cleanly
+        }
+        let want = Interest {
+            read: !conn.read_closed && conn.in_flight() < self.cfg.max_pipeline as u64,
+            write: conn.write_pending(),
+        };
+        if want != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, want)
+                .is_err()
+            {
+                return false;
+            }
+            conn.interest = want;
+        }
+        true
+    }
+
+    fn drain_parser(&self, conn: &mut Conn, token: usize) {
+        while !conn.read_closed && conn.in_flight() < self.cfg.max_pipeline as u64 {
+            match conn.parser.next(self.cfg.max_body) {
+                Ok(Some(req)) => {
+                    let close = req.wants_close();
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    if close {
+                        // Last request on this connection: stop reading
+                        // now, close once its response has flushed.
+                        conn.read_closed = true;
+                        conn.closing = true;
+                    }
+                    if req.method == "GET" && req.path == "/health" {
+                        // Lock-free health: answered on the reactor
+                        // thread without risking a stall behind a round
+                        // running on the pool.
+                        let response = route(&self.node, &req);
+                        conn.done.insert(seq, response.to_bytes(!close));
+                    } else {
+                        let worker = token % self.job_txs.len();
+                        let _ = self.job_txs[worker].send(Job {
+                            token,
+                            seq,
+                            req,
+                            close,
+                        });
+                    }
+                }
+                Ok(None) => return,
+                Err(e) => {
+                    let response = match e {
+                        HttpError::TooLarge => Response::json(413, err_body("request too large")),
+                        HttpError::Malformed(msg) => Response::json(400, err_body(&msg)),
+                        // Eof/Io never surface from the buffer parser,
+                        // but close defensively if they do.
+                        _ => Response::json(400, err_body("bad request")),
+                    };
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.done.insert(seq, response.to_bytes(false));
+                    conn.read_closed = true;
+                    conn.closing = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    fn drain_completions(&self, conns: &mut HashMap<usize, Conn>) {
+        loop {
+            match self.completions.try_recv() {
+                Ok(c) => {
+                    let Some(mut conn) = conns.remove(&c.token) else {
+                        continue; // connection died while the job ran
+                    };
+                    conn.done.insert(c.seq, c.bytes);
+                    if self.pump(&mut conn, c.token) {
+                        conns.insert(c.token, conn);
+                    } else {
+                        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                    }
+                }
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn check_deadline(
+        &self,
+        token: u64,
+        now: Instant,
+        conns: &mut HashMap<usize, Conn>,
+        wheel: &mut TimerWheel,
+        idle: Duration,
+    ) {
+        let token_us = token as usize;
+        let Some(conn) = conns.get(&token_us) else {
+            return; // already closed; lazy wheel entry expires silently
+        };
+        if conn.in_flight() > 0 || conn.write_pending() || !conn.done.is_empty() {
+            // Not idle — requests are being applied or responses are
+            // draining. Check again a full idle period from now.
+            wheel.schedule(token, now + idle);
+            return;
+        }
+        if conn.deadline <= now {
+            // Genuinely idle past the deadline: close. A pinned worker
+            // is exactly what this prevents — the reactor sheds the
+            // socket without any thread ever having blocked on it.
+            let conn = conns.remove(&token_us).expect("checked above");
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+        } else {
+            // Activity moved the authoritative deadline; re-arm lazily.
+            wheel.schedule(token, conn.deadline);
+        }
+    }
+}
+
+/// Move ordered responses into the write buffer and push bytes at the
+/// socket until it would block. Returns `false` on write failure.
+fn flush(conn: &mut Conn) -> bool {
+    while let Some(bytes) = conn.done.remove(&conn.next_write) {
+        conn.wb.extend_from_slice(&bytes);
+        conn.next_write += 1;
+    }
+    while conn.wb_pos < conn.wb.len() {
+        match conn.stream.write(&conn.wb[conn.wb_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wb_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.wb_pos == conn.wb.len() {
+        conn.wb.clear();
+        conn.wb_pos = 0;
+    }
+    true
+}

@@ -290,6 +290,10 @@ pub struct ShardRouter {
     shards: Vec<DataMarket>,
     exchange: ExchangeStage,
     state: Mutex<RouterState>,
+    /// Rounds completed since this router was built (replay included).
+    /// Atomic so the gateway's `/health` — served inline on the reactor
+    /// thread — never takes a shard lock a running round might hold.
+    rounds: std::sync::atomic::AtomicU64,
 }
 
 impl ShardRouter {
@@ -315,12 +319,19 @@ impl ShardRouter {
                 next_offer: 0,
                 round_rng: StdRng::seed_from_u64(base.seed),
             }),
+            rounds: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Rounds completed since construction — lock-free (the reactor
+    /// thread reads this for `/health` while rounds run on the pool).
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// The shard owning a participant name.
@@ -517,6 +528,8 @@ impl ShardRouter {
             .collect();
         let mut merged = MergedRoundReport::merge(reports);
         merged.cross_shard = cross_shard;
+        self.rounds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         merged
     }
 

@@ -1,0 +1,202 @@
+//! Regression tests for the evented gateway's connection handling:
+//! slow-loris resistance (idle sockets cannot starve healthy ones and
+//! are reaped by the idle timeout), HTTP/1.1 pipelining over a real
+//! socket with strictly ordered responses, and the client helper's
+//! transparent reconnection after a server-initiated close.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dmp_core::market::MarketConfig;
+use dmp_mechanism::design::MarketDesign;
+use dmp_service::client::{Client, PipelinedRequest};
+use dmp_service::gateway::{Gateway, GatewayConfig};
+use dmp_service::node::{ServiceConfig, ServiceNode};
+use dmp_service::wire::Json;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmp-evented-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start(name: &str, cfg: GatewayConfig) -> (Arc<ServiceNode>, Gateway) {
+    let market = MarketConfig::external(9).with_design(MarketDesign::posted_price_baseline(20.0));
+    let service = ServiceConfig::new(tmp_dir(name), market)
+        .with_shards(2)
+        .with_fsync(false);
+    let node = Arc::new(ServiceNode::open(service).unwrap());
+    let gateway = Gateway::serve(Arc::clone(&node), cfg).unwrap();
+    (node, gateway)
+}
+
+/// 64 slow-loris connections — opened, trickling at most a partial
+/// request line, never completing — must not block a healthy client,
+/// and the idle timeout must reap them. The old thread-per-connection
+/// gateway died here: every loris pinned a thread.
+#[test]
+fn slow_loris_does_not_starve_healthy_clients() {
+    let cfg = GatewayConfig {
+        read_timeout: Duration::from_millis(400),
+        ..GatewayConfig::default()
+    };
+    let (_node, gateway) = start("loris", cfg);
+
+    // Open 64 connections that send a few bytes of a request line and
+    // then stall forever (the classic slow-loris shape).
+    let mut lorises: Vec<TcpStream> = (0..64)
+        .map(|_| {
+            let mut s = TcpStream::connect(gateway.addr()).unwrap();
+            s.write_all(b"GET /hea").unwrap();
+            s
+        })
+        .collect();
+
+    // A healthy client must get served promptly while all 64 stall.
+    let started = Instant::now();
+    let mut healthy = Client::connect(gateway.addr()).unwrap();
+    for _ in 0..20 {
+        let health = healthy.get("/health").unwrap();
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "healthy client starved behind idle connections ({:?})",
+        started.elapsed()
+    );
+
+    // The timer wheel must reap every loris: a read on each socket
+    // eventually reports EOF (or a reset), not an eternal hang.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    for loris in &mut lorises {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        assert!(
+            !remaining.is_zero(),
+            "gateway never closed idle connections"
+        );
+        loris.set_read_timeout(Some(remaining)).unwrap();
+        let mut buf = [0u8; 64];
+        match loris.read(&mut buf) {
+            Ok(0) => {} // clean close
+            Ok(_) => panic!("gateway answered a half-sent request"),
+            Err(e) if e.kind() == ErrorKind::ConnectionReset => {} // RST also fine
+            Err(e) => panic!("expected idle close, got {e}"),
+        }
+    }
+}
+
+/// Pipelined requests on one connection come back in request order,
+/// and the batch helper agrees with issuing them one at a time.
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let (_node, gateway) = start("pipeline", GatewayConfig::default());
+    let mut c = Client::connect(gateway.addr()).unwrap();
+
+    // Mix inline-served GETs with pool-served POSTs: ordering must hold
+    // even though they complete on different threads.
+    let mut batch = Vec::new();
+    for i in 0..10 {
+        batch.push(PipelinedRequest::post(
+            "/enroll",
+            Json::parse(&format!(r#"{{"name":"buyer-{i}","role":"buyer"}}"#)).unwrap(),
+        ));
+        batch.push(PipelinedRequest::get("/health"));
+        batch.push(PipelinedRequest::post(
+            "/deposits",
+            Json::parse(&format!(r#"{{"account":"buyer-{i}","amount":{}}}"#, 10 + i)).unwrap(),
+        ));
+        batch.push(PipelinedRequest::get(format!("/ledger/buyer-{i}")));
+    }
+    let responses = c.pipeline(&batch).unwrap();
+    assert_eq!(responses.len(), batch.len());
+
+    for (i, chunk) in responses.chunks(4).enumerate() {
+        let (enroll_status, _) = &chunk[0];
+        assert_eq!(*enroll_status, 200, "enroll {i}");
+        let (health_status, health) = &chunk[1];
+        assert_eq!(*health_status, 200);
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        let (deposit_status, _) = &chunk[2];
+        assert_eq!(*deposit_status, 200, "deposit {i}");
+        // The account read is the order proof: it must see exactly the
+        // deposit pipelined right before it, for *its* buyer.
+        let (acct_status, acct) = &chunk[3];
+        assert_eq!(*acct_status, 200);
+        assert_eq!(
+            acct.get("balance").and_then(Json::as_f64),
+            Some(10.0 + i as f64),
+            "pipelined response {i} out of order"
+        );
+    }
+}
+
+/// A parse error mid-pipeline answers the bad request and closes, and
+/// the client helper resends the tail on a fresh connection.
+#[test]
+fn malformed_request_closes_but_client_recovers() {
+    let (_node, gateway) = start("malformed", GatewayConfig::default());
+
+    // Raw socket: two pipelined requests where the first is malformed.
+    // The gateway must answer 400 with `Connection: close` and never
+    // touch the second request.
+    let mut raw = TcpStream::connect(gateway.addr()).unwrap();
+    raw.write_all(b"BOGUS\r\n\r\nGET /health HTTP/1.1\r\nhost: t\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut text = String::new();
+    raw.read_to_string(&mut text).unwrap(); // returns once the server closes
+    assert!(text.starts_with("HTTP/1.1 400"), "got: {text}");
+    assert!(
+        text.to_ascii_lowercase().contains("connection: close"),
+        "a fatal parse error must advertise the close: {text}"
+    );
+    assert_eq!(
+        text.matches("HTTP/1.1").count(),
+        1,
+        "second request must not be answered"
+    );
+
+    // The keep-alive client shrugs off a server-side close between
+    // requests: `Connection: close` drops the socket, the next request
+    // transparently re-dials.
+    let mut c = Client::connect(gateway.addr()).unwrap();
+    let (status, _) = c.request("POST", "/enroll", None).unwrap();
+    assert_eq!(status, 400, "missing body is a client error");
+    let health = c.get("/health").unwrap();
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+}
+
+/// Keep-alive sockets reaped by the idle timeout are re-dialed
+/// transparently: a client that sits idle past the timeout still
+/// completes its next request instead of surfacing a broken pipe.
+#[test]
+fn client_survives_idle_timeout_reaping() {
+    let cfg = GatewayConfig {
+        read_timeout: Duration::from_millis(200),
+        ..GatewayConfig::default()
+    };
+    let (_node, gateway) = start("reap", cfg);
+
+    let mut c = Client::connect(gateway.addr()).unwrap();
+    assert_eq!(
+        c.get("/health")
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok")
+    );
+    // Outlive the idle timeout; the server closes our socket.
+    std::thread::sleep(Duration::from_millis(700));
+    assert_eq!(
+        c.get("/health")
+            .unwrap()
+            .get("status")
+            .and_then(Json::as_str),
+        Some("ok"),
+        "client must reconnect after the gateway reaped its idle socket"
+    );
+}

@@ -1,0 +1,127 @@
+//! Property tests pinning the resumable [`RequestParser`] to the
+//! one-shot [`read_request`] oracle.
+//!
+//! The evented gateway never sees a request in one piece: the kernel
+//! hands it whatever bytes happen to be in the socket buffer, cut at
+//! arbitrary boundaries (TCP segmentation, slow peers, pipelining).
+//! These properties assert that **no cut changes the parse**: feeding
+//! any chunking of a request stream — down to one byte at a time —
+//! yields exactly the requests the blocking parser reads from the same
+//! bytes, and pipelined requests always surface in wire order.
+
+use std::io::Cursor;
+
+use dmp_service::http::{read_request, HttpError, Request, RequestParser};
+use proptest::prelude::*;
+
+const MAX_BODY: usize = 1 << 20;
+
+/// Strategy for one request's wire-relevant parts:
+/// `(is_post, path, extra_header_name, extra_header_value, body)`.
+fn arb_request() -> impl Strategy<Value = (bool, String, String, String, Vec<u8>)> {
+    (
+        proptest::bool::ANY,
+        "/[a-z0-9_/]{0,20}",
+        "[a-z]{1,10}",
+        "[ -~]{0,24}",
+        proptest::collection::vec(0u8..=255u8, 0..128),
+    )
+}
+
+/// Serialize a generated request the way a client would put it on the
+/// wire (POSTs carry the body, GETs drop it).
+fn encode(req: &(bool, String, String, String, Vec<u8>)) -> Vec<u8> {
+    let (is_post, path, hname, hval, body) = req;
+    let method = if *is_post { "POST" } else { "GET" };
+    let body: &[u8] = if *is_post { body } else { &[] };
+    let mut wire = format!(
+        "{method} {path} HTTP/1.1\r\nhost: test\r\nx-{hname}: {hval}\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    wire.extend_from_slice(body);
+    wire
+}
+
+/// The blocking oracle: drain every request out of `wire`.
+fn oracle(wire: &[u8]) -> Vec<Request> {
+    let mut cursor = Cursor::new(wire);
+    let mut out = Vec::new();
+    loop {
+        match read_request(&mut cursor, MAX_BODY) {
+            Ok(req) => out.push(req),
+            Err(HttpError::Eof) => return out,
+            Err(e) => panic!("oracle rejected its own wire bytes: {e:?}"),
+        }
+    }
+}
+
+/// Drain every complete request currently inside `parser`.
+fn drain(parser: &mut RequestParser) -> Vec<Request> {
+    let mut out = Vec::new();
+    while let Some(req) = parser.next(MAX_BODY).expect("incremental parse failed") {
+        out.push(req);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any chunking of a request stream parses identically to the
+    /// one-shot oracle — including chunk boundaries inside the request
+    /// line, inside a header name, between `\r` and `\n`, and mid-body.
+    #[test]
+    fn chunked_parse_matches_one_shot(
+        reqs in proptest::collection::vec(arb_request(), 1..5),
+        chunk_sizes in proptest::collection::vec(1usize..9, 1..12),
+    ) {
+        let wire: Vec<u8> = reqs.iter().flat_map(encode).collect();
+        let expected = oracle(&wire);
+
+        let mut parser = RequestParser::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut k = 0;
+        while pos < wire.len() {
+            let n = chunk_sizes[k % chunk_sizes.len()].min(wire.len() - pos);
+            k += 1;
+            parser.feed(&wire[pos..pos + n]);
+            pos += n;
+            // Draining between feeds must not disturb later requests.
+            got.extend(drain(&mut parser));
+        }
+        got.extend(drain(&mut parser));
+
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(parser.buffered(), 0, "no bytes may linger after a complete stream");
+    }
+
+    /// One byte at a time is the pathological chunking; it must agree
+    /// with feeding the entire pipelined buffer at once, and both must
+    /// preserve wire order.
+    #[test]
+    fn byte_at_a_time_matches_whole_buffer(
+        reqs in proptest::collection::vec(arb_request(), 1..4),
+    ) {
+        let wire: Vec<u8> = reqs.iter().flat_map(encode).collect();
+
+        let mut whole = RequestParser::new();
+        whole.feed(&wire);
+        let all_at_once = drain(&mut whole);
+
+        let mut trickle = RequestParser::new();
+        let mut dribbled = Vec::new();
+        for b in &wire {
+            trickle.feed(std::slice::from_ref(b));
+            dribbled.extend(drain(&mut trickle));
+        }
+
+        prop_assert_eq!(&dribbled, &all_at_once);
+        // Wire order: request i of the batch surfaces as parse i.
+        prop_assert_eq!(all_at_once.len(), reqs.len());
+        for (parsed, generated) in all_at_once.iter().zip(&reqs) {
+            prop_assert_eq!(&parsed.path, &generated.1);
+        }
+    }
+}
