@@ -1193,6 +1193,14 @@ fn svc_service_baseline() {
         // the tail requests are inside the window they are divided by.
         total.load(Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
     };
+    // Request-latency quantiles ride along for free: the reactor
+    // records every request into the telemetry histograms, so the
+    // bench snapshots them around each workload and reports the
+    // delta's p50/p99 next to the throughput number.
+    let metrics = dmp_service::metrics::metrics();
+    let health_before = metrics
+        .request_us(dmp_service::metrics::Endpoint::Health)
+        .snapshot();
     for conns in [1usize, 4, 16, 64] {
         let rps = (0..5)
             .map(|_| measure_conns(conns))
@@ -1232,6 +1240,19 @@ fn svc_service_baseline() {
         ]);
         json_rows.push(("gateway_pipelined_rps".into(), Json::Num(rps)));
     }
+    // p50/p99 over every /health request the benches above issued.
+    let health = metrics
+        .request_us(dmp_service::metrics::Endpoint::Health)
+        .snapshot()
+        .delta_since(&health_before);
+    let (h50, h99) = (health.quantile(0.5), health.quantile(0.99));
+    t.row(vec![
+        "gateway GET /health latency".into(),
+        format!("{} requests", health.count()),
+        format!("p50 {h50}us / p99 {h99}us"),
+    ]);
+    json_rows.push(("gateway_health_p50_us".into(), Json::Num(h50 as f64)));
+    json_rows.push(("gateway_health_p99_us".into(), Json::Num(h99 as f64)));
     // Journaled mutation path (every request is a WAL append + apply).
     let mut c = Client::connect(addr).unwrap();
     c.post(
@@ -1240,6 +1261,9 @@ fn svc_service_baseline() {
     )
     .unwrap();
     const DEPOSITS: usize = 512;
+    let deposit_before = metrics
+        .request_us(dmp_service::metrics::Endpoint::Deposits)
+        .snapshot();
     let body = Json::parse(r#"{"account":"d","amount":1.0}"#).unwrap();
     let (_, ms) = time_ms(|| {
         for _ in 0..DEPOSITS {
@@ -1253,6 +1277,18 @@ fn svc_service_baseline() {
         format!("{} req/s", f2(wps)),
     ]);
     json_rows.push(("gateway_deposit_rps_1conn".into(), Json::Num(wps)));
+    let deposit = metrics
+        .request_us(dmp_service::metrics::Endpoint::Deposits)
+        .snapshot()
+        .delta_since(&deposit_before);
+    let (d50, d99) = (deposit.quantile(0.5), deposit.quantile(0.99));
+    t.row(vec![
+        "gateway POST /deposits latency".into(),
+        format!("{} requests", deposit.count()),
+        format!("p50 {d50}us / p99 {d99}us"),
+    ]);
+    json_rows.push(("gateway_deposit_p50_us".into(), Json::Num(d50 as f64)));
+    json_rows.push(("gateway_deposit_p99_us".into(), Json::Num(d99 as f64)));
     gateway.shutdown();
 
     // Journal replay: rebuild 16 populated rounds from the WAL.

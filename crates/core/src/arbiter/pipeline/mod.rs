@@ -45,6 +45,11 @@ pub use context::RoundContext;
 pub use expiry::ExpiryStage;
 pub use settlement::SettlementStage;
 
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use dmp_telemetry::{global, Histogram};
+
 use crate::arbiter::pricing::{RoundBid, Sale};
 use crate::arbiter::services::DemandReport;
 use crate::market::DataMarket;
@@ -70,6 +75,55 @@ pub fn default_pipeline() -> Vec<Box<dyn RoundStage>> {
         Box::new(ClearingStage),
         Box::new(SettlementStage),
     ]
+}
+
+/// The wall-time histogram for one pipeline stage.
+fn stage_histogram(stage: &str) -> Arc<Histogram> {
+    global().histogram(
+        &format!("dmp_round_stage_us{{stage=\"{stage}\"}}"),
+        "Wall time of one arbiter round-pipeline stage, microseconds.",
+    )
+}
+
+/// Handles for the default stages, resolved once so the per-round path
+/// never touches the registry mutex after the first round.
+fn default_stage_histograms() -> &'static [(&'static str, Arc<Histogram>)] {
+    static CACHE: OnceLock<Vec<(&'static str, Arc<Histogram>)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        ["expiry", "candidates", "clearing", "settlement"]
+            .into_iter()
+            .map(|s| (s, stage_histogram(s)))
+            .collect()
+    })
+}
+
+fn candidates_histogram() -> &'static Arc<Histogram> {
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        global().histogram(
+            "dmp_round_candidates",
+            "Candidate bids produced by the candidate stage, per round.",
+        )
+    })
+}
+
+/// Run one stage, recording its wall time into
+/// `dmp_round_stage_us{stage="<name>"}`. The candidates stage also
+/// records how many bids it produced into `dmp_round_candidates`.
+/// Custom stage names register their series on first use.
+pub(crate) fn run_stage_timed(stage: &dyn RoundStage, market: &DataMarket, ctx: &mut RoundContext) {
+    let name = stage.name();
+    let hist = default_stage_histograms()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, h)| Arc::clone(h))
+        .unwrap_or_else(|| stage_histogram(name));
+    let started = Instant::now();
+    stage.run(market, ctx);
+    hist.record_duration_us(started.elapsed());
+    if name == "candidates" {
+        candidates_histogram().record(ctx.bids.len() as u64);
+    }
 }
 
 /// One shard's exportable candidate-phase output: everything a global

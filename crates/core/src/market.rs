@@ -472,7 +472,7 @@ impl DataMarket {
     pub fn run_round_with(&self, stages: &[Box<dyn RoundStage>]) -> RoundReport {
         let mut ctx = pipeline::RoundContext::open(self);
         for stage in stages {
-            stage.run(self, &mut ctx);
+            pipeline::run_stage_timed(stage.as_ref(), self, &mut ctx);
         }
         ctx.finish(self)
     }
@@ -488,8 +488,8 @@ impl DataMarket {
     /// stream keyed by global offer ids.
     pub fn begin_round_seeded(&self, round_seed: u64) -> pipeline::RoundContext {
         let mut ctx = pipeline::RoundContext::open_seeded(self, round_seed);
-        pipeline::ExpiryStage.run(self, &mut ctx);
-        pipeline::CandidateStage::default().run(self, &mut ctx);
+        pipeline::run_stage_timed(&pipeline::ExpiryStage, self, &mut ctx);
+        pipeline::run_stage_timed(&pipeline::CandidateStage::default(), self, &mut ctx);
         ctx
     }
 

@@ -241,6 +241,51 @@ impl Client {
         Ok(results)
     }
 
+    /// `GET path` returning the raw body text (for non-JSON endpoints
+    /// like the Prometheus exposition on `/metrics`), expecting 200.
+    pub fn get_text(&mut self, path: &str) -> std::io::Result<String> {
+        let bytes = Self::encode("GET", path, None, self.addr);
+        loop {
+            let conn = self.ensure_conn()?;
+            let was_reused = conn.reused;
+            let attempt = conn
+                .writer
+                .write_all(&bytes)
+                .and_then(|()| conn.writer.flush())
+                .and_then(|()| {
+                    read_response_full(&mut conn.reader).map_err(|e| match e {
+                        HttpError::Io(io) => io,
+                        HttpError::Eof => std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "connection closed before response",
+                        ),
+                        other => std::io::Error::other(format!("{other:?}")),
+                    })
+                });
+            match attempt {
+                Ok((status, resp_bytes, close)) => {
+                    conn.reused = true;
+                    if close {
+                        self.conn = None;
+                    }
+                    if status != 200 {
+                        return Err(std::io::Error::other(format!("GET {path} -> {status}")));
+                    }
+                    return String::from_utf8(resp_bytes)
+                        .map_err(|_| std::io::Error::other("response body is not UTF-8"));
+                }
+                Err(e) if was_reused && Self::is_stale_conn_error(&e) => {
+                    self.conn = None;
+                    continue;
+                }
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// `GET path`, expecting 200.
     pub fn get(&mut self, path: &str) -> std::io::Result<Json> {
         let (status, json) = self.request("GET", path, None)?;

@@ -28,7 +28,9 @@
 //! | `POST /snapshot`  | — (admin, not a mutation)| checkpointed seq      |
 //! | `GET /ledger/:name` | —                      | balance               |
 //! | `GET /ledger`     | —                        | all balances          |
-//! | `GET /health`     | — (served lock-free on the reactor) | liveness + seq |
+//! | `GET /health`     | — (served lock-free on the reactor) | liveness + seq + uptime |
+//! | `GET /metrics`    | — (served lock-free on the reactor) | Prometheus text |
+//! | `GET /trace`      | — (served lock-free on the reactor) | recent span ring |
 
 use std::net::{SocketAddr, TcpListener};
 use std::os::fd::AsRawFd;
@@ -194,19 +196,23 @@ fn apply_response(result: Result<crate::shard::Outcome, ServiceError>) -> Respon
 
 pub(crate) fn route(node: &ServiceNode, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        // Served inline on the reactor thread: every field below reads
-        // an atomic or a constant, never a lock (a lock here could
-        // stall every connection behind a round running on the pool).
-        ("GET", "/health") => Response::json(
+        // Served inline on the reactor thread. The body is cached on
+        // the node and only re-rendered when a reported counter (or
+        // the decisecond of uptime) changes — the health path never
+        // waits on the apply/WAL lock, so a round running on the pool
+        // cannot stall it.
+        ("GET", "/health") => Response::json(200, node.health_body()),
+        // Prometheus text exposition. Rendering snapshots every handle
+        // under the registry's own map mutex only — never the node's
+        // apply/WAL lock — so the reactor serves this inline.
+        ("GET", "/metrics") => Response::text(
             200,
-            Json::obj([
-                ("status", Json::str("ok")),
-                ("shards", Json::Num(node.router().shard_count() as f64)),
-                ("applied", Json::Num(node.applied() as f64)),
-                ("round", Json::Num(node.router().rounds_completed() as f64)),
-            ])
-            .dump(),
+            dmp_telemetry::global().render_prometheus(),
+            "text/plain; version=0.0.4",
         ),
+        // The recent span ring (lossy by design; `dropped` counts what
+        // contention discarded).
+        ("GET", "/trace") => Response::json(200, dmp_telemetry::tracer().to_json()),
         ("GET", "/ledger") => {
             let balances = node.router().all_balances();
             Response::json(

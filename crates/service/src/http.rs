@@ -371,8 +371,10 @@ impl RequestParser {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body (JSON text throughout the gateway).
+    /// Body (JSON text almost everywhere; `/metrics` is plain text).
     pub body: String,
+    /// `content-type` header value.
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -381,6 +383,17 @@ impl Response {
         Response {
             status,
             body: body.into(),
+            content_type: "application/json",
+        }
+    }
+
+    /// A response with an explicit content type (e.g. the Prometheus
+    /// text exposition on `/metrics`).
+    pub fn text(status: u16, body: impl Into<String>, content_type: &'static str) -> Self {
+        Response {
+            status,
+            body: body.into(),
+            content_type,
         }
     }
 
@@ -402,9 +415,10 @@ impl Response {
         let mut out = Vec::with_capacity(self.body.len() + 128);
         let _ = write!(
             out,
-            "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{}",
             self.status,
             self.reason(),
+            self.content_type,
             self.body.len(),
             connection,
             self.body

@@ -21,8 +21,10 @@
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use crate::command::Command;
+use crate::metrics::metrics;
 use crate::wire::Json;
 
 /// CRC-32 (IEEE 802.3, reflected) over a byte slice; table-free
@@ -190,6 +192,8 @@ impl Journal {
                 ));
             }
         }
+        let m = metrics();
+        let started = Instant::now();
         let mut buf = Vec::with_capacity(payload.len() + 8);
         frame(payload.as_bytes(), &mut buf);
         let result = self
@@ -198,7 +202,11 @@ impl Journal {
             .and_then(|()| self.file.flush())
             .and_then(|()| {
                 if self.fsync {
-                    self.file.sync_data()
+                    let sync_started = Instant::now();
+                    let r = self.file.sync_data();
+                    m.journal_fsync_us
+                        .record_duration_us(sync_started.elapsed());
+                    r
                 } else {
                     Ok(())
                 }
@@ -206,6 +214,9 @@ impl Journal {
         match result {
             Ok(()) => {
                 self.valid_len += buf.len() as u64;
+                m.journal_appends.inc();
+                m.journal_bytes.add(buf.len() as u64);
+                m.journal_append_us.record_duration_us(started.elapsed());
                 Ok(())
             }
             Err(e) => {
@@ -222,6 +233,7 @@ impl Journal {
                     .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
                 if rolled_back.is_err() {
                     self.poisoned = true;
+                    m.journal_poisoned.inc();
                 }
                 Err(e)
             }

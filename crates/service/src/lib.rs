@@ -50,6 +50,7 @@ pub mod error;
 pub mod gateway;
 pub mod http;
 pub mod journal;
+pub mod metrics;
 pub mod node;
 pub(crate) mod reactor;
 pub mod shard;

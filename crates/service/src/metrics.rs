@@ -1,0 +1,357 @@
+//! Cached [`dmp_telemetry`] handles for every instrumented service
+//! layer.
+//!
+//! All handles are resolved once, on first use, into one
+//! [`ServiceMetrics`] singleton — after that the hot paths (reactor,
+//! apply pool, journal, round pipeline) touch only relaxed atomics and
+//! never the registry mutex. `GET /metrics` renders the global
+//! registry on the reactor thread; because recording is handle-based,
+//! rendering can never contend with the WAL or apply-pool locks.
+
+use std::sync::{Arc, OnceLock};
+
+use dmp_telemetry::{global, Counter, Gauge, Histogram};
+
+use crate::command::Command;
+
+/// The request endpoints latency and counts are broken out by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /health` (inline on the reactor).
+    Health,
+    /// `GET /metrics` (inline on the reactor).
+    Metrics,
+    /// `GET /trace` (inline on the reactor).
+    Trace,
+    /// `GET /ledger` and `GET /ledger/:name`.
+    Ledger,
+    /// `POST /enroll`.
+    Enroll,
+    /// `POST /deposits`.
+    Deposits,
+    /// `POST /offers`.
+    Offers,
+    /// `POST /asks`.
+    Asks,
+    /// `POST /licenses`.
+    Licenses,
+    /// `POST /rounds`.
+    Rounds,
+    /// `POST /snapshot`.
+    Snapshot,
+    /// Anything else (404s, bad methods).
+    Other,
+}
+
+impl Endpoint {
+    const ALL: [Endpoint; 12] = [
+        Endpoint::Health,
+        Endpoint::Metrics,
+        Endpoint::Trace,
+        Endpoint::Ledger,
+        Endpoint::Enroll,
+        Endpoint::Deposits,
+        Endpoint::Offers,
+        Endpoint::Asks,
+        Endpoint::Licenses,
+        Endpoint::Rounds,
+        Endpoint::Snapshot,
+        Endpoint::Other,
+    ];
+
+    /// Classify a request path (the label every request series uses).
+    pub fn of(path: &str) -> Endpoint {
+        match path {
+            "/health" => Endpoint::Health,
+            "/metrics" => Endpoint::Metrics,
+            "/trace" => Endpoint::Trace,
+            "/enroll" => Endpoint::Enroll,
+            "/deposits" => Endpoint::Deposits,
+            "/offers" => Endpoint::Offers,
+            "/asks" => Endpoint::Asks,
+            "/licenses" => Endpoint::Licenses,
+            "/rounds" => Endpoint::Rounds,
+            "/snapshot" => Endpoint::Snapshot,
+            p if p == "/ledger" || p.starts_with("/ledger/") => Endpoint::Ledger,
+            _ => Endpoint::Other,
+        }
+    }
+
+    /// Stable label value (also the tracer span name for apply jobs).
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Health => "/health",
+            Endpoint::Metrics => "/metrics",
+            Endpoint::Trace => "/trace",
+            Endpoint::Ledger => "/ledger",
+            Endpoint::Enroll => "/enroll",
+            Endpoint::Deposits => "/deposits",
+            Endpoint::Offers => "/offers",
+            Endpoint::Asks => "/asks",
+            Endpoint::Licenses => "/licenses",
+            Endpoint::Rounds => "/rounds",
+            Endpoint::Snapshot => "/snapshot",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("every endpoint is in ALL")
+    }
+}
+
+/// The command kinds apply time is broken out by.
+pub fn command_kind(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Enroll { .. } => "enroll",
+        Command::Deposit { .. } => "deposit",
+        Command::SubmitOffer(_) => "offer",
+        Command::SubmitAsk(_) => "ask",
+        Command::GrantLicense { .. } => "license",
+        Command::RunRound { .. } => "run_round",
+    }
+}
+
+const COMMAND_KINDS: [&str; 6] = ["enroll", "deposit", "offer", "ask", "license", "run_round"];
+
+/// The cross-shard round phases (see `ShardRouter::run_round`).
+pub(crate) const ROUND_PHASES: [&str; 4] = ["candidates", "exchange", "settlement", "close"];
+
+/// Every metric handle the service records into.
+pub struct ServiceMetrics {
+    /// `dmp_gateway_accepts_total`.
+    pub gateway_accepts: Arc<Counter>,
+    /// `dmp_gateway_connections` (currently open).
+    pub gateway_connections: Arc<Gauge>,
+    requests: Vec<Arc<Counter>>,
+    request_us: Vec<Arc<Histogram>>,
+    /// `dmp_gateway_pipeline_depth` (in-flight requests per connection,
+    /// sampled at parse time).
+    pub pipeline_depth: Arc<Histogram>,
+    /// `dmp_gateway_backpressure_stalls_total` (read-interest drops).
+    pub backpressure_stalls: Arc<Counter>,
+    /// `dmp_gateway_idle_reaps_total` (timer-wheel closes).
+    pub idle_reaps: Arc<Counter>,
+    /// `dmp_gateway_parse_errors_total`.
+    pub parse_errors: Arc<Counter>,
+    /// `dmp_apply_queue_depth` (jobs queued to the apply pool).
+    pub apply_queue_depth: Arc<Gauge>,
+    /// `dmp_apply_queue_wait_us` (parse → dequeue).
+    pub apply_queue_wait_us: Arc<Histogram>,
+    apply_us: Vec<Arc<Histogram>>,
+    /// `dmp_journal_appends_total`.
+    pub journal_appends: Arc<Counter>,
+    /// `dmp_journal_bytes_total` (framed bytes written).
+    pub journal_bytes: Arc<Counter>,
+    /// `dmp_journal_append_us` (frame + write + flush + fsync).
+    pub journal_append_us: Arc<Histogram>,
+    /// `dmp_journal_fsync_us` (the `fdatasync` alone).
+    pub journal_fsync_us: Arc<Histogram>,
+    /// `dmp_journal_poisoned_total` (failed rollbacks).
+    pub journal_poisoned: Arc<Counter>,
+    /// `dmp_snapshot_writes_total`.
+    pub snapshot_writes: Arc<Counter>,
+    /// `dmp_snapshot_failures_total`.
+    pub snapshot_failures: Arc<Counter>,
+    /// `dmp_snapshot_write_us`.
+    pub snapshot_write_us: Arc<Histogram>,
+    /// `dmp_recovery_replay_us` (whole `ServiceNode::open` recovery).
+    pub recovery_replay_us: Arc<Histogram>,
+    /// `dmp_recovery_snapshot_verified_total` (digest matched).
+    pub recovery_snapshot_verified: Arc<Counter>,
+    /// `dmp_recovery_snapshot_rejected_total` (digest mismatch; fell
+    /// back to full journal replay).
+    pub recovery_snapshot_rejected: Arc<Counter>,
+    /// `dmp_rounds_total` (cross-shard rounds completed).
+    pub rounds_total: Arc<Counter>,
+    round_phase_us: Vec<Arc<Histogram>>,
+    /// `dmp_round_cross_shard_sales_total`.
+    pub cross_shard_sales: Arc<Counter>,
+}
+
+/// The process-global service metrics (handles resolved on first use).
+pub fn metrics() -> &'static ServiceMetrics {
+    static M: OnceLock<ServiceMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = global();
+        ServiceMetrics {
+            gateway_accepts: r.counter(
+                "dmp_gateway_accepts_total",
+                "Connections accepted by the reactor.",
+            ),
+            gateway_connections: r.gauge(
+                "dmp_gateway_connections",
+                "Connections currently registered with the reactor.",
+            ),
+            requests: Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    r.counter(
+                        &format!("dmp_gateway_requests_total{{endpoint=\"{}\"}}", e.label()),
+                        "Requests completed, by endpoint.",
+                    )
+                })
+                .collect(),
+            request_us: Endpoint::ALL
+                .iter()
+                .map(|e| {
+                    r.histogram(
+                        &format!("dmp_gateway_request_us{{endpoint=\"{}\"}}", e.label()),
+                        "Request wall latency (parse to response ready), microseconds.",
+                    )
+                })
+                .collect(),
+            pipeline_depth: r.histogram(
+                "dmp_gateway_pipeline_depth",
+                "In-flight pipelined requests per connection, sampled at parse time.",
+            ),
+            backpressure_stalls: r.counter(
+                "dmp_gateway_backpressure_stalls_total",
+                "Times the reactor stopped reading a socket at the pipeline cap.",
+            ),
+            idle_reaps: r.counter(
+                "dmp_gateway_idle_reaps_total",
+                "Idle connections closed by the timer wheel.",
+            ),
+            parse_errors: r.counter(
+                "dmp_gateway_parse_errors_total",
+                "Requests rejected by the HTTP parser.",
+            ),
+            apply_queue_depth: r.gauge(
+                "dmp_apply_queue_depth",
+                "Jobs queued to the apply pool, not yet picked up.",
+            ),
+            apply_queue_wait_us: r.histogram(
+                "dmp_apply_queue_wait_us",
+                "Time a job waited in the apply queue, microseconds.",
+            ),
+            apply_us: COMMAND_KINDS
+                .iter()
+                .map(|k| {
+                    r.histogram(
+                        &format!("dmp_apply_us{{kind=\"{k}\"}}"),
+                        "Command apply time (journal append + market mutation), microseconds.",
+                    )
+                })
+                .collect(),
+            journal_appends: r.counter("dmp_journal_appends_total", "Journal records appended."),
+            journal_bytes: r.counter(
+                "dmp_journal_bytes_total",
+                "Framed journal bytes written (length prefix + CRC + payload).",
+            ),
+            journal_append_us: r.histogram(
+                "dmp_journal_append_us",
+                "Full journal append (encode + verify + write + flush + fsync), microseconds.",
+            ),
+            journal_fsync_us: r.histogram(
+                "dmp_journal_fsync_us",
+                "The fdatasync portion of a journal append, microseconds.",
+            ),
+            journal_poisoned: r.counter(
+                "dmp_journal_poisoned_total",
+                "Failed append rollbacks that poisoned the journal.",
+            ),
+            snapshot_writes: r.counter("dmp_snapshot_writes_total", "Snapshots written."),
+            snapshot_failures: r.counter(
+                "dmp_snapshot_failures_total",
+                "Snapshot writes that failed (node continues on the journal).",
+            ),
+            snapshot_write_us: r.histogram(
+                "dmp_snapshot_write_us",
+                "Snapshot write (serialize + tmp + fsync + rename), microseconds.",
+            ),
+            recovery_replay_us: r.histogram(
+                "dmp_recovery_replay_us",
+                "Crash recovery (snapshot load + digest verify + journal replay), microseconds.",
+            ),
+            recovery_snapshot_verified: r.counter(
+                "dmp_recovery_snapshot_verified_total",
+                "Recoveries whose snapshot digest verified.",
+            ),
+            recovery_snapshot_rejected: r.counter(
+                "dmp_recovery_snapshot_rejected_total",
+                "Recoveries that rejected a snapshot (digest mismatch) and replayed the full journal.",
+            ),
+            rounds_total: r.counter("dmp_rounds_total", "Cross-shard rounds completed."),
+            round_phase_us: ROUND_PHASES
+                .iter()
+                .map(|p| {
+                    r.histogram(
+                        &format!("dmp_round_phase_us{{phase=\"{p}\"}}"),
+                        "Wall time of one cross-shard round phase, microseconds.",
+                    )
+                })
+                .collect(),
+            cross_shard_sales: r.counter(
+                "dmp_round_cross_shard_sales_total",
+                "Settled sales whose mashup crossed a shard boundary.",
+            ),
+        }
+    })
+}
+
+impl ServiceMetrics {
+    /// Count one completed request and record its wall latency.
+    pub fn record_request(&self, endpoint: Endpoint, elapsed: std::time::Duration) {
+        let i = endpoint.index();
+        self.requests[i].inc();
+        self.request_us[i].record_duration_us(elapsed);
+    }
+
+    /// The request-latency histogram for one endpoint (benches read
+    /// quantiles from its snapshots).
+    pub fn request_us(&self, endpoint: Endpoint) -> &Histogram {
+        &self.request_us[endpoint.index()]
+    }
+
+    /// The request counter for one endpoint.
+    pub fn requests_total(&self, endpoint: Endpoint) -> u64 {
+        self.requests[endpoint.index()].get()
+    }
+
+    /// The apply-time histogram for one command.
+    pub fn apply_us(&self, cmd: &Command) -> &Histogram {
+        let kind = command_kind(cmd);
+        let i = COMMAND_KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("every kind is in COMMAND_KINDS");
+        &self.apply_us[i]
+    }
+
+    /// The phase-time histogram for one round phase (index into
+    /// [`ROUND_PHASES`]).
+    pub(crate) fn round_phase_us(&self, phase: usize) -> &Histogram {
+        &self.round_phase_us[phase]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_classification() {
+        assert_eq!(Endpoint::of("/health"), Endpoint::Health);
+        assert_eq!(Endpoint::of("/ledger"), Endpoint::Ledger);
+        assert_eq!(Endpoint::of("/ledger/alice"), Endpoint::Ledger);
+        assert_eq!(Endpoint::of("/metrics"), Endpoint::Metrics);
+        assert_eq!(Endpoint::of("/nope"), Endpoint::Other);
+        for e in Endpoint::ALL {
+            assert_eq!(Endpoint::ALL[e.index()], e);
+        }
+    }
+
+    #[test]
+    fn handles_resolve_and_record() {
+        let m = metrics();
+        let before = m.requests_total(Endpoint::Health);
+        m.record_request(Endpoint::Health, std::time::Duration::from_micros(5));
+        assert_eq!(m.requests_total(Endpoint::Health), before + 1);
+        m.apply_us(&Command::RunRound { rounds: 1 }).record(10);
+        assert!(m.apply_us(&Command::RunRound { rounds: 1 }).count() >= 1);
+    }
+}

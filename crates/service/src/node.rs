@@ -17,13 +17,16 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use dmp_core::market::MarketConfig;
+use dmp_telemetry::log;
 use parking_lot::Mutex;
 
 use crate::command::Command;
 use crate::error::ServiceError;
 use crate::journal::Journal;
+use crate::metrics::metrics;
 use crate::shard::{Outcome, ShardRouter};
 use crate::snapshot::{self, Snapshot};
 
@@ -86,6 +89,15 @@ pub struct ServiceNode {
     router: ShardRouter,
     inner: Mutex<NodeInner>,
     applied: AtomicU64,
+    /// When recovery finished (drives `/health` uptime).
+    started: Instant,
+    /// Rendered `/health` body, keyed on the atomics it reports. The
+    /// reactor serves `/health` inline per request; rebuilding ~100
+    /// bytes of JSON (and formatting floats) every time is measurable
+    /// at gateway rps, so the body is re-rendered only when a key
+    /// component changes. This mutex is private to the health path and
+    /// uncontended — it never orders after the apply/WAL lock.
+    health_cache: Mutex<(u64, u64, u64, String)>,
 }
 
 impl ServiceNode {
@@ -135,6 +147,7 @@ impl ServiceNode {
             Err(_) => std::fs::write(&meta_path, &fingerprint)?,
         }
 
+        let recovery_started = Instant::now();
         let journal_path = cfg.dir.join("journal.wal");
         let (journal, journal_records) = Journal::open(&journal_path, cfg.fsync)?;
 
@@ -152,10 +165,18 @@ impl ServiceNode {
                 applied = snap.seq;
                 history = snap.commands;
                 snapshot_ok = true;
+                metrics().recovery_snapshot_verified.inc();
             } else {
                 // Replay disagreed with the checkpointed digest: the
                 // snapshot is unusable. Rebuild from genesis below.
                 router = ShardRouter::new(&cfg.market, cfg.shards);
+                metrics().recovery_snapshot_rejected.inc();
+                log!(
+                    Warn,
+                    "snapshot digest mismatch seq={} dir={}; replaying full journal",
+                    snap.seq,
+                    cfg.dir.display()
+                );
             }
         }
 
@@ -170,12 +191,22 @@ impl ServiceNode {
             history.push(cmd);
             applied = seq;
         }
+        metrics()
+            .recovery_replay_us
+            .record_duration_us(recovery_started.elapsed());
+        log!(
+            Info,
+            "recovery complete seq={applied} snapshot_ok={snapshot_ok} dir={}",
+            cfg.dir.display()
+        );
 
         Ok(ServiceNode {
             cfg,
             router,
             inner: Mutex::new(NodeInner { journal, history }),
             applied: AtomicU64::new(applied),
+            started: Instant::now(),
+            health_cache: Mutex::new((u64::MAX, u64::MAX, u64::MAX, String::new())),
         })
     }
 
@@ -188,12 +219,16 @@ impl ServiceNode {
     /// invariant (durable before visible) holds no matter how many
     /// workers the [`gateway`](crate::gateway) runs.
     pub fn apply(&self, cmd: Command) -> Result<Outcome, ServiceError> {
+        let m = metrics();
+        let apply_hist = m.apply_us(&cmd);
+        let apply_started = Instant::now();
         let mut inner = self.inner.lock();
         let seq = self.applied.load(Ordering::Relaxed) + 1;
         inner.journal.append(seq, &cmd)?;
         let result = self.router.apply(&cmd);
         inner.history.push(cmd);
         self.applied.store(seq, Ordering::Relaxed);
+        apply_hist.record_duration_us(apply_started.elapsed());
         if self.cfg.snapshot_every > 0 && seq.is_multiple_of(self.cfg.snapshot_every) {
             let snap = Snapshot {
                 seq,
@@ -204,11 +239,20 @@ impl ServiceNode {
             // so a failed checkpoint must not turn a succeeded mutation
             // into a client-visible error (the journal stays
             // authoritative; recovery just replays more of it).
-            if let Err(e) = snapshot::write_snapshot(&self.cfg.dir, &snap) {
-                eprintln!(
-                    "dmp-service: snapshot at seq {seq} failed ({e}); \
-                     continuing on journal alone"
-                );
+            let write_started = Instant::now();
+            match snapshot::write_snapshot(&self.cfg.dir, &snap) {
+                Ok(_) => {
+                    m.snapshot_writes.inc();
+                    m.snapshot_write_us
+                        .record_duration_us(write_started.elapsed());
+                }
+                Err(e) => {
+                    m.snapshot_failures.inc();
+                    log!(
+                        Warn,
+                        "snapshot failed seq={seq} err={e}; continuing on journal alone"
+                    );
+                }
             }
         }
         result
@@ -216,6 +260,7 @@ impl ServiceNode {
 
     /// Write a snapshot right now (admin hook; also used by tests).
     pub fn snapshot_now(&self) -> Result<u64, ServiceError> {
+        let m = metrics();
         let inner = self.inner.lock();
         let seq = self.applied.load(Ordering::Relaxed);
         let snap = Snapshot {
@@ -223,8 +268,50 @@ impl ServiceNode {
             digest: self.router.state_digest(),
             commands: inner.history.clone(),
         };
-        snapshot::write_snapshot(&self.cfg.dir, &snap)?;
+        let write_started = Instant::now();
+        match snapshot::write_snapshot(&self.cfg.dir, &snap) {
+            Ok(_) => {
+                m.snapshot_writes.inc();
+                m.snapshot_write_us
+                    .record_duration_us(write_started.elapsed());
+            }
+            Err(e) => {
+                m.snapshot_failures.inc();
+                return Err(e.into());
+            }
+        }
         Ok(seq)
+    }
+
+    /// Time since recovery finished.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The `/health` JSON body. Cached: re-rendered only when the
+    /// applied sequence, the round counter, or the decisecond of
+    /// uptime changes (so `uptime_s` has 0.1 s granularity — plenty
+    /// for liveness, and it keeps the float's decimal repr short and
+    /// cheap to format).
+    pub fn health_body(&self) -> String {
+        use crate::wire::Json;
+        let applied = self.applied();
+        let rounds = self.router.rounds_completed();
+        let uptime_ds = self.uptime().as_millis() as u64 / 100;
+        let mut cache = self.health_cache.lock();
+        if (cache.0, cache.1, cache.2) != (applied, rounds, uptime_ds) {
+            let body = Json::obj([
+                ("status", Json::str("ok")),
+                ("shards", Json::Num(self.router.shard_count() as f64)),
+                ("applied", Json::Num(applied as f64)),
+                ("round", Json::Num(rounds as f64)),
+                ("rounds_completed", Json::Num(rounds as f64)),
+                ("uptime_s", Json::Num(uptime_ds as f64 / 10.0)),
+            ])
+            .dump();
+            *cache = (applied, rounds, uptime_ds, body);
+        }
+        cache.3.clone()
     }
 
     /// Sequence number of the last applied command.

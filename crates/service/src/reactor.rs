@@ -52,6 +52,7 @@ use polling::{Interest, Poller, Waker};
 
 use crate::gateway::{err_body, route, GatewayConfig};
 use crate::http::{HttpError, Request, RequestParser, Response};
+use crate::metrics::{metrics, Endpoint};
 use crate::node::ServiceNode;
 use crate::timer::TimerWheel;
 
@@ -72,6 +73,10 @@ pub(crate) struct Job {
     seq: u64,
     req: Request,
     close: bool,
+    /// Endpoint classification (latency/count series label).
+    endpoint: Endpoint,
+    /// Parse time; queue wait and wall latency measure from here.
+    start: Instant,
 }
 
 /// A serialized response travelling back to the reactor.
@@ -157,8 +162,16 @@ pub(crate) fn apply_worker(
     completions: Sender<Completion>,
     waker: Arc<Waker>,
 ) {
+    let m = metrics();
     while let Ok(job) = jobs.recv() {
-        let response = route(&node, &job.req);
+        m.apply_queue_depth.dec();
+        m.apply_queue_wait_us
+            .record_duration_us(job.start.elapsed());
+        let response = {
+            let _span = dmp_telemetry::tracer().span(job.endpoint.label(), job.seq);
+            route(&node, &job.req)
+        };
+        m.record_request(job.endpoint, job.start.elapsed());
         let bytes = response.to_bytes(!job.close);
         if completions
             .send(Completion {
@@ -208,6 +221,7 @@ impl Reactor {
                             conns.insert(token, conn);
                         } else {
                             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                            metrics().gateway_connections.dec();
                         }
                     }
                 }
@@ -222,6 +236,7 @@ impl Reactor {
         // with us, but the fallback backend keeps a registry).
         for (_, conn) in conns.drain() {
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            metrics().gateway_connections.dec();
         }
         // job_txs drop here: apply workers drain their queues and exit.
     }
@@ -251,6 +266,9 @@ impl Reactor {
                     let deadline = Instant::now() + self.cfg.read_timeout;
                     wheel.schedule(token as u64, deadline);
                     conns.insert(token, Conn::new(stream, deadline));
+                    let m = metrics();
+                    m.gateway_accepts.inc();
+                    m.gateway_connections.inc();
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
@@ -303,6 +321,11 @@ impl Reactor {
             read: !conn.read_closed && conn.in_flight() < self.cfg.max_pipeline as u64,
             write: conn.write_pending(),
         };
+        if conn.interest.read && !want.read && !conn.read_closed {
+            // Transition into the paused state: the pipeline cap is
+            // pushing backpressure into the peer's TCP window.
+            metrics().backpressure_stalls.inc();
+        }
         if want != conn.interest {
             if self
                 .poller
@@ -320,33 +343,46 @@ impl Reactor {
         while !conn.read_closed && conn.in_flight() < self.cfg.max_pipeline as u64 {
             match conn.parser.next(self.cfg.max_body) {
                 Ok(Some(req)) => {
+                    let m = metrics();
+                    let start = Instant::now();
+                    let endpoint = Endpoint::of(&req.path);
                     let close = req.wants_close();
                     let seq = conn.next_seq;
                     conn.next_seq += 1;
+                    m.pipeline_depth.record(conn.in_flight());
                     if close {
                         // Last request on this connection: stop reading
                         // now, close once its response has flushed.
                         conn.read_closed = true;
                         conn.closing = true;
                     }
-                    if req.method == "GET" && req.path == "/health" {
-                        // Lock-free health: answered on the reactor
-                        // thread without risking a stall behind a round
-                        // running on the pool.
+                    if req.method == "GET"
+                        && matches!(req.path.as_str(), "/health" | "/metrics" | "/trace")
+                    {
+                        // Lock-free observability endpoints: answered on
+                        // the reactor thread without risking a stall
+                        // behind a round running on the pool (/metrics
+                        // rendering takes only the registry map mutex,
+                        // never the apply/WAL lock).
                         let response = route(&self.node, &req);
                         conn.done.insert(seq, response.to_bytes(!close));
+                        m.record_request(endpoint, start.elapsed());
                     } else {
                         let worker = token % self.job_txs.len();
+                        m.apply_queue_depth.inc();
                         let _ = self.job_txs[worker].send(Job {
                             token,
                             seq,
                             req,
                             close,
+                            endpoint,
+                            start,
                         });
                     }
                 }
                 Ok(None) => return,
                 Err(e) => {
+                    metrics().parse_errors.inc();
                     let response = match e {
                         HttpError::TooLarge => Response::json(413, err_body("request too large")),
                         HttpError::Malformed(msg) => Response::json(400, err_body(&msg)),
@@ -377,6 +413,7 @@ impl Reactor {
                         conns.insert(c.token, conn);
                     } else {
                         let _ = self.poller.deregister(conn.stream.as_raw_fd());
+                        metrics().gateway_connections.dec();
                     }
                 }
                 Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
@@ -409,6 +446,9 @@ impl Reactor {
             let conn = conns.remove(&token_us).expect("checked above");
             let _ = self.poller.deregister(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            let m = metrics();
+            m.idle_reaps.inc();
+            m.gateway_connections.dec();
         } else {
             // Activity moved the authoritative deadline; re-arm lazily.
             wheel.schedule(token, conn.deadline);

@@ -475,26 +475,34 @@ impl ShardRouter {
     /// exchange and settlement phases are cheap, ledger-touching, and
     /// deterministic.
     pub fn run_round(&self) -> MergedRoundReport {
+        let m = crate::metrics::metrics();
         let round_seed = self.state.lock().round_rng.gen::<u64>();
         // Phase 1: candidates, shard-parallel.
+        let phase_started = std::time::Instant::now();
         let mut ctxs: Vec<RoundContext> = self
             .shards
             .par_iter()
             .map(|market| market.begin_round_seeded(round_seed))
             .collect();
+        m.round_phase_us(0)
+            .record_duration_us(phase_started.elapsed());
         // Phase 2: one global clearing pass over all shards' bids. The
         // bids move out of the contexts by value — settlement only
         // needs the winning mashups, which stay behind.
+        let phase_started = std::time::Instant::now();
         let sets: Vec<CandidateSet> = ctxs
             .iter_mut()
             .map(RoundContext::take_candidate_set)
             .collect();
         let sales = self.exchange.clear(sets);
+        m.round_phase_us(1)
+            .record_duration_us(phase_started.elapsed());
         // Phase 3: ordered settlement, routed to the buyer's shard.
         // `pricing::clear` returns sales sorted by global offer id —
         // that order is part of the semantics (a seller's proceeds from
         // an earlier sale can fund their own later purchase on the
         // shared ledger, exactly as in a 1-shard market).
+        let phase_started = std::time::Instant::now();
         for sale in sales {
             let home = self.shard_of(&sale.buyer);
             self.shards[home].settle_sale(&mut ctxs[home], sale);
@@ -521,6 +529,9 @@ impl ShardRouter {
                 }
             }
         }
+        m.round_phase_us(2)
+            .record_duration_us(phase_started.elapsed());
+        let phase_started = std::time::Instant::now();
         let reports: Vec<RoundReport> = ctxs
             .into_iter()
             .zip(&self.shards)
@@ -528,6 +539,10 @@ impl ShardRouter {
             .collect();
         let mut merged = MergedRoundReport::merge(reports);
         merged.cross_shard = cross_shard;
+        m.round_phase_us(3)
+            .record_duration_us(phase_started.elapsed());
+        m.cross_shard_sales.add(cross_shard as u64);
+        m.rounds_total.inc();
         self.rounds
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         merged

@@ -1,0 +1,119 @@
+//! Property tests for the log-bucketed histogram: bucket geometry,
+//! count conservation under merge, and quantile bounds.
+
+use dmp_telemetry::hist::{bucket_bound, bucket_index, BUCKET_COUNT, SUB_COUNT};
+use dmp_telemetry::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Mixed-magnitude values: uniform small ints, wide log-scale ints,
+/// and the extremes.
+fn arb_value() -> impl Strategy<Value = u64> {
+    (0u32..4, 0u64..u64::MAX).prop_map(|(kind, raw)| match kind {
+        0 => raw % 32,          // exact range
+        1 => raw % 100_000,     // typical latency range
+        2 => raw >> (raw % 60), // log-scale spread
+        _ => [0, 1, u64::MAX - 1, u64::MAX][(raw % 4) as usize],
+    })
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn bounds_are_monotone_and_values_fit(v in arb_value()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKET_COUNT);
+        prop_assert!(v <= bucket_bound(i), "value above its bucket bound");
+        if i > 0 {
+            prop_assert!(v > bucket_bound(i - 1), "value also fits the previous bucket");
+            prop_assert!(bucket_bound(i) > bucket_bound(i - 1), "bounds must be strictly monotone");
+        }
+        // Relative overestimate bounded by the sub-bucket resolution.
+        if v > 0 && v < u64::MAX / 2 {
+            let bound = bucket_bound(i);
+            prop_assert!(
+                (bound - v) as f64 <= v as f64 / SUB_COUNT as f64 + 1.0,
+                "bucket bound {bound} too far above value {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_conserves_counts_and_extrema(
+        a in prop::collection::vec(arb_value(), 0..200),
+        b in prop::collection::vec(arb_value(), 0..200),
+    ) {
+        let sa = snapshot_of(&a);
+        let sb = snapshot_of(&b);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        for i in 0..BUCKET_COUNT {
+            prop_assert_eq!(merged.counts[i], sa.counts[i] + sb.counts[i]);
+        }
+        prop_assert_eq!(merged.min, sa.min.min(sb.min));
+        prop_assert_eq!(merged.max, sa.max.max(sb.max));
+        // Merging the other way round is identical.
+        let mut flipped = sb.clone();
+        flipped.merge(&sa);
+        prop_assert_eq!(flipped, merged);
+        // A merged snapshot equals one histogram fed both streams.
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        prop_assert_eq!(snapshot_of(&both), merged);
+    }
+
+    #[test]
+    fn quantiles_stay_within_min_max(
+        values in prop::collection::vec(arb_value(), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let s = snapshot_of(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.min, min);
+        prop_assert_eq!(s.max, max);
+        for q in [0.0, q, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(
+                (min..=max).contains(&est),
+                "quantile({q}) = {est} outside [{min}, {max}]"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(values in prop::collection::vec(arb_value(), 1..200)) {
+        let s = snapshot_of(&values);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for pair in qs.windows(2) {
+            prop_assert!(
+                s.quantile(pair[0]) <= s.quantile(pair[1]),
+                "quantile must be monotone in q"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_since_inverts_merge(
+        base in prop::collection::vec(arb_value(), 0..100),
+        extra in prop::collection::vec(arb_value(), 0..100),
+    ) {
+        let before = snapshot_of(&base);
+        let mut after = before.clone();
+        after.merge(&snapshot_of(&extra));
+        let delta = after.delta_since(&before);
+        prop_assert_eq!(delta.count(), extra.len() as u64);
+        for (d, e) in delta.counts.iter().zip(&snapshot_of(&extra).counts) {
+            prop_assert_eq!(d, e);
+        }
+    }
+}

@@ -130,6 +130,23 @@ fn main() {
         health.req_u64("round").unwrap(),
     );
 
+    // 6. Scrape the Prometheus exposition over the wire and lint it —
+    //    CI runs this example, so a malformed exposition fails there.
+    let exposition = admin.get_text("/metrics").expect("scrape /metrics");
+    data_market_platform::telemetry::lint_exposition(&exposition)
+        .expect("malformed /metrics exposition");
+    println!(
+        "scraped /metrics: {} series across {} families, exposition lints clean",
+        exposition
+            .lines()
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .count(),
+        exposition
+            .lines()
+            .filter(|l| l.starts_with("# TYPE"))
+            .count(),
+    );
+
     gateway.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -28,4 +28,5 @@ pub use dmp_relation as relation;
 pub use dmp_service as service;
 pub use dmp_simulator as simulator;
 pub use dmp_tasks as tasks;
+pub use dmp_telemetry as telemetry;
 pub use dmp_valuation as valuation;
