@@ -11,7 +11,7 @@
 //! under arbitrary interleavings of transfers, holds and releases. The
 //! public API stays in `f64` credits.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use crate::error::{MarketError, MarketResult};
 
 /// Micro-credits per credit: the fixed granularity of stored amounts.
+// dmp-lint: allow(det-float) -- the one boundary constant: 1e6 is exact in f64 and only used in to/from_micros
 pub const MICROS_PER_CREDIT: f64 = 1_000_000.0;
 
 /// Largest amount (in credits) a single operation accepts; amounts are
@@ -29,6 +30,7 @@ pub const MICROS_PER_CREDIT: f64 = 1_000_000.0;
 /// overflow is refused with [`MarketError::BalanceOverflow`] and no
 /// state change. Only `deposit` — the explicit mint — saturates at the
 /// `i64` ceiling, and that clamp is visible in `total_supply`.
+// dmp-lint: allow(det-float) -- boundary clamp constant, exact in f64 (integer below 2^53)
 pub const MAX_AMOUNT: f64 = 1e12;
 
 /// Round an amount in credits to whole micro-credits.
@@ -37,6 +39,7 @@ fn to_micros(amount: f64) -> i64 {
 }
 
 fn from_micros(m: i64) -> f64 {
+    // dmp-lint: allow(det-float) -- read-side boundary: balances stay i64, only the report value is f64
     m as f64 / MICROS_PER_CREDIT
 }
 
@@ -57,8 +60,8 @@ struct Escrow {
 /// Double-entry ledger with named accounts and escrow holds.
 #[derive(Debug, Default)]
 pub struct Ledger {
-    accounts: Mutex<HashMap<String, i64>>,
-    escrows: Mutex<HashMap<u64, Escrow>>,
+    accounts: Mutex<BTreeMap<String, i64>>,
+    escrows: Mutex<BTreeMap<u64, Escrow>>,
     next_escrow: AtomicU64,
 }
 
@@ -90,6 +93,7 @@ impl Ledger {
     /// clamping the credit side while the debit side paid in full would
     /// silently destroy currency).
     pub fn transfer(&self, from: &str, to: &str, amount: f64) -> MarketResult<()> {
+        // dmp-lint: allow(det-float) -- sign check on the boundary argument, no float arithmetic
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative transfer".into()));
         }
@@ -126,6 +130,7 @@ impl Ledger {
 
     /// Hold `amount` from an account in escrow; returns the escrow id.
     pub fn hold(&self, from: &str, amount: f64) -> MarketResult<u64> {
+        // dmp-lint: allow(det-float) -- sign check on the boundary argument, no float arithmetic
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative escrow".into()));
         }
@@ -157,6 +162,7 @@ impl Ledger {
     /// Pay `amount` out of an escrow to `to`. The escrow stays open with
     /// the remainder.
     pub fn release(&self, escrow: u64, to: &str, amount: f64) -> MarketResult<()> {
+        // dmp-lint: allow(det-float) -- sign check on the boundary argument, no float arithmetic
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative release".into()));
         }
@@ -203,6 +209,7 @@ impl Ledger {
     /// only rounding dust ([`Self::RELEASE_DUST_MICROS`]).
     /// [`Ledger::release`] stays strict for exact payouts.
     pub fn release_up_to(&self, escrow: u64, to: &str, amount: f64) -> MarketResult<f64> {
+        // dmp-lint: allow(det-float) -- sign check on the boundary argument, no float arithmetic
         if amount < 0.0 {
             return Err(MarketError::Invalid("negative release".into()));
         }
@@ -223,6 +230,7 @@ impl Ledger {
         }
         let m = requested.min(e.remaining);
         if m <= 0 {
+            // dmp-lint: allow(det-float) -- exact zero, the "nothing paid" report value
             return Ok(0.0);
         }
         let mut accounts = self.accounts.lock();
@@ -291,29 +299,25 @@ impl Ledger {
     }
 
     /// All account balances, sorted by name (for reports and snapshots).
+    /// `BTreeMap` iteration is already name-ordered.
     pub fn balances(&self) -> Vec<(String, f64)> {
-        let mut v: Vec<(String, f64)> = self
-            .accounts
+        self.accounts
             .lock()
             .iter()
             .map(|(k, &v)| (k.clone(), from_micros(v)))
-            .collect();
-        v.sort_by(|a, b| a.0.cmp(&b.0));
-        v
+            .collect()
     }
 
     /// All open escrow holds as `(escrow_id, holder, remaining)`, sorted
-    /// by id (for snapshots and durability digests).
+    /// by id (for snapshots and durability digests). `BTreeMap`
+    /// iteration is already id-ordered.
     pub fn escrow_holds(&self) -> Vec<(u64, String, f64)> {
-        let mut v: Vec<(u64, String, f64)> = self
-            .escrows
+        self.escrows
             .lock()
             .iter()
             .filter(|(_, e)| e.state == EscrowState::Held)
             .map(|(&id, e)| (id, e.from.clone(), from_micros(e.remaining)))
-            .collect();
-        v.sort_by_key(|&(id, _, _)| id);
-        v
+            .collect()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Per-round shared state threaded through the pipeline stages.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::Ordering;
 
 use rand::rngs::StdRng;
@@ -34,7 +34,7 @@ pub struct RoundContext {
     /// One bid per offer that found a sellable mashup.
     pub bids: Vec<RoundBid>,
     /// The winning candidate mashup per offer id.
-    pub best_mashups: HashMap<u64, BuiltMashup>,
+    pub best_mashups: BTreeMap<u64, BuiltMashup>,
     /// Missing-attribute lists (feeds the demand report).
     pub missing: Vec<Vec<String>>,
     /// Negotiation requests for under-served offers (§4.1).
@@ -74,7 +74,7 @@ impl RoundContext {
             considered: 0,
             expired: 0,
             bids: Vec::new(),
-            best_mashups: HashMap::new(),
+            best_mashups: BTreeMap::new(),
             missing: Vec::new(),
             negotiations: Vec::new(),
             sales: Vec::new(),

@@ -118,7 +118,7 @@ pub(crate) fn run_stage_timed(stage: &dyn RoundStage, market: &DataMarket, ctx: 
         .find(|(n, _)| *n == name)
         .map(|(_, h)| Arc::clone(h))
         .unwrap_or_else(|| stage_histogram(name));
-    let started = Instant::now();
+    let started = Instant::now(); // dmp-lint: allow(det-wall-clock) -- stage latency telemetry; never read by the stage
     stage.run(market, ctx);
     hist.record_duration_us(started.elapsed());
     if name == "candidates" {

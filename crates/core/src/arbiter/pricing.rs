@@ -4,7 +4,7 @@
 //! payment rules; license multipliers and seller reserve floors apply on
 //! top.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dmp_mechanism::allocation::Bid;
 use dmp_mechanism::design::MarketDesign;
@@ -49,16 +49,13 @@ pub struct Sale {
 /// multiplier; sales whose scaled price cannot cover the reserve floor
 /// are dropped (the sellers would refuse).
 pub fn clear(design: &MarketDesign, bids: &[RoundBid]) -> Vec<Sale> {
-    let mut groups: HashMap<Vec<DatasetId>, Vec<usize>> = HashMap::new();
+    let mut groups: BTreeMap<Vec<DatasetId>, Vec<usize>> = BTreeMap::new();
     for (i, b) in bids.iter().enumerate() {
         groups.entry(b.datasets.clone()).or_default().push(i);
     }
     let mut sales = Vec::new();
-    // Deterministic group order.
-    let mut keys: Vec<Vec<DatasetId>> = groups.keys().cloned().collect();
-    keys.sort();
-    for key in keys {
-        let members = &groups[&key];
+    // BTreeMap iteration is key-sorted: deterministic group order.
+    for members in groups.values() {
         let group_bids: Vec<Bid> = members
             .iter()
             .map(|&i| Bid::new(bids[i].buyer.clone(), bids[i].bid))

@@ -4,7 +4,7 @@
 //! filtering [83], and demand reports that tell opportunistic sellers
 //! (§7.1) which attributes buyers want but nobody supplies.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use dmp_relation::DatasetId;
 
@@ -23,8 +23,8 @@ pub struct Purchase {
 /// the nearest items to what the buyer already bought, excluding those.
 pub fn recommend(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId> {
     // dataset -> set of buyers.
-    let mut buyers_of: HashMap<DatasetId, HashSet<&str>> = HashMap::new();
-    let mut bought_by_target: HashSet<DatasetId> = HashSet::new();
+    let mut buyers_of: BTreeMap<DatasetId, BTreeSet<&str>> = BTreeMap::new();
+    let mut bought_by_target: BTreeSet<DatasetId> = BTreeSet::new();
     for p in purchases {
         for &d in &p.datasets {
             buyers_of.entry(d).or_default().insert(p.buyer.as_str());
@@ -41,7 +41,7 @@ pub fn recommend(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId
         return pop.into_iter().take(k).map(|(d, _)| d).collect();
     }
 
-    let cosine = |a: &HashSet<&str>, b: &HashSet<&str>| -> f64 {
+    let cosine = |a: &BTreeSet<&str>, b: &BTreeSet<&str>| -> f64 {
         let inter = a.intersection(b).count() as f64;
         if a.is_empty() || b.is_empty() {
             0.0
@@ -50,7 +50,7 @@ pub fn recommend(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId
         }
     };
 
-    let mut scores: HashMap<DatasetId, f64> = HashMap::new();
+    let mut scores: BTreeMap<DatasetId, f64> = BTreeMap::new();
     for &owned in &bought_by_target {
         let owned_buyers = &buyers_of[&owned];
         for (&cand, cand_buyers) in &buyers_of {
@@ -68,8 +68,8 @@ pub fn recommend(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId
 /// Popularity baseline for E15: most-purchased datasets the buyer does
 /// not already own.
 pub fn recommend_popular(purchases: &[Purchase], buyer: &str, k: usize) -> Vec<DatasetId> {
-    let mut owned: HashSet<DatasetId> = HashSet::new();
-    let mut counts: HashMap<DatasetId, usize> = HashMap::new();
+    let mut owned: BTreeSet<DatasetId> = BTreeSet::new();
+    let mut counts: BTreeMap<DatasetId, usize> = BTreeMap::new();
     for p in purchases {
         for &d in &p.datasets {
             *counts.entry(d).or_insert(0) += 1;
@@ -100,7 +100,7 @@ pub struct DemandReport {
 pub fn demand_report<'a>(
     missing_per_offer: impl IntoIterator<Item = &'a [String]>,
 ) -> DemandReport {
-    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
     for missing in missing_per_offer {
         for attr in missing {
             *counts.entry(attr.as_str()).or_insert(0) += 1;

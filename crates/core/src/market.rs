@@ -10,7 +10,7 @@
 //! *state* (offer book, ledger, participants, licenses) and its public
 //! API; the round *logic* lives stage-by-stage in the pipeline module.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -158,10 +158,10 @@ pub struct MarketSubstrate {
     pub(crate) metadata: Arc<MetadataEngine>,
     pub(crate) lineage: Arc<LineageLog>,
     pub(crate) ledger: Arc<Ledger>,
-    pub(crate) reserves: Arc<Mutex<HashMap<DatasetId, f64>>>,
-    pub(crate) licenses: Arc<Mutex<HashMap<DatasetId, License>>>,
-    pub(crate) ci_policies: Arc<Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>>,
-    pub(crate) exclusive_holds: Arc<Mutex<HashMap<DatasetId, (String, u64)>>>,
+    pub(crate) reserves: Arc<Mutex<BTreeMap<DatasetId, f64>>>,
+    pub(crate) licenses: Arc<Mutex<BTreeMap<DatasetId, License>>>,
+    pub(crate) ci_policies: Arc<Mutex<BTreeMap<DatasetId, ContextualIntegrityPolicy>>>,
+    pub(crate) exclusive_holds: Arc<Mutex<BTreeMap<DatasetId, (String, u64)>>>,
 }
 
 impl MarketSubstrate {
@@ -191,11 +191,11 @@ pub struct DataMarket {
     pub(crate) transactions: Mutex<Vec<TransactionRecord>>,
     pub(crate) deliveries: Mutex<Vec<Delivery>>,
     pub(crate) purchases: Mutex<Vec<Purchase>>,
-    pub(crate) reserves: Arc<Mutex<HashMap<DatasetId, f64>>>,
-    pub(crate) licenses: Arc<Mutex<HashMap<DatasetId, License>>>,
-    pub(crate) ci_policies: Arc<Mutex<HashMap<DatasetId, ContextualIntegrityPolicy>>>,
-    pub(crate) exclusive_holds: Arc<Mutex<HashMap<DatasetId, (String, u64)>>>,
-    pub(crate) participants: Mutex<HashMap<String, Participant>>,
+    pub(crate) reserves: Arc<Mutex<BTreeMap<DatasetId, f64>>>,
+    pub(crate) licenses: Arc<Mutex<BTreeMap<DatasetId, License>>>,
+    pub(crate) ci_policies: Arc<Mutex<BTreeMap<DatasetId, ContextualIntegrityPolicy>>>,
+    pub(crate) exclusive_holds: Arc<Mutex<BTreeMap<DatasetId, (String, u64)>>>,
+    pub(crate) participants: Mutex<BTreeMap<String, Participant>>,
     pub(crate) last_missing: Mutex<Vec<Vec<String>>>,
     pub(crate) last_negotiations: Mutex<Vec<NegotiationRequest>>,
     pub(crate) rng: Mutex<rand::rngs::StdRng>,
@@ -234,7 +234,7 @@ impl DataMarket {
             licenses: substrate.licenses,
             ci_policies: substrate.ci_policies,
             exclusive_holds: substrate.exclusive_holds,
-            participants: Mutex::new(HashMap::new()),
+            participants: Mutex::new(BTreeMap::new()),
             last_missing: Mutex::new(Vec::new()),
             last_negotiations: Mutex::new(Vec::new()),
             rng: Mutex::new(rng),
@@ -301,9 +301,8 @@ impl DataMarket {
     /// All participants, sorted by name (enumerable for snapshots and
     /// service-layer digests).
     pub fn participants(&self) -> Vec<Participant> {
-        let mut v: Vec<Participant> = self.participants.lock().values().cloned().collect();
-        v.sort_by(|a, b| a.name.cmp(&b.name));
-        v
+        // BTreeMap iteration is already name-ordered.
+        self.participants.lock().values().cloned().collect()
     }
 
     /// Credit an account directly (command-application hook for the

@@ -1,0 +1,508 @@
+//! The rule engine: walks one file's token stream and emits findings.
+//!
+//! Three families (see README "Correctness tooling"):
+//!
+//! - **determinism** — `det-unordered-collection`, `det-wall-clock`,
+//!   `det-rng`, `det-float`: replay-critical modules must not depend on
+//!   process-seeded iteration order, wall clocks, ambient randomness,
+//!   or (in the float-strict zones) unjustified float arithmetic.
+//! - **lock discipline** — `lock-across-fsync`, `lock-order`,
+//!   `lock-reactor-inline`: every `.lock()` site is recorded; guards
+//!   held across fsync-bearing calls are flagged, pairwise acquisition
+//!   order is checked for inversions workspace-wide, and reactor-inline
+//!   modules may not block on a lock at all.
+//! - **panic hygiene** — `panic-unwrap`, `panic-macro`,
+//!   `panic-indexing`: WAL append, recovery, and settlement paths
+//!   propagate errors; they do not abort mid-critical-section.
+//!
+//! Two meta rules (`allow-unused`, `allow-malformed`) police the
+//! suppression annotations themselves; they are produced by
+//! [`crate::Linter`], not here.
+//!
+//! Known approximations, chosen over false negatives:
+//!
+//! - `det-unordered-collection` flags any `HashMap`/`HashSet` mention
+//!   in a replay module, not just iteration — the type's presence is
+//!   the hazard, and keyed-lookup-only uses can say so in an allow.
+//! - Lock tracking recognizes `.lock()` only (the parking_lot shim and
+//!   std). `.read()`/`.write()` collide with `io::Read`/`io::Write`
+//!   too often to match on tokens; the workspace's `RwLock`s live in
+//!   discovery caches outside every class.
+//! - Guard liveness is brace-scoped from the acquisition site, plus
+//!   explicit `drop(guard)`. That is exactly how the codebase scopes
+//!   guards, but a guard smuggled out of a block by value would escape
+//!   the analysis.
+
+use crate::classify::Classes;
+use crate::lexer::{Tok, TokKind};
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub path: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+}
+
+impl Finding {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Guard A (`first`) was held while guard B (`second`) was acquired at
+/// `path:line`. Collected per file, checked for inversions
+/// workspace-wide by [`crate::Linter::finish`].
+#[derive(Debug, Clone)]
+pub struct LockPair {
+    pub first: String,
+    pub second: String,
+    pub path: String,
+    pub line: u32,
+}
+
+/// Per-file analysis output.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    pub findings: Vec<Finding>,
+    pub pairs: Vec<LockPair>,
+}
+
+/// Documentation record for one rule: drives `--explain`, `--list`,
+/// and annotation validation.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub family: &'static str,
+    pub summary: &'static str,
+    /// Minimal offending snippet.
+    pub bad: &'static str,
+    /// The fix (or the shape of a justified allow).
+    pub fix: &'static str,
+}
+
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "det-unordered-collection",
+        family: "determinism",
+        summary: "no HashMap/HashSet in replay-critical modules: std's per-process \
+                  hasher seed makes iteration order differ between the run that \
+                  wrote the WAL and the run that replays it",
+        bad: "let mut scores: HashMap<DatasetId, f64> = HashMap::new();\n\
+              for (id, s) in &scores { total += s; } // order differs per process",
+        fix: "use BTreeMap/BTreeSet (deterministic order), or sort before \
+              draining; keyed-lookup-only uses may annotate:\n\
+              // dmp-lint: allow(det-unordered-collection) -- never iterated, lookups only",
+    },
+    RuleInfo {
+        id: "det-wall-clock",
+        family: "determinism",
+        summary: "no Instant::now/SystemTime::now in replay-critical modules: \
+                  wall-clock reads differ on replay, so any value derived from \
+                  them diverges the rebuilt state",
+        bad: "let deadline = Instant::now() + ttl; // replay sees a different now",
+        fix: "thread logical time (round number, command seq) through instead; \
+              pure latency telemetry may annotate:\n\
+              // dmp-lint: allow(det-wall-clock) -- latency telemetry only, never applied state",
+    },
+    RuleInfo {
+        id: "det-rng",
+        family: "determinism",
+        summary: "no ambient randomness (thread_rng/from_entropy/rand::random) in \
+                  replay-critical modules: entropy draws cannot be replayed",
+        bad: "let jitter = rand::thread_rng().gen_range(0..10);",
+        fix: "derive a seeded stream from replayed state, as the candidate stage \
+              does: StdRng::seed_from_u64(round_seed ^ offer_id)",
+    },
+    RuleInfo {
+        id: "det-float",
+        family: "determinism",
+        summary: "no float literals or `as f64`/`as f32` casts in float-strict \
+                  zones (ledger, WAL framing): float accumulation is \
+                  order-sensitive and conservation must be exact",
+        bad: "balance += amount * 0.95; // drifts; order-dependent",
+        fix: "keep integer micro-credits; boundary conversions annotate with the \
+              exactness argument:\n\
+              // dmp-lint: allow(det-float) -- u32 seq is exact in f64 (< 2^53)",
+    },
+    RuleInfo {
+        id: "lock-across-fsync",
+        family: "lock-discipline",
+        summary: "a Mutex guard is live across an fsync-bearing call (sync_all, \
+                  sync_data, journal.append, write_snapshot): every other path \
+                  on that lock stalls for the disk",
+        bad: "let mut inner = self.inner.lock();\n\
+              inner.journal.append(&cmd)?; // fsync inside; lock held ~ms",
+        fix: "move the I/O outside the critical section, or — where the WAL \
+              ordering invariant requires append+apply to be atomic — annotate:\n\
+              // dmp-lint: allow(lock-across-fsync) -- WAL invariant: durable-before-visible",
+    },
+    RuleInfo {
+        id: "lock-order",
+        family: "lock-discipline",
+        summary: "two locks are acquired in opposite orders at different sites; \
+                  under concurrency that is a deadlock waiting for its interleaving",
+        bad: "fn a() { let _l = licenses.lock(); let _h = holds.lock(); }\n\
+              fn b() { let _h = holds.lock(); let _l = licenses.lock(); }",
+        fix: "pick one global order (the workspace uses: licenses before \
+              exclusive_holds before ci_policies; escrows before accounts) and \
+              restructure the outlier",
+    },
+    RuleInfo {
+        id: "lock-reactor-inline",
+        family: "lock-discipline",
+        summary: "a blocking .lock() in a reactor-inline module: one thread owns \
+                  every connection, so blocking it stalls the whole gateway",
+        bad: "fn handle_metrics(&self) -> String { self.entries.lock().render() }",
+        fix: "use try_lock with a lossy fallback (as the trace ring does), or \
+              annotate with the bounded-hold argument:\n\
+              // dmp-lint: allow(lock-reactor-inline) -- held for a snapshot copy only",
+    },
+    RuleInfo {
+        id: "panic-unwrap",
+        family: "panic-hygiene",
+        summary: "no .unwrap()/.expect() in WAL append, recovery, or settlement \
+                  paths: a panic mid-critical-section poisons state that error \
+                  propagation would have left recoverable",
+        bad: "let crc = bytes[pos..pos + 4].try_into().unwrap();",
+        fix: "propagate: bytes.get(pos..pos + 4).and_then(|s| s.try_into().ok())\n\
+              .ok_or_else(|| io::Error::new(InvalidData, \"torn frame\"))?",
+    },
+    RuleInfo {
+        id: "panic-macro",
+        family: "panic-hygiene",
+        summary: "no panic!/unreachable!/todo!/unimplemented! in panic-free \
+                  modules: aborting the apply thread mid-settlement strands escrow",
+        bad: "None => panic!(\"escrow {id} missing\"),",
+        fix: "return an error the caller can journal and surface: \
+              None => return Err(MarketError::UnknownEscrow(id)),",
+    },
+    RuleInfo {
+        id: "panic-indexing",
+        family: "panic-hygiene",
+        summary: "no [] indexing in panic-free modules: a slice index is an \
+                  invisible panic site; recovery code especially sees arbitrary \
+                  on-disk garbage",
+        bad: "let header = &bytes[pos..pos + 8]; // torn tail => panic",
+        fix: "use .get(..) and propagate, or annotate with the bounds argument:\n\
+              // dmp-lint: allow(panic-indexing) -- index reduced mod shards.len() above",
+    },
+    RuleInfo {
+        id: "allow-unused",
+        family: "meta",
+        summary: "a dmp-lint allow annotation suppressed nothing; stale allows \
+                  hide future regressions at that site",
+        bad: "// dmp-lint: allow(det-wall-clock) -- telemetry\nlet x = 1; // no finding here",
+        fix: "delete the annotation (or move it to the line it was meant for)",
+    },
+    RuleInfo {
+        id: "allow-malformed",
+        family: "meta",
+        summary: "a dmp-lint annotation that does not parse, names an unknown \
+                  rule, or omits the mandatory `-- <reason>`",
+        bad: "// dmp-lint: allow(det-wall-clock)   (no reason given)",
+        fix: "write: // dmp-lint: allow(<rule>[, <rule>]) -- <why this is sound>",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (array literals, slice patterns, `&mut [T]`, …).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "mut", "ref", "in", "return", "break", "else", "match", "loop", "move", "const",
+    "static", "use", "pub", "as", "dyn", "where", "if", "while", "for", "unsafe", "box",
+];
+
+/// A live lock guard.
+struct Guard {
+    /// Binding name when `let`-bound (enables `drop(name)` tracking).
+    name: Option<String>,
+    /// The field/variable the lock was taken on (`self.inner.lock()` →
+    /// `inner`): the identity used for ordering checks.
+    receiver: String,
+    /// Brace depth at acquisition; the guard dies when depth drops
+    /// below it.
+    depth: i32,
+    /// Not `let`-bound: a temporary dropped at the end of its statement.
+    temp: bool,
+}
+
+/// Analyze one file's (test-stripped) token stream.
+pub fn analyze(path: &str, toks: &[Tok], classes: &Classes) -> Analysis {
+    let mut out = Analysis::default();
+    let mut depth: i32 = 0;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut pending_let: Option<String> = None;
+
+    let ident = |i: usize| -> Option<&str> {
+        toks.get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    let punct = |i: usize, c: char| toks.get(i).is_some_and(|t| t.is_punct(c));
+
+    let push = |out: &mut Analysis, rule: &'static str, line: u32, msg: String| {
+        out.findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message: msg,
+        });
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        let line = t.line;
+
+        // --- scope bookkeeping ---------------------------------------
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => {
+                    depth += 1;
+                    pending_let = None;
+                }
+                "}" => {
+                    depth -= 1;
+                    guards.retain(|g| g.depth <= depth);
+                    pending_let = None;
+                }
+                ";" => {
+                    guards.retain(|g| !(g.temp && g.depth == depth));
+                    pending_let = None;
+                }
+                _ => {}
+            }
+        }
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                // A new item: expression guards cannot span it.
+                "fn" => guards.clear(),
+                "let" => {
+                    let mut j = i + 1;
+                    if ident(j) == Some("mut") {
+                        j += 1;
+                    }
+                    pending_let = ident(j).map(str::to_string);
+                }
+                // `drop(guard)` releases by name.
+                "drop" if punct(i + 1, '(') && punct(i + 3, ')') => {
+                    if let Some(name) = ident(i + 2) {
+                        guards.retain(|g| g.name.as_deref() != Some(name));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- determinism ---------------------------------------------
+        if classes.replay && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "HashMap" | "HashSet" => push(
+                    &mut out,
+                    "det-unordered-collection",
+                    line,
+                    format!(
+                        "{} in a replay-critical module: iteration order is \
+                         per-process, so replay diverges",
+                        t.text
+                    ),
+                ),
+                "Instant" | "SystemTime"
+                    if punct(i + 1, ':') && punct(i + 2, ':') && ident(i + 3) == Some("now") =>
+                {
+                    push(
+                        &mut out,
+                        "det-wall-clock",
+                        line,
+                        format!("{}::now() in a replay-critical module", t.text),
+                    )
+                }
+                "thread_rng" | "from_entropy" => push(
+                    &mut out,
+                    "det-rng",
+                    line,
+                    format!("ambient randomness ({}) cannot be replayed", t.text),
+                ),
+                "random"
+                    if i >= 3
+                        && punct(i - 1, ':')
+                        && punct(i - 2, ':')
+                        && ident(i - 3) == Some("rand") =>
+                {
+                    push(
+                        &mut out,
+                        "det-rng",
+                        line,
+                        "rand::random() draws from the thread RNG".to_string(),
+                    )
+                }
+                _ => {}
+            }
+        }
+        if classes.float_strict {
+            if t.kind == TokKind::Float {
+                push(
+                    &mut out,
+                    "det-float",
+                    line,
+                    format!("float literal `{}` in a float-strict zone", t.text),
+                );
+            }
+            if t.is_ident("as") {
+                if let Some(ty @ ("f64" | "f32")) = ident(i + 1) {
+                    push(
+                        &mut out,
+                        "det-float",
+                        line,
+                        format!("`as {ty}` cast in a float-strict zone"),
+                    );
+                }
+            }
+        }
+
+        // --- lock discipline -----------------------------------------
+        let is_lock_call = t.is_ident("lock")
+            && i > 0
+            && punct(i - 1, '.')
+            && punct(i + 1, '(')
+            && punct(i + 2, ')');
+        if is_lock_call {
+            let receiver = if i >= 2 && toks[i - 2].kind == TokKind::Ident {
+                toks[i - 2].text.clone()
+            } else {
+                "<expr>".to_string()
+            };
+            // A `let`-bound acquisition only produces a *live* guard if
+            // the binding IS the guard: the statement must end right
+            // after `.lock()`, modulo the `.unwrap()`/`.expect(..)` a
+            // std mutex needs. `let n = m.lock().values().fold(..);`
+            // binds the fold result; its guard is a temporary that dies
+            // at the `;`.
+            let mut j = i + 3;
+            loop {
+                if punct(j, '.')
+                    && matches!(ident(j + 1), Some("unwrap" | "expect"))
+                    && punct(j + 2, '(')
+                {
+                    let mut k = j + 3;
+                    let mut pdepth = 1;
+                    while k < toks.len() && pdepth > 0 {
+                        if punct(k, '(') {
+                            pdepth += 1;
+                        } else if punct(k, ')') {
+                            pdepth -= 1;
+                        }
+                        k += 1;
+                    }
+                    j = k;
+                } else {
+                    break;
+                }
+            }
+            let binds_guard = pending_let.is_some() && punct(j, ';');
+            if classes.reactor_inline {
+                push(
+                    &mut out,
+                    "lock-reactor-inline",
+                    line,
+                    format!(
+                        "blocking `.lock()` on `{receiver}` in a reactor-inline \
+                         module (try_lock or annotate)"
+                    ),
+                );
+            }
+            for g in &guards {
+                if g.receiver != receiver {
+                    out.pairs.push(LockPair {
+                        first: g.receiver.clone(),
+                        second: receiver.clone(),
+                        path: path.to_string(),
+                        line,
+                    });
+                }
+            }
+            guards.push(Guard {
+                name: if binds_guard {
+                    pending_let.clone()
+                } else {
+                    None
+                },
+                receiver,
+                depth,
+                temp: !binds_guard,
+            });
+        }
+        if !guards.is_empty() {
+            let marker = match ident(i) {
+                Some(m @ ("sync_all" | "sync_data")) if punct(i.wrapping_sub(1), '.') => Some(m),
+                Some(m @ "write_snapshot") if punct(i + 1, '(') => Some(m),
+                Some(m @ "append")
+                    if punct(i.wrapping_sub(1), '.')
+                        && ident(i.wrapping_sub(2)) == Some("journal") =>
+                {
+                    Some(m)
+                }
+                _ => None,
+            };
+            if let Some(m) = marker {
+                let held: Vec<&str> = guards.iter().map(|g| g.receiver.as_str()).collect();
+                push(
+                    &mut out,
+                    "lock-across-fsync",
+                    line,
+                    format!(
+                        "`{m}` (fsync-bearing) while holding lock(s) on {}: the \
+                         disk write serializes every waiter",
+                        held.join(", ")
+                    ),
+                );
+            }
+        }
+
+        // --- panic hygiene -------------------------------------------
+        if classes.panic_free && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "unwrap" | "expect" if i > 0 && punct(i - 1, '.') => push(
+                    &mut out,
+                    "panic-unwrap",
+                    line,
+                    format!(".{}() in a panic-free module: propagate instead", t.text),
+                ),
+                "panic" | "unreachable" | "todo" | "unimplemented" if punct(i + 1, '!') => push(
+                    &mut out,
+                    "panic-macro",
+                    line,
+                    format!(
+                        "{}! in a panic-free module: return an error instead",
+                        t.text
+                    ),
+                ),
+                _ => {}
+            }
+        }
+        if classes.no_index && t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexes = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct => prev.is_punct(']') || prev.is_punct(')'),
+                _ => false,
+            };
+            if indexes {
+                push(
+                    &mut out,
+                    "panic-indexing",
+                    line,
+                    "[] indexing in a panic-free module: use .get(..) and propagate".to_string(),
+                );
+            }
+        }
+    }
+    out
+}

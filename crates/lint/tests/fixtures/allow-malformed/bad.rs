@@ -1,0 +1,6 @@
+// dmp-lint: allow(det-wall-clock)
+pub fn a() {}
+// dmp-lint: allow(no-such-rule) -- the rule id is misspelled
+pub fn b() {}
+// dmp-lint: deny(det-rng) -- only allow(...) exists
+pub fn c() {}

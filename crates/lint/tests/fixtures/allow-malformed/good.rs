@@ -1,0 +1,5 @@
+pub fn observe() {
+    // dmp-lint: allow(det-wall-clock) -- latency telemetry only, never applied state
+    let started = Instant::now();
+    let _ = started;
+}

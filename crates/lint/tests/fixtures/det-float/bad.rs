@@ -1,0 +1,4 @@
+pub fn payout(balance: i64, share: i64) -> f64 {
+    let fraction = share as f64 / balance as f64;
+    fraction * 0.95
+}

@@ -1,0 +1,13 @@
+/// Integer micro-credits everywhere; the boundary conversion carries
+/// its exactness argument.
+// dmp-lint: allow(det-float) -- boundary constant, exact in f64
+pub const MICROS: f64 = 1_000_000.0;
+
+pub fn payout_micros(remaining: i64, share_micros: i64) -> i64 {
+    remaining.min(share_micros)
+}
+
+pub fn report(micros: i64) -> f64 {
+    // dmp-lint: allow(det-float) -- read-side boundary: state stays i64, only the report is f64
+    micros as f64 / MICROS
+}

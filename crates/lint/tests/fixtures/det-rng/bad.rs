@@ -1,0 +1,6 @@
+pub fn jitter() -> u64 {
+    let ambient = rand::thread_rng().gen::<u64>();
+    let implicit: u64 = rand::random();
+    let seeded = rand::rngs::StdRng::from_entropy().gen::<u64>();
+    ambient ^ implicit ^ seeded
+}

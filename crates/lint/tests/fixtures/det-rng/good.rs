@@ -1,0 +1,7 @@
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Per-offer stream keyed by replayed state: parallel == sequential,
+/// replay == original, shard-count independent.
+pub fn tie_break(round_seed: u64, offer_id: u64) -> u64 {
+    StdRng::seed_from_u64(round_seed ^ offer_id).gen()
+}

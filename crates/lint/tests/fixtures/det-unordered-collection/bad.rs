@@ -1,0 +1,11 @@
+use std::collections::HashMap;
+
+/// Tally per-key totals. Iteration order of the map is per-process:
+/// replay sees a different order than the run that wrote the WAL.
+pub fn tally(xs: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0) += v;
+    }
+    m.into_iter().collect()
+}

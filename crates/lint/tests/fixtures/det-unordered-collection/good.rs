@@ -1,0 +1,15 @@
+use std::collections::BTreeMap;
+// dmp-lint: allow(det-unordered-collection) -- keyed lookups only, never iterated
+use std::collections::HashMap;
+
+pub fn tally(xs: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(k, v) in xs {
+        *m.entry(k).or_insert(0) += v;
+    }
+    m.into_iter().collect()
+}
+
+pub fn lookup(m: &HashMap<u64, u64>, k: u64) -> u64 { // dmp-lint: allow(det-unordered-collection) -- keyed lookup only, never iterated
+    m.get(&k).copied().unwrap_or(0)
+}

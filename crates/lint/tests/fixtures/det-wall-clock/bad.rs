@@ -1,0 +1,7 @@
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> (Instant, SystemTime) {
+    let mono = Instant::now();
+    let wall = SystemTime::now();
+    (mono, wall)
+}

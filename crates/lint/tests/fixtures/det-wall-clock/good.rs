@@ -1,0 +1,10 @@
+pub fn stamp(round: u64, seq: u64) -> u64 {
+    // Logical time threaded from replayed state, not the wall clock.
+    round.wrapping_mul(1_000_003).wrapping_add(seq)
+}
+
+pub fn observe_latency() {
+    // dmp-lint: allow(det-wall-clock) -- latency telemetry only, never applied state
+    let started = std::time::Instant::now();
+    let _ = started.elapsed();
+}

@@ -1,0 +1,6 @@
+pub fn apply(&self, cmd: Command) -> std::io::Result<()> {
+    let mut inner = self.inner.lock();
+    inner.journal.append(&cmd)?;
+    inner.file.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,17 @@
+pub fn apply(&self, cmd: Command) -> std::io::Result<()> {
+    let payload = {
+        let mut inner = self.inner.lock();
+        inner.stage(&cmd)
+    };
+    // Guard released: the fsync happens outside the critical section.
+    self.file.sync_all()?;
+    self.publish(payload);
+    Ok(())
+}
+
+pub fn apply_durable(&self, cmd: Command) -> std::io::Result<()> {
+    let mut inner = self.inner.lock();
+    // dmp-lint: allow(lock-across-fsync) -- WAL ordering invariant: append (durable) and apply (visible) must be one critical section
+    inner.journal.append(&cmd)?;
+    Ok(())
+}

@@ -1,0 +1,11 @@
+pub fn grant(&self) {
+    let lic = self.licenses.lock();
+    let holds = self.exclusive_holds.lock();
+    lic.check(&holds);
+}
+
+pub fn revoke(&self) {
+    let holds = self.exclusive_holds.lock();
+    let lic = self.licenses.lock();
+    holds.check(&lic);
+}

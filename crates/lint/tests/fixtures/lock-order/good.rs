@@ -1,0 +1,12 @@
+pub fn grant(&self) {
+    let lic = self.licenses.lock();
+    let holds = self.exclusive_holds.lock();
+    lic.check(&holds);
+}
+
+pub fn revoke(&self) {
+    // Same global order as grant(): licenses before exclusive_holds.
+    let lic = self.licenses.lock();
+    let holds = self.exclusive_holds.lock();
+    holds.check(&lic);
+}

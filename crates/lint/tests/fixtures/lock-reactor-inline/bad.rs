@@ -1,0 +1,4 @@
+pub fn metrics_body(&self) -> String {
+    let entries = self.entries.lock();
+    entries.render()
+}

@@ -1,0 +1,11 @@
+pub fn metrics_body(&self) -> Option<String> {
+    // Non-blocking: a contended scrape is dropped, not waited for.
+    let entries = self.entries.try_lock().ok()?;
+    Some(entries.render())
+}
+
+pub fn trace_body(&self) -> String {
+    // dmp-lint: allow(lock-reactor-inline) -- held for a snapshot copy only; writers never block holding it
+    let ring = self.ring.lock();
+    ring.snapshot()
+}

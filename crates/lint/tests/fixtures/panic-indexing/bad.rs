@@ -1,0 +1,6 @@
+pub fn frame_parts(bytes: &[u8], shards: &[Shard], home: usize) -> u8 {
+    let first = bytes[0];
+    let window = &bytes[4..8];
+    let shard = &shards[home];
+    first ^ window[0] ^ shard.id
+}

@@ -1,0 +1,7 @@
+pub fn frame_parts(bytes: &[u8], shards: &[Shard], home: usize) -> Option<u8> {
+    let first = bytes.first()?;
+    let window = bytes.get(4..8)?;
+    // dmp-lint: allow(panic-indexing) -- home is reduced mod shards.len() by the caller's shard_of
+    let shard = &shards[home];
+    Some(first ^ window.first()? ^ shard.id)
+}

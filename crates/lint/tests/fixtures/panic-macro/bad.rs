@@ -1,0 +1,7 @@
+pub fn settle(state: State) -> Payout {
+    match state {
+        State::Held(p) => p,
+        State::Closed => panic!("escrow already closed"),
+        State::Poisoned => unreachable!(),
+    }
+}

@@ -1,0 +1,7 @@
+pub fn settle(state: State) -> Result<Payout, MarketError> {
+    match state {
+        State::Held(p) => Ok(p),
+        State::Closed => Err(MarketError::EscrowClosed),
+        State::Poisoned => Err(MarketError::Poisoned),
+    }
+}

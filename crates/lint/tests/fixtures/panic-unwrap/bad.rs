@@ -1,0 +1,4 @@
+pub fn read_header(bytes: &[u8]) -> u32 {
+    let arr: [u8; 4] = bytes.get(..4).map(|s| s.try_into().unwrap()).expect("short buffer");
+    u32::from_le_bytes(arr)
+}

@@ -1,0 +1,9 @@
+use std::io;
+
+pub fn read_header(bytes: &[u8]) -> io::Result<u32> {
+    bytes
+        .get(..4)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "torn frame header"))
+}

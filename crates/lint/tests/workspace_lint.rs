@@ -1,0 +1,72 @@
+//! The self-check that pins the workspace lint-clean: `cargo test -q`
+//! runs the full dmp-lint pass over the repository and fails on any
+//! finding, so a violation merged anywhere fails both this test and
+//! the CI lint step. A second test seeds a violation into a synthetic
+//! tree to prove the walker + classifier actually catch one — guarding
+//! against the pass silently going blind (wrong root, over-eager skip
+//! list, classification drift).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use dmp_lint::{lint_workspace, summarize};
+
+/// The repository root, two levels up from this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let findings = lint_workspace(&repo_root()).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "dmp-lint found {} violation(s):\n{}\n\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        summarize(&findings),
+    );
+}
+
+#[test]
+fn seeded_violation_is_caught() {
+    // A synthetic tree shaped like the workspace: the classifier keys
+    // on the relative path, so `crates/core/src/market.rs` lands in
+    // the replay-critical class and the HashMap must be flagged.
+    let root = std::env::temp_dir().join(format!("dmp-lint-seeded-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let src_dir = root.join("crates/core/src");
+    fs::create_dir_all(&src_dir).expect("temp tree");
+    fs::write(
+        src_dir.join("market.rs"),
+        "use std::collections::HashMap;\npub fn f() -> HashMap<u64, u64> { HashMap::new() }\n",
+    )
+    .expect("seed file");
+
+    let findings = lint_workspace(&root).expect("seeded walk succeeds");
+    let _ = fs::remove_dir_all(&root);
+
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+    assert_eq!(
+        rules,
+        vec![
+            "det-unordered-collection",
+            "det-unordered-collection",
+            "det-unordered-collection"
+        ],
+        "seeded HashMap must be flagged at every occurrence"
+    );
+    let lines: Vec<u32> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![1, 2, 2]);
+    assert!(
+        findings.iter().all(|f| f.path.ends_with("market.rs")),
+        "findings carry the offending path"
+    );
+}

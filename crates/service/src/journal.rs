@@ -53,24 +53,31 @@ pub(crate) fn frame(payload: &[u8], out: &mut Vec<u8>) {
 pub(crate) fn scan_frames(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
     let mut payloads = Vec::new();
     let mut pos = 0usize;
-    while bytes.len() - pos >= 8 {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    // Checked reads throughout: this scan runs over arbitrary on-disk
+    // bytes, so a short or corrupt buffer must stop the scan (torn
+    // tail: header truncated), never panic it.
+    while let (Some(len), Some(crc)) = (read_u32_le(bytes, pos), read_u32_le(bytes, pos + 4)) {
         let start = pos + 8;
-        let Some(end) = start.checked_add(len) else {
-            break;
+        let payload = match start
+            .checked_add(len as usize)
+            .and_then(|end| bytes.get(start..end))
+        {
+            Some(p) => p,
+            None => break, // torn tail: payload truncated mid-write
         };
-        if end > bytes.len() {
-            break; // torn tail: payload truncated mid-write
-        }
-        let payload = &bytes[start..end];
         if crc32(payload) != crc {
             break; // torn tail: header written, payload garbage
         }
         payloads.push(payload.to_vec());
-        pos = end;
+        pos = start + payload.len();
     }
     (payloads, pos)
+}
+
+/// Little-endian u32 at `at`, `None` if the buffer is too short.
+fn read_u32_le(bytes: &[u8], at: usize) -> Option<u32> {
+    let s = bytes.get(at..at.checked_add(4)?)?;
+    s.try_into().ok().map(u32::from_le_bytes)
 }
 
 /// The maximum journal record payload accepted on replay (a corrupt
@@ -175,6 +182,7 @@ impl Journal {
                  file may end in a torn frame; reopen the journal to truncate and resume",
             ));
         }
+        // dmp-lint: allow(det-float) -- JSON wire carries seq as f64; the round-trip decode below refuses any seq that does not survive exactly
         let payload = Json::obj([("seq", Json::Num(seq as f64)), ("cmd", cmd.encode())])
             .try_dump()
             .map_err(|e| {
@@ -193,7 +201,7 @@ impl Journal {
             }
         }
         let m = metrics();
-        let started = Instant::now();
+        let started = Instant::now(); // dmp-lint: allow(det-wall-clock) -- append latency telemetry; never journaled or applied
         let mut buf = Vec::with_capacity(payload.len() + 8);
         frame(payload.as_bytes(), &mut buf);
         let result = self
@@ -202,6 +210,7 @@ impl Journal {
             .and_then(|()| self.file.flush())
             .and_then(|()| {
                 if self.fsync {
+                    // dmp-lint: allow(det-wall-clock) -- fsync latency telemetry; never journaled or applied
                     let sync_started = Instant::now();
                     let r = self.file.sync_data();
                     m.journal_fsync_us

@@ -341,7 +341,16 @@ impl ShardRouter {
 
     /// Direct shard access (diagnostics, tests, digests).
     pub fn shard(&self, i: usize) -> &DataMarket {
-        &self.shards[i]
+        self.market_at(i)
+    }
+
+    /// The single audited index into the shard vector: `shards` is
+    /// non-empty by construction and every internal index is either 0
+    /// or comes from [`ShardRouter::shard_of`], which reduces modulo
+    /// `shards.len()`.
+    fn market_at(&self, shard: usize) -> &DataMarket {
+        // dmp-lint: allow(panic-indexing) -- shards is non-empty by construction; indices are 0 or shard_of results, reduced mod shards.len()
+        &self.shards[shard]
     }
 
     /// All shards.
@@ -356,7 +365,7 @@ impl ShardRouter {
         match cmd {
             Command::Enroll { name, role } => {
                 let shard = self.shard_of(name);
-                self.shards[shard].enroll(name.clone(), role.clone());
+                self.market_at(shard).enroll(name.clone(), role.clone());
                 Ok(Outcome::Enrolled {
                     name: name.clone(),
                     shard,
@@ -375,7 +384,7 @@ impl ShardRouter {
                     )));
                 }
                 let shard = self.shard_of(account);
-                let market = &self.shards[shard];
+                let market = self.market_at(shard);
                 // Only enrolled principals (and the arbiter) hold
                 // accounts: minting into an unknown name would create a
                 // balance `GET /ledger/:name` then denies exists.
@@ -401,7 +410,8 @@ impl ShardRouter {
                 // on success only, so rejected submissions (which are
                 // journaled and replayed as rejections) do not burn ids.
                 let mut state = self.state.lock();
-                let offer = self.shards[shard]
+                let offer = self
+                    .market_at(shard)
                     .submit_wtp_with_id(state.next_offer, spec.to_wtp(), spec.purpose.clone())
                     .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
                 state.next_offer = offer + 1;
@@ -409,7 +419,7 @@ impl ShardRouter {
             }
             Command::SubmitAsk(spec) => {
                 let shard = self.shard_of(&spec.seller);
-                let market = &self.shards[shard];
+                let market = self.market_at(shard);
                 let rel = spec
                     .table
                     .to_relation()
@@ -439,7 +449,7 @@ impl ShardRouter {
                 license,
             } => {
                 let shard = self.shard_of(seller);
-                self.shards[shard]
+                self.market_at(shard)
                     .seller(seller)
                     .set_license(DatasetId(*dataset), license.to_license())
                     .map_err(|e| ServiceError::Rejected(format!("{e:?}")))?;
@@ -478,6 +488,7 @@ impl ShardRouter {
         let m = crate::metrics::metrics();
         let round_seed = self.state.lock().round_rng.gen::<u64>();
         // Phase 1: candidates, shard-parallel.
+        // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
         let mut ctxs: Vec<RoundContext> = self
             .shards
@@ -489,6 +500,7 @@ impl ShardRouter {
         // Phase 2: one global clearing pass over all shards' bids. The
         // bids move out of the contexts by value — settlement only
         // needs the winning mashups, which stay behind.
+        // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
         let sets: Vec<CandidateSet> = ctxs
             .iter_mut()
@@ -502,10 +514,12 @@ impl ShardRouter {
         // that order is part of the semantics (a seller's proceeds from
         // an earlier sale can fund their own later purchase on the
         // shared ledger, exactly as in a 1-shard market).
+        // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
         for sale in sales {
             let home = self.shard_of(&sale.buyer);
-            self.shards[home].settle_sale(&mut ctxs[home], sale);
+            // dmp-lint: allow(panic-indexing) -- one context per shard by construction; home comes from shard_of, reduced mod shards.len()
+            self.market_at(home).settle_sale(&mut ctxs[home], sale);
         }
         // Cross-shard accounting over sales that actually *settled*
         // (cleared-but-unfunded sales leave their offers pending and
@@ -517,7 +531,7 @@ impl ShardRouter {
             for sale in &ctx.completed_sales {
                 if let Some(m) = ctx.best_mashups.get(&sale.offer_id) {
                     let crosses = m.datasets.iter().any(|&d| {
-                        self.shards[home]
+                        self.market_at(home)
                             .metadata()
                             .get(d)
                             .map(|e| self.shard_of(&e.owner) != home)
@@ -531,6 +545,7 @@ impl ShardRouter {
         }
         m.round_phase_us(2)
             .record_duration_us(phase_started.elapsed());
+        // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
         let reports: Vec<RoundReport> = ctxs
             .into_iter()
@@ -550,18 +565,20 @@ impl ShardRouter {
 
     /// Balance lookup (the ledger is shared across shards).
     pub fn balance(&self, account: &str) -> f64 {
-        self.shards[0].balance(account)
+        self.market_at(0).balance(account)
     }
 
     /// Whether any shard knows this participant.
     pub fn participant_exists(&self, name: &str) -> bool {
-        self.shards[self.shard_of(name)].participant(name).is_some()
+        self.market_at(self.shard_of(name))
+            .participant(name)
+            .is_some()
     }
 
     /// All balances as `(account, balance)`, sorted by account name
     /// (one shared ledger — already deduplicated by construction).
     pub fn all_balances(&self) -> Vec<(String, f64)> {
-        self.shards[0].ledger().balances()
+        self.market_at(0).ledger().balances()
     }
 
     /// FNV-1a digest over the externally-visible market state: the
@@ -574,10 +591,10 @@ impl ShardRouter {
         let mut canon = String::new();
         // Substrate state (shared across shards): enumerate once.
         canon.push_str("ledger\n");
-        for (account, balance) in self.shards[0].ledger().balances() {
+        for (account, balance) in self.market_at(0).ledger().balances() {
             canon.push_str(&format!("bal {account} {}\n", micros(balance)));
         }
-        for (id, holder, remaining) in self.shards[0].ledger().escrow_holds() {
+        for (id, holder, remaining) in self.market_at(0).ledger().escrow_holds() {
             canon.push_str(&format!("esc {id} {holder} {}\n", micros(remaining)));
         }
         for (i, market) in self.shards.iter().enumerate() {

@@ -43,10 +43,13 @@ pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> std::io::Result<PathBu
     fs::create_dir_all(dir)?;
     let mut buf = Vec::new();
     let header = Json::obj([
+        // dmp-lint: allow(det-float) -- format version tag, a small exact integer in f64
         ("version", Json::Num(1.0)),
+        // dmp-lint: allow(det-float) -- JSON wire carries seq as f64; recovery re-verifies against the journal digest
         ("seq", Json::Num(snapshot.seq as f64)),
         // u64 digests exceed f64's exact-integer range: hex string.
         ("digest", Json::str(format!("{:016x}", snapshot.digest))),
+        // dmp-lint: allow(det-float) -- command count is bounded far below 2^53, exact in f64
         ("count", Json::Num(snapshot.commands.len() as f64)),
     ])
     .dump();
@@ -82,7 +85,8 @@ fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
     if valid_len != bytes.len() || payloads.is_empty() {
         return None; // torn or trailing garbage: not an intact snapshot
     }
-    let header = Json::parse(std::str::from_utf8(&payloads[0]).ok()?).ok()?;
+    let (first, rest) = payloads.split_first()?;
+    let header = Json::parse(std::str::from_utf8(first).ok()?).ok()?;
     if header.req_u64("version").ok()? != 1 {
         return None;
     }
@@ -93,7 +97,7 @@ fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
         return None;
     }
     let mut commands = Vec::with_capacity(count);
-    for payload in &payloads[1..] {
+    for payload in rest {
         let json = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
         commands.push(Command::decode(&json).ok()?);
     }
