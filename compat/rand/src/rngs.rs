@@ -31,6 +31,25 @@ impl SeedableRng for StdRng {
     }
 }
 
+impl StdRng {
+    /// The raw xoshiro256++ state words, for durable snapshots.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from previously captured [`StdRng::state`]
+    /// words. The all-zero state is a xoshiro fixed point, so it is
+    /// remapped the same way seeding remaps it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        if s == [0; 4] {
+            return StdRng {
+                s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+            };
+        }
+        StdRng { s }
+    }
+}
+
 impl RngCore for StdRng {
     fn next_u64(&mut self) -> u64 {
         let [s0, s1, s2, s3] = self.s;

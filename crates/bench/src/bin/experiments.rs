@@ -1351,6 +1351,77 @@ fn svc_service_baseline() {
     ));
     json_rows.push(("journal_replay_cmds_per_s".into(), Json::Num(cmds_per_s)));
 
+    // Recovery scaling: with materialized snapshots + journal
+    // compaction (`keep_snapshots(1)`), recovery time is O(state +
+    // journal tail), not O(total history). The probe holds the *state*
+    // constant (deposit churn over a fixed account set — balances
+    // change, nothing accumulates) while the command history grows 8x:
+    // the compacted journal never holds more than ~snapshot_every
+    // records, so both recoveries restore the same small snapshot plus
+    // a bounded tail and must land within a constant factor of each
+    // other. CI asserts that ratio and that the long run's journal
+    // stayed bounded after compaction.
+    {
+        let recovery_probe = |name: &str, deposits: usize| -> (f64, u64, u64) {
+            let cfg = service_config(tmp(name))
+                .with_snapshot_every(64)
+                .with_keep_snapshots(1);
+            {
+                let node = ServiceNode::open(cfg.clone()).unwrap();
+                for i in 0..4 {
+                    node.apply(Command::Enroll {
+                        name: format!("b{i}"),
+                        role: "buyer".into(),
+                    })
+                    .unwrap();
+                }
+                for d in 0..deposits {
+                    node.apply(Command::Deposit {
+                        account: format!("b{}", d % 4),
+                        amount: 1.0 + (d % 97) as f64 / 7.0,
+                    })
+                    .unwrap();
+                }
+            }
+            let journal_bytes = std::fs::metadata(cfg.dir.join("journal.wal"))
+                .expect("journal must exist")
+                .len();
+            // Best of three: recovery is milliseconds, so one scheduler
+            // hiccup would otherwise dominate the ratio CI checks.
+            let mut best = f64::MAX;
+            let mut applied = 0u64;
+            for _ in 0..3 {
+                let (a, ms) = time_ms(|| ServiceNode::open(cfg.clone()).unwrap().applied());
+                applied = a;
+                if ms < best {
+                    best = ms;
+                }
+            }
+            (best, journal_bytes, applied)
+        };
+        const SHORT_DEPOSITS: usize = 256;
+        const LONG_DEPOSITS: usize = 2048;
+        let (short_ms, _, short_applied) = recovery_probe("svc-recovery-short", SHORT_DEPOSITS);
+        let (long_ms, long_journal, long_applied) =
+            recovery_probe("svc-recovery-long", LONG_DEPOSITS);
+        t.row(vec![
+            "recovery (short history)".into(),
+            format!("{short_applied} cmds journaled, compacted"),
+            format!("{} ms", f2(short_ms)),
+        ]);
+        t.row(vec![
+            "recovery (long history)".into(),
+            format!("{long_applied} cmds journaled, compacted"),
+            format!("{} ms ({} B journal)", f2(long_ms), long_journal),
+        ]);
+        json_rows.push(("recovery_ms_short_history".into(), Json::Num(short_ms)));
+        json_rows.push(("recovery_ms_long_history".into(), Json::Num(long_ms)));
+        json_rows.push((
+            "journal_bytes_after_compaction".into(),
+            Json::Num(long_journal as f64),
+        ));
+    }
+
     // Two-phase cross-shard exchange throughput: a 4-shard router with
     // buyers and sellers scattered across shards, fresh offers every
     // round, candidate phase shard-parallel, one global clearing pass,

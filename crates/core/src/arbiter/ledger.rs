@@ -319,6 +319,89 @@ impl Ledger {
             .map(|(&id, e)| (id, e.from.clone(), from_micros(e.remaining)))
             .collect()
     }
+
+    /// Exact ledger state for materialized snapshots, in integer
+    /// micro-credits so the round trip is bit-identical: account
+    /// balances, *all* escrows (closed ones keep their ids occupied and
+    /// must survive so `next_escrow` stays consistent with the map),
+    /// and the next escrow id.
+    pub fn export_state(&self) -> LedgerImage {
+        let accounts = self
+            .accounts
+            .lock()
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect();
+        let escrows = self
+            .escrows
+            .lock()
+            .iter()
+            .map(|(&id, e)| EscrowImage {
+                id,
+                from: e.from.clone(),
+                remaining_micros: e.remaining,
+                held: e.state == EscrowState::Held,
+            })
+            .collect();
+        LedgerImage {
+            accounts,
+            escrows,
+            next_escrow: self.next_escrow.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Replace the ledger's contents with a previously exported image
+    /// (recovery from a materialized snapshot).
+    pub fn restore_state(&self, image: LedgerImage) {
+        // Lock order matches the payout paths: escrows before accounts.
+        let mut escrows = self.escrows.lock();
+        let mut accounts = self.accounts.lock();
+        accounts.clear();
+        for (name, micros) in image.accounts {
+            accounts.insert(name, micros);
+        }
+        escrows.clear();
+        for e in image.escrows {
+            escrows.insert(
+                e.id,
+                Escrow {
+                    from: e.from,
+                    remaining: e.remaining_micros,
+                    state: if e.held {
+                        EscrowState::Held
+                    } else {
+                        EscrowState::Closed
+                    },
+                },
+            );
+        }
+        self.next_escrow.store(image.next_escrow, Ordering::SeqCst);
+    }
+}
+
+/// One escrow entry in a [`LedgerImage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EscrowImage {
+    /// Escrow id.
+    pub id: u64,
+    /// Account the hold was taken from.
+    pub from: String,
+    /// Funds still held, in micro-credits.
+    pub remaining_micros: i64,
+    /// Whether the escrow is still open.
+    pub held: bool,
+}
+
+/// Bit-exact ledger state (micro-credits), used by snapshot encode and
+/// recovery restore.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LedgerImage {
+    /// Account balances in micro-credits, name-sorted.
+    pub accounts: Vec<(String, i64)>,
+    /// Every escrow, open or closed, id-sorted.
+    pub escrows: Vec<EscrowImage>,
+    /// The next escrow id to allocate.
+    pub next_escrow: u64,
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use dmp_discovery::{LineageLog, MetadataEngine};
 use dmp_mechanism::wtp::WtpFunction;
 use dmp_privacy::PrivacyBudget;
 use dmp_relation::{DatasetId, Relation};
-use dmp_valuation::sharing::DatasetShare;
+pub use dmp_valuation::sharing::DatasetShare;
 
 use crate::arbiter::ledger::Ledger;
 use crate::arbiter::pipeline::{self, RoundStage};
@@ -169,6 +169,118 @@ impl MarketSubstrate {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Capture the shared substrate — catalog, lineage, ledger and the
+    /// licensing terms — for a materialized snapshot. Everything here is
+    /// shared by all shards of a deployment, so it is captured once, not
+    /// per shard.
+    pub fn export_state(&self) -> SubstrateImage {
+        let (lineage, lineage_seq) = self.lineage.export_state();
+        SubstrateImage {
+            metadata: self.metadata.export_state(),
+            lineage,
+            lineage_seq,
+            ledger: self.ledger.export_state(),
+            reserves: self.reserves.lock().iter().map(|(&d, &p)| (d, p)).collect(),
+            licenses: self
+                .licenses
+                .lock()
+                .iter()
+                .map(|(&d, l)| (d, l.clone()))
+                .collect(),
+            // Lock order matches the candidate pipeline: exclusive
+            // holds before CI policies.
+            exclusive_holds: self
+                .exclusive_holds
+                .lock()
+                .iter()
+                .map(|(&d, (holder, until))| (d, holder.clone(), *until))
+                .collect(),
+            ci_policies: self
+                .ci_policies
+                .lock()
+                .iter()
+                .map(|(&d, p)| (d, p.clone()))
+                .collect(),
+        }
+    }
+
+    /// Replace the substrate's contents with a previously exported
+    /// image (recovery from a materialized snapshot).
+    pub fn restore_state(&self, image: SubstrateImage) {
+        self.metadata.restore_state(image.metadata);
+        self.lineage.restore_state(image.lineage, image.lineage_seq);
+        self.ledger.restore_state(image.ledger);
+        *self.reserves.lock() = image.reserves.into_iter().collect();
+        *self.licenses.lock() = image.licenses.into_iter().collect();
+        *self.exclusive_holds.lock() = image
+            .exclusive_holds
+            .into_iter()
+            .map(|(d, holder, until)| (d, (holder, until)))
+            .collect();
+        *self.ci_policies.lock() = image.ci_policies.into_iter().collect();
+    }
+}
+
+/// Shared-substrate state captured by [`MarketSubstrate::export_state`].
+#[derive(Debug, Clone, Default)]
+pub struct SubstrateImage {
+    /// Dataset catalog (relations, versions, tags, id/clock counters).
+    pub metadata: dmp_discovery::metadata::MetadataImage,
+    /// Per-dataset lineage events, dataset-sorted.
+    pub lineage: Vec<(DatasetId, Vec<(u64, dmp_discovery::LineageEvent)>)>,
+    /// The lineage sequence counter.
+    pub lineage_seq: u64,
+    /// Exact micro-credit ledger state.
+    pub ledger: crate::arbiter::ledger::LedgerImage,
+    /// Seller reserve prices, dataset-sorted.
+    pub reserves: Vec<(DatasetId, f64)>,
+    /// Licenses attached to datasets, dataset-sorted.
+    pub licenses: Vec<(DatasetId, License)>,
+    /// Contextual-integrity policies, dataset-sorted.
+    pub ci_policies: Vec<(DatasetId, ContextualIntegrityPolicy)>,
+    /// Active exclusivity holds `(dataset, holder, until_round)`.
+    pub exclusive_holds: Vec<(DatasetId, String, u64)>,
+}
+
+/// Everything one market shard owns *privately*, captured for a
+/// materialized snapshot: the offer book and its lifecycle records, the
+/// participant roster, the shard clock and id allocators, the audit
+/// chain's events, disputes, and the shard's RNG stream position.
+#[derive(Debug, Clone)]
+pub struct MarketShardState {
+    /// Logical clock.
+    pub clock: u64,
+    /// Completed rounds.
+    pub round: u64,
+    /// Next offer id the shard-local allocator would hand out.
+    pub next_offer: u64,
+    /// Next transaction id.
+    pub next_tx: u64,
+    /// Next delivery id.
+    pub next_delivery: u64,
+    /// The offer book, id-sorted.
+    pub offers: Vec<Offer>,
+    /// Settled transactions, in settlement order.
+    pub transactions: Vec<TransactionRecord>,
+    /// Ex post deliveries, in delivery order.
+    pub deliveries: Vec<Delivery>,
+    /// Purchase records feeding the recommender.
+    pub purchases: Vec<Purchase>,
+    /// Participant roster, name-sorted.
+    pub participants: Vec<Participant>,
+    /// Missing-attribute lists from the most recent round.
+    pub last_missing: Vec<Vec<String>>,
+    /// Negotiation requests from the most recent round.
+    pub last_negotiations: Vec<NegotiationRequest>,
+    /// The shard RNG's xoshiro256++ state words.
+    pub rng: [u64; 4],
+    /// Audit-chain events in append order (the chain's hashes are
+    /// recomputed on restore; they are process-local tamper evidence,
+    /// not durable state).
+    pub audit_events: Vec<AuditEvent>,
+    /// Disputes in id order (ids are dense from 0).
+    pub disputes: Vec<crate::trust::Dispute>,
 }
 
 /// The deployed data market.
@@ -542,6 +654,64 @@ impl DataMarket {
     /// Item-based CF recommendations for a buyer.
     pub fn recommendations(&self, buyer: &str, k: usize) -> Vec<DatasetId> {
         crate::arbiter::services::recommend(&self.purchases.lock(), buyer, k)
+    }
+
+    /// Capture this shard's private state for a materialized snapshot.
+    /// Shared substrate state is exported separately via
+    /// [`MarketSubstrate::export_state`].
+    pub fn export_shard_state(&self) -> MarketShardState {
+        MarketShardState {
+            clock: self.clock.load(Ordering::SeqCst),
+            round: self.round_counter.load(Ordering::SeqCst),
+            next_offer: self.next_offer.load(Ordering::SeqCst),
+            next_tx: self.next_tx.load(Ordering::SeqCst),
+            next_delivery: self.next_delivery.load(Ordering::SeqCst),
+            offers: self.offers(),
+            transactions: self.transactions.lock().clone(),
+            deliveries: self.deliveries.lock().clone(),
+            purchases: self.purchases.lock().clone(),
+            participants: self.participants(),
+            last_missing: self.last_missing.lock().clone(),
+            last_negotiations: self.last_negotiations.lock().clone(),
+            rng: self.rng.lock().state(),
+            audit_events: self.audit.entries().into_iter().map(|e| e.event).collect(),
+            disputes: (0..).map_while(|i| self.disputes.get(i)).collect(),
+        }
+    }
+
+    /// Restore a shard's private state from a previously exported
+    /// image. The market must be freshly constructed: the audit chain
+    /// and dispute log are append-only, so this replays their events
+    /// into the empty structures rather than overwriting.
+    pub fn restore_shard_state(&self, state: MarketShardState) {
+        self.clock.store(state.clock, Ordering::SeqCst);
+        self.round_counter.store(state.round, Ordering::SeqCst);
+        self.next_offer.store(state.next_offer, Ordering::SeqCst);
+        self.next_tx.store(state.next_tx, Ordering::SeqCst);
+        self.next_delivery
+            .store(state.next_delivery, Ordering::SeqCst);
+        *self.offers.lock() = state.offers.into_iter().map(|o| (o.id, o)).collect();
+        *self.transactions.lock() = state.transactions;
+        *self.deliveries.lock() = state.deliveries;
+        *self.purchases.lock() = state.purchases;
+        *self.participants.lock() = state
+            .participants
+            .into_iter()
+            .map(|p| (p.name.clone(), p))
+            .collect();
+        *self.last_missing.lock() = state.last_missing;
+        *self.last_negotiations.lock() = state.last_negotiations;
+        *self.rng.lock() = rand::rngs::StdRng::from_state(state.rng);
+        for event in state.audit_events {
+            self.audit.record(event);
+        }
+        for d in state.disputes {
+            let id = self.disputes.open(d.complainant, d.tx, d.reason);
+            debug_assert_eq!(id, d.id, "dispute ids are dense from 0");
+            if let crate::trust::DisputeState::Resolved { refund } = d.state {
+                self.disputes.resolve(id, refund);
+            }
+        }
     }
 }
 

@@ -40,6 +40,11 @@ pub enum LineageEvent {
     },
 }
 
+/// Dataset-sorted lineage contents captured by
+/// [`LineageLog::export_state`]: per dataset, the `(seq, event)` pairs
+/// in record order.
+pub type LineageImage = Vec<(DatasetId, Vec<(u64, LineageEvent)>)>;
+
 /// Append-only per-dataset lineage log, with an optional access quota:
 /// "the SMP incrementally updates the information recorded about those
 /// datasets subject to an optional access quota established by the origin
@@ -126,6 +131,31 @@ impl LineageLog {
                 _ => 0.0,
             })
             .sum()
+    }
+
+    /// All recorded events and the sequence counter, dataset-sorted,
+    /// for materialized snapshots. The quota is configuration, not
+    /// state, and is not exported.
+    pub fn export_state(&self) -> (LineageImage, u64) {
+        let mut entries: LineageImage = self
+            .events
+            .read()
+            .iter()
+            .map(|(&id, evs)| (id, evs.clone()))
+            .collect();
+        entries.sort_by_key(|(id, _)| *id);
+        let seq = self.seq.load(std::sync::atomic::Ordering::SeqCst);
+        (entries, seq)
+    }
+
+    /// Replace the log's contents with a previously exported image.
+    pub fn restore_state(&self, entries: LineageImage, seq: u64) {
+        let mut map = self.events.write();
+        map.clear();
+        for (id, evs) in entries {
+            map.insert(id, evs);
+        }
+        self.seq.store(seq, std::sync::atomic::Ordering::SeqCst);
     }
 }
 

@@ -414,6 +414,103 @@ impl MetadataEngine {
         }
         out
     }
+
+    /// Catalog state for materialized snapshots. Per entry this keeps
+    /// only what cannot be recomputed — the relation itself plus
+    /// identity/lifecycle fields; content hashes and column profiles are
+    /// deterministic functions of the relation and are rebuilt on
+    /// [`Self::restore_state`]. Historical context snapshots are
+    /// deliberately dropped: nothing in market behavior reads anything
+    /// but the latest one.
+    pub fn export_state(&self) -> MetadataImage {
+        let entries = self
+            .entries()
+            .into_iter()
+            .map(|e| DatasetEntryImage {
+                id: e.id,
+                name: e.name.clone(),
+                owner: e.owner.clone(),
+                relation: (*e.relation).clone(),
+                version: e.version,
+                registered_at: e.registered_at,
+                snapshot_at: e.latest_snapshot().at,
+                tags: e.tags,
+            })
+            .collect();
+        MetadataImage {
+            entries,
+            next_id: self.next_id.load(Ordering::SeqCst),
+            clock: self.clock.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Replace the catalog with a previously exported image: re-stamps
+    /// leaf provenance, recomputes each entry's latest context snapshot
+    /// at its original `(version, at)`, and restores the id/clock
+    /// counters.
+    pub fn restore_state(&self, image: MetadataImage) {
+        let mut rebuilt = HashMap::with_capacity(image.entries.len());
+        for e in image.entries {
+            let rel = e.relation.with_source(e.id);
+            let snapshot = snapshot_of(
+                &rel,
+                e.version,
+                e.snapshot_at,
+                std::slice::from_ref(&e.owner),
+            );
+            rebuilt.insert(
+                e.id,
+                DatasetEntry {
+                    id: e.id,
+                    name: e.name,
+                    owner: e.owner,
+                    relation: Arc::new(rel),
+                    version: e.version,
+                    registered_at: e.registered_at,
+                    snapshots: vec![snapshot],
+                    tags: e.tags,
+                },
+            );
+        }
+        let mut entries = self.entries.write();
+        *entries = rebuilt;
+        self.next_id.store(image.next_id, Ordering::SeqCst);
+        self.clock.store(image.clock, Ordering::SeqCst);
+        self.bump_generation();
+        drop(entries);
+    }
+}
+
+/// One catalog entry in a [`MetadataImage`].
+#[derive(Debug, Clone)]
+pub struct DatasetEntryImage {
+    /// Market-wide id.
+    pub id: DatasetId,
+    /// Human name.
+    pub name: String,
+    /// Registered owner.
+    pub owner: String,
+    /// Current data (provenance is re-stamped on restore).
+    pub relation: Relation,
+    /// Current version.
+    pub version: u32,
+    /// Logical registration time.
+    pub registered_at: u64,
+    /// Logical time of the latest context snapshot.
+    pub snapshot_at: u64,
+    /// Free-form tags.
+    pub tags: Vec<String>,
+}
+
+/// Catalog state captured by [`MetadataEngine::export_state`].
+#[derive(Debug, Clone, Default)]
+pub struct MetadataImage {
+    /// All entries, id-sorted.
+    pub entries: Vec<DatasetEntryImage>,
+    /// The next dataset id to allocate.
+    pub next_id: u64,
+    /// The engine's logical clock.
+    pub clock: u64,
 }
 
 /// Hash all cells of a relation (order-sensitive) for change detection.

@@ -103,6 +103,13 @@ pub const MODULE_MAP: &[MapEntry] = &[
               back to full replay, not abort",
     },
     MapEntry {
+        pattern: "crates/service/src/state.rs",
+        classes: &["replay", "float_strict", "panic_free", "no_index"],
+        why: "materialized-state codec: decode(encode(state)) must be \
+              digest-identical, floats travel as bit patterns, and a corrupt \
+              image must error (fall back to replay), never panic",
+    },
+    MapEntry {
         pattern: "crates/service/src/node.rs",
         classes: &["replay", "panic_free", "no_index"],
         why: "command application: the WAL ordering invariant lives here",

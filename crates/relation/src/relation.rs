@@ -172,6 +172,15 @@ impl Relation {
         self
     }
 
+    /// Tag this relation as market dataset `id` *without* touching row
+    /// provenance. Snapshot restore uses this to re-attach recorded
+    /// provenance verbatim; registration-time stamping goes through
+    /// [`Relation::with_source`].
+    pub fn with_source_raw(mut self, id: DatasetId) -> Self {
+        self.source = Some(id);
+        self
+    }
+
     /// Append a row, validating it against the schema.
     pub fn push(&mut self, row: Row) -> RelResult<()> {
         validate_row(&self.schema, &row)?;

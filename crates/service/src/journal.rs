@@ -249,6 +249,72 @@ impl Journal {
         }
     }
 
+    /// Drop every record with `seq <= upto_seq` — the prefix a verified
+    /// durable snapshot has made redundant. The kept tail is rewritten
+    /// into a sibling `.compact` file (original frame bytes, so CRCs
+    /// are preserved verbatim), fsync'd, renamed over the journal, and
+    /// the directory entry is fsync'd; the live file handle is then
+    /// reopened on the new inode. Crash-safe at every step: before the
+    /// rename the old journal is intact, after it the compacted journal
+    /// is complete. Returns the number of bytes dropped.
+    pub fn truncate_prefix(&mut self, upto_seq: u64) -> std::io::Result<u64> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "journal is poisoned: refusing to compact a file that may end in a \
+                 torn frame; reopen the journal first",
+            ));
+        }
+        self.file.flush()?;
+        let bytes = std::fs::read(&self.path)?;
+        let (payloads, scanned_len) = scan_frames(&bytes);
+        if scanned_len as u64 != self.valid_len {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "journal changed underneath the writer during compaction",
+            ));
+        }
+        let mut kept = Vec::new();
+        let mut dropped = 0u64;
+        for payload in &payloads {
+            let seq = decode_record(payload).map(|(seq, _)| seq).ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "undecodable record inside the journal's valid prefix",
+                )
+            })?;
+            if seq > upto_seq {
+                frame(payload, &mut kept);
+            } else {
+                dropped += 8 + payload.len() as u64;
+            }
+        }
+        if dropped == 0 {
+            return Ok(0);
+        }
+
+        let compact_path = self.path.with_extension("compact");
+        {
+            let mut f = File::create(&compact_path)?;
+            f.write_all(&kept)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&compact_path, &self.path)?;
+        // Persist the rename (same directory-fsync contract as
+        // snapshot writes; an unopenable directory is tolerated).
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                d.sync_all()?;
+            }
+        }
+        // The old handle still points at the pre-rename inode; appends
+        // through it would write to an unlinked file. Reopen.
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.valid_len = kept.len() as u64;
+        Ok(dropped)
+    }
+
     /// Whether a failed rollback has poisoned this journal (appends are
     /// refused until the file is reopened and its tail re-truncated).
     pub fn is_poisoned(&self) -> bool {
@@ -437,6 +503,36 @@ mod tests {
         j.append(2, &Command::RunRound { rounds: 1 }).unwrap();
         let (_, records) = Journal::open(&path, true).unwrap();
         assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn truncate_prefix_drops_covered_records_and_keeps_appending() {
+        let path = tmp("compact");
+        let (mut j, _) = Journal::open(&path, true).unwrap();
+        for (i, c) in sample_cmds().iter().enumerate() {
+            j.append(i as u64 + 1, c).unwrap();
+        }
+        let before = j.len().unwrap();
+        let dropped = j.truncate_prefix(2).unwrap();
+        assert!(dropped > 0);
+        assert_eq!(j.len().unwrap(), before - dropped);
+        // A second compaction at the same boundary is a no-op.
+        assert_eq!(j.truncate_prefix(2).unwrap(), 0);
+        // Appends land in the *new* inode, on a clean frame boundary.
+        j.append(4, &Command::RunRound { rounds: 7 }).unwrap();
+        drop(j);
+        let (_, records) = Journal::open(&path, true).unwrap();
+        let seqs: Vec<u64> = records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![3, 4]);
+    }
+
+    #[test]
+    fn truncate_prefix_refused_on_poisoned_journal() {
+        let path = tmp("compact-poisoned");
+        let (mut j, _) = Journal::open(&path, true).unwrap();
+        j.append(1, &Command::RunRound { rounds: 1 }).unwrap();
+        j.poison_for_test();
+        assert!(j.truncate_prefix(1).is_err());
     }
 
     #[test]

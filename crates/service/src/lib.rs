@@ -55,6 +55,7 @@ pub mod node;
 pub(crate) mod reactor;
 pub mod shard;
 pub mod snapshot;
+pub mod state;
 pub mod timer;
 pub mod wire;
 

@@ -158,6 +158,17 @@ pub struct ServiceMetrics {
     pub snapshot_failures: Arc<Counter>,
     /// `dmp_snapshot_write_us`.
     pub snapshot_write_us: Arc<Histogram>,
+    /// `dmp_snapshot_bytes_total` (encoded snapshot file bytes written).
+    pub snapshot_bytes: Arc<Counter>,
+    /// `dmp_snapshot_pruned_total` (superseded snapshots removed under
+    /// the retention knob).
+    pub snapshots_pruned: Arc<Counter>,
+    /// `dmp_journal_compactions_total` (prefix truncations after a
+    /// verified durable snapshot).
+    pub journal_compactions: Arc<Counter>,
+    /// `dmp_journal_compacted_bytes_total` (journal bytes dropped by
+    /// prefix truncation).
+    pub journal_compacted_bytes: Arc<Counter>,
     /// `dmp_recovery_replay_us` (whole `ServiceNode::open` recovery).
     pub recovery_replay_us: Arc<Histogram>,
     /// `dmp_recovery_snapshot_verified_total` (digest matched).
@@ -262,6 +273,22 @@ pub fn metrics() -> &'static ServiceMetrics {
             snapshot_write_us: r.histogram(
                 "dmp_snapshot_write_us",
                 "Snapshot write (serialize + tmp + fsync + rename), microseconds.",
+            ),
+            snapshot_bytes: r.counter(
+                "dmp_snapshot_bytes_total",
+                "Encoded snapshot file bytes written.",
+            ),
+            snapshots_pruned: r.counter(
+                "dmp_snapshot_pruned_total",
+                "Superseded snapshots removed under the retention knob.",
+            ),
+            journal_compactions: r.counter(
+                "dmp_journal_compactions_total",
+                "Journal prefix truncations after a verified durable snapshot.",
+            ),
+            journal_compacted_bytes: r.counter(
+                "dmp_journal_compacted_bytes_total",
+                "Journal bytes dropped by prefix truncation.",
             ),
             recovery_replay_us: r.histogram(
                 "dmp_recovery_replay_us",

@@ -1,41 +1,60 @@
-//! Periodic snapshots for fast, verified recovery.
+//! Materialized state snapshots (format v2) for O(state) recovery.
 //!
-//! A snapshot is a *compacted, immutable command checkpoint*: the full
-//! command prefix up to a sequence number, re-framed with the journal's
-//! CRC records, plus a header carrying the expected post-replay state
-//! digest. Because round execution is bit-identical under replay
-//! (PR 1), replaying the snapshot's prefix into a fresh shard router
-//! reconstructs the exact market state — and the digest *proves* it
-//! did, guarding recovery against any nondeterminism creeping into the
-//! pipeline. Recovery = load newest intact snapshot, replay its
-//! commands, verify the digest, then replay the journal tail
-//! (`seq > snapshot.seq`). A torn or digest-mismatched snapshot is
-//! simply ignored: the journal remains the source of truth.
+//! A snapshot is the shard router's *serialized state* — catalog,
+//! ledger, offer book, licenses, trust records, RNG streams — encoded
+//! by `state.rs` and re-framed with the journal's CRC records, plus a
+//! header carrying the expected state digest. Recovery = load the
+//! newest intact snapshot, decode and restore it into a fresh router,
+//! verify the digest *proves* the decoded state is equivalent, then
+//! replay only the journal tail (`seq > snapshot.seq`). Restore cost is
+//! O(live state), not O(history): a node that ran a million rounds
+//! recovers as fast as one that ran forty. A torn or digest-mismatched
+//! snapshot is simply ignored: the journal remains the source of truth.
+//!
+//! Format v2 frames: `header, substrate, shard × N, router`. The v1
+//! format (a command-prefix checkpoint) is *not* readable by this
+//! module; the node's `node.meta` fingerprint was bumped alongside the
+//! format change so v1 directories are refused at open, never misread.
 //!
 //! Files are written atomically (`.tmp` + fsync + rename + directory
-//! fsync), named `snapshot-<seq>.dmp` so the newest sorts last.
+//! fsync), named `snapshot-<seq>.dmp` so the newest sorts last. Stale
+//! `.tmp` files (a crash between create and rename) are swept at node
+//! open; superseded snapshots are pruned under the node's retention
+//! knob once a newer snapshot is verified durable.
 
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
-use crate::command::Command;
 use crate::journal::{frame, scan_frames};
+use crate::state::StateImage;
 use crate::wire::Json;
 
-/// An in-memory snapshot: command prefix + expected state digest.
+/// An in-memory snapshot: materialized state + expected digest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
-    /// Sequence number of the last command included.
+    /// Sequence number of the last command folded into the state.
     pub seq: u64,
-    /// FNV-1a digest of the market state after replaying `commands`.
+    /// FNV-1a digest the restored router state must reproduce.
     pub digest: u64,
-    /// The full command prefix, in application order.
-    pub commands: Vec<Command>,
+    /// The encoded router state (substrate, shards, router allocators).
+    pub state: StateImage,
 }
+
+/// On-disk format version. v1 (command-prefix checkpoints) is refused.
+const FORMAT_VERSION: &str = "2";
 
 fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("snapshot-{seq:020}.dmp"))
+}
+
+/// Parse the sequence number out of a `snapshot-<seq>.dmp` file name.
+fn seq_of(path: &Path) -> Option<u64> {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_prefix("snapshot-"))
+        .and_then(|n| n.strip_suffix(".dmp"))
+        .and_then(|n| n.parse::<u64>().ok())
 }
 
 /// Write `snapshot` atomically into `dir`; returns the final path.
@@ -43,20 +62,19 @@ pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> std::io::Result<PathBu
     fs::create_dir_all(dir)?;
     let mut buf = Vec::new();
     let header = Json::obj([
-        // dmp-lint: allow(det-float) -- format version tag, a small exact integer in f64
-        ("version", Json::Num(1.0)),
-        // dmp-lint: allow(det-float) -- JSON wire carries seq as f64; recovery re-verifies against the journal digest
-        ("seq", Json::Num(snapshot.seq as f64)),
-        // u64 digests exceed f64's exact-integer range: hex string.
+        ("version", Json::str(FORMAT_VERSION)),
+        // u64 seq and digest exceed f64's exact-integer range: strings.
+        ("seq", Json::str(snapshot.seq.to_string())),
         ("digest", Json::str(format!("{:016x}", snapshot.digest))),
-        // dmp-lint: allow(det-float) -- command count is bounded far below 2^53, exact in f64
-        ("count", Json::Num(snapshot.commands.len() as f64)),
+        ("shards", Json::str(snapshot.state.shards.len().to_string())),
     ])
     .dump();
     frame(header.as_bytes(), &mut buf);
-    for cmd in &snapshot.commands {
-        frame(cmd.encode().dump().as_bytes(), &mut buf);
+    frame(snapshot.state.substrate.dump().as_bytes(), &mut buf);
+    for shard in &snapshot.state.shards {
+        frame(shard.dump().as_bytes(), &mut buf);
     }
+    frame(snapshot.state.router.dump().as_bytes(), &mut buf);
 
     let final_path = snapshot_path(dir, snapshot.seq);
     let tmp_path = final_path.with_extension("tmp");
@@ -87,51 +105,96 @@ fn parse_snapshot(bytes: &[u8]) -> Option<Snapshot> {
     }
     let (first, rest) = payloads.split_first()?;
     let header = Json::parse(std::str::from_utf8(first).ok()?).ok()?;
-    if header.req_u64("version").ok()? != 1 {
+    if header.req_str("version").ok()? != FORMAT_VERSION {
         return None;
     }
-    let seq = header.req_u64("seq").ok()?;
+    let seq = header.req_str("seq").ok()?.parse::<u64>().ok()?;
     let digest = u64::from_str_radix(header.req_str("digest").ok()?.as_str(), 16).ok()?;
-    let count = header.req_u64("count").ok()? as usize;
-    if payloads.len() != count + 1 {
+    let shards = header.req_str("shards").ok()?.parse::<usize>().ok()?;
+    // header + substrate + shards + router.
+    if rest.len() != shards + 2 {
         return None;
     }
-    let mut commands = Vec::with_capacity(count);
-    for payload in rest {
-        let json = Json::parse(std::str::from_utf8(payload).ok()?).ok()?;
-        commands.push(Command::decode(&json).ok()?);
-    }
+    let mut trees = rest
+        .iter()
+        .map(|payload| Json::parse(std::str::from_utf8(payload).ok()?).ok())
+        .collect::<Option<Vec<Json>>>()?;
+    let router = trees.pop()?;
+    let mut trees = trees.into_iter();
+    let substrate = trees.next()?;
     Some(Snapshot {
         seq,
         digest,
-        commands,
+        state: StateImage {
+            substrate,
+            shards: trees.collect(),
+            router,
+        },
     })
+}
+
+/// Parse one snapshot file; `None` if missing, torn, or unparseable.
+pub fn load_file(path: &Path) -> Option<Snapshot> {
+    parse_snapshot(&fs::read(path).ok()?)
+}
+
+/// All snapshot files in `dir`, sorted by sequence number ascending.
+pub fn list_snapshots(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut out: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            seq_of(&path).map(|seq| (seq, path))
+        })
+        .collect();
+    out.sort();
+    out
 }
 
 /// Load the newest intact snapshot in `dir`, skipping torn or
 /// unparseable files (recovery falls back to full journal replay when
 /// none survives).
 pub fn load_latest(dir: &Path) -> Option<Snapshot> {
-    let mut candidates: Vec<PathBuf> = fs::read_dir(dir)
-        .ok()?
-        .flatten()
-        .map(|e| e.path())
-        .filter(|p| {
-            p.file_name()
-                .and_then(|n| n.to_str())
-                .map(|n| n.starts_with("snapshot-") && n.ends_with(".dmp"))
-                .unwrap_or(false)
-        })
-        .collect();
-    candidates.sort();
-    for path in candidates.iter().rev() {
-        if let Ok(bytes) = fs::read(path) {
-            if let Some(snapshot) = parse_snapshot(&bytes) {
-                return Some(snapshot);
-            }
+    list_snapshots(dir)
+        .iter()
+        .rev()
+        .find_map(|(_, path)| load_file(path))
+}
+
+/// Remove stale `snapshot-*.tmp` files — the residue of a crash between
+/// tmp-write and rename. Returns how many were removed. Errors listing
+/// the directory are reported; errors unlinking a single file are not
+/// fatal (the stray tmp is cosmetic, never loaded).
+pub fn sweep_tmp(dir: &Path) -> std::io::Result<usize> {
+    let mut removed = 0;
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let stale = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.starts_with("snapshot-") && n.ends_with(".tmp"));
+        if stale && fs::remove_file(&path).is_ok() {
+            removed += 1;
         }
     }
-    None
+    Ok(removed)
+}
+
+/// Delete all but the newest `keep` snapshots (`keep` ≥ 1 is enforced:
+/// pruning every snapshot would forfeit accelerated recovery). Returns
+/// the removed count.
+pub fn prune_snapshots(dir: &Path, keep: usize) -> std::io::Result<usize> {
+    let keep = keep.max(1);
+    let all = list_snapshots(dir);
+    let excess = all.len().saturating_sub(keep);
+    let mut removed = 0;
+    for (_, path) in all.iter().take(excess) {
+        fs::remove_file(path)?;
+        removed += 1;
+    }
+    Ok(removed)
 }
 
 #[cfg(test)]
@@ -149,13 +212,14 @@ mod tests {
         Snapshot {
             seq: 17,
             digest: 0xdead_beef_cafe_f00d,
-            commands: vec![
-                Command::Enroll {
-                    name: "a".into(),
-                    role: "buyer".into(),
-                },
-                Command::RunRound { rounds: 2 },
-            ],
+            state: StateImage {
+                substrate: Json::obj([("ledger", Json::str("..."))]),
+                shards: vec![
+                    Json::obj([("clock", Json::str("4"))]),
+                    Json::obj([("clock", Json::str("9"))]),
+                ],
+                router: Json::obj([("rounds", Json::str("2"))]),
+            },
         }
     }
 
@@ -194,6 +258,18 @@ mod tests {
     }
 
     #[test]
+    fn v1_command_prefix_snapshots_are_refused() {
+        // A v1 file (numeric version header framing a command prefix)
+        // must parse as "no snapshot", never as garbage state.
+        let dir = tmp("v1");
+        let mut buf = Vec::new();
+        let header = r#"{"version":1,"seq":17,"digest":"deadbeefcafef00d","count":0}"#;
+        frame(header.as_bytes(), &mut buf);
+        fs::write(snapshot_path(&dir, 17), &buf).unwrap();
+        assert!(load_latest(&dir).is_none());
+    }
+
+    #[test]
     fn write_failure_is_propagated_not_swallowed() {
         // A regular file where the snapshot directory should be: every
         // path of write_snapshot (create_dir_all onward) must surface
@@ -216,5 +292,30 @@ mod tests {
         let newest = write_snapshot(&dir, &sample()).unwrap();
         fs::remove_file(&newest).unwrap();
         assert_eq!(load_latest(&dir).unwrap().seq, 3);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_swept() {
+        let dir = tmp("sweep");
+        write_snapshot(&dir, &sample()).unwrap();
+        fs::write(dir.join("snapshot-00000000000000000099.tmp"), b"torn").unwrap();
+        fs::write(dir.join("unrelated.txt"), b"keep me").unwrap();
+        assert_eq!(sweep_tmp(&dir).unwrap(), 1);
+        assert!(dir.join("unrelated.txt").exists());
+        assert_eq!(load_latest(&dir).unwrap().seq, 17);
+    }
+
+    #[test]
+    fn prune_keeps_newest_k() {
+        let dir = tmp("prune");
+        for seq in [3, 9, 17] {
+            write_snapshot(&dir, &Snapshot { seq, ..sample() }).unwrap();
+        }
+        assert_eq!(prune_snapshots(&dir, 2).unwrap(), 1);
+        let kept: Vec<u64> = list_snapshots(&dir).iter().map(|(s, _)| *s).collect();
+        assert_eq!(kept, vec![9, 17]);
+        // keep = 0 is clamped to 1: never prune the last snapshot.
+        assert_eq!(prune_snapshots(&dir, 0).unwrap(), 1);
+        assert_eq!(load_latest(&dir).unwrap().seq, 17);
     }
 }

@@ -1,0 +1,1186 @@
+//! Materialized-state snapshot codec (snapshot format v2).
+//!
+//! Serializes a [`RouterImage`] — the shard router's complete durable
+//! state — to wire JSON and back. The encoding is *lossless and
+//! canonical*: every integer is rendered as a decimal string (wire JSON
+//! numbers are `f64`, which cannot carry `u64` RNG state words), every
+//! float as the hex form of its IEEE-754 bit pattern (bit-exact, and
+//! immune to the wire codec's non-finite rejection). `decode ∘ encode`
+//! reproduces a digest-identical router state; the property suite in
+//! `tests/state_props.rs` pins that down.
+//!
+//! The codec never panics on malformed input: a corrupt snapshot decodes
+//! to a [`WireError`] and recovery falls back to the previous snapshot
+//! or full journal replay.
+
+use std::sync::Arc;
+
+use dmp_core::arbiter::services::Purchase;
+use dmp_core::license::{ContextualIntegrityPolicy, License};
+use dmp_core::market::{
+    DatasetShare, Delivery, MarketShardState, NegotiationRequest, Offer, OfferState, Participant,
+    Settlement, SubstrateImage, TransactionRecord,
+};
+use dmp_core::trust::{AuditEvent, Dispute, DisputeState};
+use dmp_discovery::metadata::{DatasetEntryImage, MetadataImage};
+use dmp_discovery::LineageEvent;
+use dmp_mechanism::wtp::{IntrinsicConstraints, PriceCurve, TaskKind, WtpFunction};
+use dmp_relation::{
+    DataType, DatasetId, Field, ProvAtom, Provenance, Relation, Row, Schema, Value,
+};
+
+use crate::shard::RouterImage;
+use crate::wire::{Json, WireError};
+
+/// The framed form of a materialized snapshot: one JSON tree for the
+/// shared substrate, one per shard, and one for the router-level
+/// allocators. `snapshot.rs` writes each tree as its own CRC frame so a
+/// torn write is detected per-section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateImage {
+    /// Shared substrate (catalog, lineage, ledger, licensing terms).
+    pub substrate: Json,
+    /// One tree per shard, in shard order.
+    pub shards: Vec<Json>,
+    /// Router-level allocators (offer ids, round-seed RNG, round count).
+    pub router: Json,
+}
+
+/// Encode a router state image into its wire-JSON snapshot form.
+pub fn encode(image: &RouterImage) -> StateImage {
+    let [r0, r1, r2, r3] = image.round_rng;
+    StateImage {
+        substrate: enc_substrate(&image.substrate),
+        shards: image.shards.iter().map(enc_shard).collect(),
+        router: Json::obj([
+            ("next_offer", enc_u64(image.next_offer)),
+            (
+                "rng",
+                Json::Arr(vec![enc_u64(r0), enc_u64(r1), enc_u64(r2), enc_u64(r3)]),
+            ),
+            ("rounds", enc_u64(image.rounds)),
+        ]),
+    }
+}
+
+/// Decode a snapshot back into a router state image. Any structural
+/// defect — missing field, bad integer, unknown tag — is a [`WireError`];
+/// the caller treats the snapshot as unusable and falls back.
+pub fn decode(state: &StateImage) -> Result<RouterImage, WireError> {
+    let router = &state.router;
+    Ok(RouterImage {
+        substrate: dec_substrate(&state.substrate)?,
+        shards: state
+            .shards
+            .iter()
+            .map(dec_shard)
+            .collect::<Result<Vec<_>, _>>()?,
+        next_offer: dec_u64(field(router, "next_offer")?)?,
+        round_rng: dec_rng(field(router, "rng")?)?,
+        rounds: dec_u64(field(router, "rounds")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scalar atoms.
+// ---------------------------------------------------------------------
+
+fn enc_u64(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn enc_i64(v: i64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn enc_u32(v: u32) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn enc_usize(v: usize) -> Json {
+    Json::Str(v.to_string())
+}
+
+/// Floats travel as the hex bit pattern: exact for every value including
+/// NaN payloads and infinities, which wire JSON cannot represent.
+fn enc_f64(v: f64) -> Json {
+    Json::Str(format!("{:016x}", v.to_bits()))
+}
+
+fn dec_u64(j: &Json) -> Result<u64, WireError> {
+    j.as_str()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| WireError::new("expected decimal u64 string"))
+}
+
+fn dec_i64(j: &Json) -> Result<i64, WireError> {
+    j.as_str()
+        .and_then(|s| s.parse::<i64>().ok())
+        .ok_or_else(|| WireError::new("expected decimal i64 string"))
+}
+
+fn dec_u32(j: &Json) -> Result<u32, WireError> {
+    j.as_str()
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| WireError::new("expected decimal u32 string"))
+}
+
+fn dec_usize(j: &Json) -> Result<usize, WireError> {
+    j.as_str()
+        .and_then(|s| s.parse::<usize>().ok())
+        .ok_or_else(|| WireError::new("expected decimal usize string"))
+}
+
+fn dec_f64(j: &Json) -> Result<f64, WireError> {
+    j.as_str()
+        .filter(|s| s.len() == 16)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .map(f64::from_bits)
+        .ok_or_else(|| WireError::new("expected 16-hex-digit f64 bit pattern"))
+}
+
+fn dec_str(j: &Json) -> Result<String, WireError> {
+    j.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| WireError::new("expected string"))
+}
+
+fn dec_bool(j: &Json) -> Result<bool, WireError> {
+    j.as_bool().ok_or_else(|| WireError::new("expected bool"))
+}
+
+// ---------------------------------------------------------------------
+// Structural helpers.
+// ---------------------------------------------------------------------
+
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+    obj.get(key)
+        .ok_or_else(|| WireError::new(format!("missing field '{key}'")))
+}
+
+fn arr(j: &Json) -> Result<&[Json], WireError> {
+    j.as_arr().ok_or_else(|| WireError::new("expected array"))
+}
+
+/// Positional element of a tuple-encoded array.
+fn elem(j: &Json, i: usize) -> Result<&Json, WireError> {
+    j.as_arr()
+        .and_then(|a| a.get(i))
+        .ok_or_else(|| WireError::new(format!("missing tuple element {i}")))
+}
+
+/// The `k` discriminant of a tagged object.
+fn kind(j: &Json) -> Result<&str, WireError> {
+    j.get("k")
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new("missing variant tag 'k'"))
+}
+
+fn enc_opt<T>(v: &Option<T>, enc: impl Fn(&T) -> Json) -> Json {
+    match v {
+        Some(inner) => enc(inner),
+        None => Json::Null,
+    }
+}
+
+fn dec_opt<T>(
+    j: &Json,
+    dec: impl Fn(&Json) -> Result<T, WireError>,
+) -> Result<Option<T>, WireError> {
+    match j {
+        Json::Null => Ok(None),
+        other => dec(other).map(Some),
+    }
+}
+
+fn enc_str_vec(items: &[String]) -> Json {
+    Json::Arr(items.iter().map(Json::str).collect())
+}
+
+fn dec_str_vec(j: &Json) -> Result<Vec<String>, WireError> {
+    arr(j)?.iter().map(dec_str).collect()
+}
+
+fn enc_dataset_vec(items: &[DatasetId]) -> Json {
+    Json::Arr(items.iter().map(|d| enc_u64(d.0)).collect())
+}
+
+fn dec_dataset_vec(j: &Json) -> Result<Vec<DatasetId>, WireError> {
+    arr(j)?.iter().map(|v| dec_u64(v).map(DatasetId)).collect()
+}
+
+fn dec_rng(j: &Json) -> Result<[u64; 4], WireError> {
+    let words = arr(j)?.iter().map(dec_u64).collect::<Result<Vec<_>, _>>()?;
+    <[u64; 4]>::try_from(words).map_err(|_| WireError::new("rng state must be 4 words"))
+}
+
+// ---------------------------------------------------------------------
+// Relations and cell values.
+// ---------------------------------------------------------------------
+
+fn dtype_tag(t: DataType) -> &'static str {
+    match t {
+        DataType::Bool => "bool",
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Str => "str",
+        DataType::Timestamp => "ts",
+        DataType::Any => "any",
+    }
+}
+
+fn dec_dtype(j: &Json) -> Result<DataType, WireError> {
+    match j.as_str() {
+        Some("bool") => Ok(DataType::Bool),
+        Some("int") => Ok(DataType::Int),
+        Some("float") => Ok(DataType::Float),
+        Some("str") => Ok(DataType::Str),
+        Some("ts") => Ok(DataType::Timestamp),
+        Some("any") => Ok(DataType::Any),
+        _ => Err(WireError::new("unknown dtype tag")),
+    }
+}
+
+/// Cell values as compact tagged tuples: `["N"]`, `["B",bool]`,
+/// `["I","42"]`, `["F","<bits>"]`, `["S","text"]`, `["T","-3"]`,
+/// `["M",[["<src>",value],...]]`.
+fn enc_value(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Arr(vec![Json::str("N")]),
+        Value::Bool(b) => Json::Arr(vec![Json::str("B"), Json::Bool(*b)]),
+        Value::Int(i) => Json::Arr(vec![Json::str("I"), enc_i64(*i)]),
+        Value::Float(f) => Json::Arr(vec![Json::str("F"), enc_f64(*f)]),
+        Value::Str(s) => Json::Arr(vec![Json::str("S"), Json::str(s.as_ref())]),
+        Value::Timestamp(t) => Json::Arr(vec![Json::str("T"), enc_i64(*t)]),
+        Value::Multi(parts) => Json::Arr(vec![
+            Json::str("M"),
+            Json::Arr(
+                parts
+                    .iter()
+                    .map(|s| Json::Arr(vec![enc_u64(s.source.0), enc_value(&s.value)]))
+                    .collect(),
+            ),
+        ]),
+    }
+}
+
+fn dec_value(j: &Json) -> Result<Value, WireError> {
+    let tag = elem(j, 0)?
+        .as_str()
+        .ok_or_else(|| WireError::new("value tag must be a string"))?;
+    match tag {
+        "N" => Ok(Value::Null),
+        "B" => dec_bool(elem(j, 1)?).map(Value::Bool),
+        "I" => dec_i64(elem(j, 1)?).map(Value::Int),
+        "F" => dec_f64(elem(j, 1)?).map(Value::Float),
+        "S" => {
+            Ok(Value::Str(Arc::from(elem(j, 1)?.as_str().ok_or_else(
+                || WireError::new("expected string payload"),
+            )?)))
+        }
+        "T" => dec_i64(elem(j, 1)?).map(Value::Timestamp),
+        "M" => {
+            let parts = arr(elem(j, 1)?)?
+                .iter()
+                .map(|p| {
+                    Ok(dmp_relation::Sourced::new(
+                        DatasetId(dec_u64(elem(p, 0)?)?),
+                        dec_value(elem(p, 1)?)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(Value::Multi(parts))
+        }
+        _ => Err(WireError::new("unknown value tag")),
+    }
+}
+
+fn enc_relation(rel: &Relation) -> Json {
+    Json::obj([
+        ("name", Json::str(rel.name())),
+        ("source", enc_opt(&rel.source(), |d| enc_u64(d.0))),
+        (
+            "schema",
+            Json::Arr(
+                rel.schema()
+                    .fields()
+                    .iter()
+                    .map(|f| Json::Arr(vec![Json::str(f.name()), Json::str(dtype_tag(f.dtype()))]))
+                    .collect(),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rel.rows()
+                    .iter()
+                    .map(|row| {
+                        Json::Arr(vec![
+                            Json::Arr(row.values().iter().map(enc_value).collect()),
+                            Json::Arr(
+                                row.provenance()
+                                    .atoms()
+                                    .iter()
+                                    .map(|a| Json::Arr(vec![enc_u64(a.dataset.0), enc_u64(a.row)]))
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_relation(j: &Json) -> Result<Relation, WireError> {
+    let name = dec_str(field(j, "name")?)?;
+    let source = dec_opt(field(j, "source")?, dec_u64)?;
+    let fields = arr(field(j, "schema")?)?
+        .iter()
+        .map(|f| Ok(Field::new(dec_str(elem(f, 0)?)?, dec_dtype(elem(f, 1)?)?)))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let schema = Schema::new(fields)
+        .map_err(|e| WireError::new(format!("bad snapshot schema: {e}")))?
+        .shared();
+    let rows = arr(field(j, "rows")?)?
+        .iter()
+        .map(|row| {
+            let values = arr(elem(row, 0)?)?
+                .iter()
+                .map(dec_value)
+                .collect::<Result<Vec<_>, WireError>>()?;
+            let atoms = arr(elem(row, 1)?)?
+                .iter()
+                .map(|a| {
+                    Ok(ProvAtom::new(
+                        DatasetId(dec_u64(elem(a, 0)?)?),
+                        dec_u64(elem(a, 1)?)?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, WireError>>()?;
+            Ok(Row::new(values, Provenance::from_atoms(atoms)))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+    let rel = Relation::from_rows(name, schema, rows)
+        .map_err(|e| WireError::new(format!("bad snapshot relation: {e}")))?;
+    Ok(match source {
+        // `with_source_raw` keeps the recorded provenance verbatim;
+        // `with_source` would re-stamp it and lose mashup lineage.
+        Some(id) => rel.with_source_raw(DatasetId(id)),
+        None => rel,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Substrate: catalog, lineage, ledger, licensing terms.
+// ---------------------------------------------------------------------
+
+fn enc_substrate(s: &SubstrateImage) -> Json {
+    Json::obj([
+        ("metadata", enc_metadata(&s.metadata)),
+        (
+            "lineage",
+            Json::Arr(
+                s.lineage
+                    .iter()
+                    .map(|(id, evs)| {
+                        Json::Arr(vec![
+                            enc_u64(id.0),
+                            Json::Arr(
+                                evs.iter()
+                                    .map(|(seq, e)| {
+                                        Json::Arr(vec![enc_u64(*seq), enc_lineage_event(e)])
+                                    })
+                                    .collect(),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("lineage_seq", enc_u64(s.lineage_seq)),
+        ("ledger", enc_ledger(&s.ledger)),
+        (
+            "reserves",
+            Json::Arr(
+                s.reserves
+                    .iter()
+                    .map(|(id, p)| Json::Arr(vec![enc_u64(id.0), enc_f64(*p)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "licenses",
+            Json::Arr(
+                s.licenses
+                    .iter()
+                    .map(|(id, lic)| Json::Arr(vec![enc_u64(id.0), enc_license(lic)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "ci_policies",
+            Json::Arr(
+                s.ci_policies
+                    .iter()
+                    .map(|(id, p)| Json::Arr(vec![enc_u64(id.0), enc_ci_policy(p)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "holds",
+            Json::Arr(
+                s.exclusive_holds
+                    .iter()
+                    .map(|(id, buyer, until)| {
+                        Json::Arr(vec![enc_u64(id.0), Json::str(buyer), enc_u64(*until)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_substrate(j: &Json) -> Result<SubstrateImage, WireError> {
+    Ok(SubstrateImage {
+        metadata: dec_metadata(field(j, "metadata")?)?,
+        lineage: arr(field(j, "lineage")?)?
+            .iter()
+            .map(|entry| {
+                let id = DatasetId(dec_u64(elem(entry, 0)?)?);
+                let evs = arr(elem(entry, 1)?)?
+                    .iter()
+                    .map(|ev| Ok((dec_u64(elem(ev, 0)?)?, dec_lineage_event(elem(ev, 1)?)?)))
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok((id, evs))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        lineage_seq: dec_u64(field(j, "lineage_seq")?)?,
+        ledger: dec_ledger(field(j, "ledger")?)?,
+        reserves: arr(field(j, "reserves")?)?
+            .iter()
+            .map(|r| Ok((DatasetId(dec_u64(elem(r, 0)?)?), dec_f64(elem(r, 1)?)?)))
+            .collect::<Result<Vec<_>, WireError>>()?,
+        licenses: arr(field(j, "licenses")?)?
+            .iter()
+            .map(|l| Ok((DatasetId(dec_u64(elem(l, 0)?)?), dec_license(elem(l, 1)?)?)))
+            .collect::<Result<Vec<_>, WireError>>()?,
+        ci_policies: arr(field(j, "ci_policies")?)?
+            .iter()
+            .map(|p| {
+                Ok((
+                    DatasetId(dec_u64(elem(p, 0)?)?),
+                    dec_ci_policy(elem(p, 1)?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        exclusive_holds: arr(field(j, "holds")?)?
+            .iter()
+            .map(|h| {
+                Ok((
+                    DatasetId(dec_u64(elem(h, 0)?)?),
+                    dec_str(elem(h, 1)?)?,
+                    dec_u64(elem(h, 2)?)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+    })
+}
+
+fn enc_metadata(m: &MetadataImage) -> Json {
+    Json::obj([
+        (
+            "entries",
+            Json::Arr(
+                m.entries
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("id", enc_u64(e.id.0)),
+                            ("name", Json::str(&e.name)),
+                            ("owner", Json::str(&e.owner)),
+                            ("relation", enc_relation(&e.relation)),
+                            ("version", enc_u32(e.version)),
+                            ("registered_at", enc_u64(e.registered_at)),
+                            ("snapshot_at", enc_u64(e.snapshot_at)),
+                            ("tags", enc_str_vec(&e.tags)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("next_id", enc_u64(m.next_id)),
+        ("clock", enc_u64(m.clock)),
+    ])
+}
+
+fn dec_metadata(j: &Json) -> Result<MetadataImage, WireError> {
+    Ok(MetadataImage {
+        entries: arr(field(j, "entries")?)?
+            .iter()
+            .map(|e| {
+                Ok(DatasetEntryImage {
+                    id: DatasetId(dec_u64(field(e, "id")?)?),
+                    name: dec_str(field(e, "name")?)?,
+                    owner: dec_str(field(e, "owner")?)?,
+                    relation: dec_relation(field(e, "relation")?)?,
+                    version: dec_u32(field(e, "version")?)?,
+                    registered_at: dec_u64(field(e, "registered_at")?)?,
+                    snapshot_at: dec_u64(field(e, "snapshot_at")?)?,
+                    tags: dec_str_vec(field(e, "tags")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        next_id: dec_u64(field(j, "next_id")?)?,
+        clock: dec_u64(field(j, "clock")?)?,
+    })
+}
+
+fn enc_ledger(l: &dmp_core::arbiter::ledger::LedgerImage) -> Json {
+    Json::obj([
+        (
+            "accounts",
+            Json::Arr(
+                l.accounts
+                    .iter()
+                    .map(|(name, micros)| Json::Arr(vec![Json::str(name), enc_i64(*micros)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "escrows",
+            Json::Arr(
+                l.escrows
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("id", enc_u64(e.id)),
+                            ("from", Json::str(&e.from)),
+                            ("rem", enc_i64(e.remaining_micros)),
+                            ("held", Json::Bool(e.held)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("next_escrow", enc_u64(l.next_escrow)),
+    ])
+}
+
+fn dec_ledger(j: &Json) -> Result<dmp_core::arbiter::ledger::LedgerImage, WireError> {
+    Ok(dmp_core::arbiter::ledger::LedgerImage {
+        accounts: arr(field(j, "accounts")?)?
+            .iter()
+            .map(|a| Ok((dec_str(elem(a, 0)?)?, dec_i64(elem(a, 1)?)?)))
+            .collect::<Result<Vec<_>, WireError>>()?,
+        escrows: arr(field(j, "escrows")?)?
+            .iter()
+            .map(|e| {
+                Ok(dmp_core::arbiter::ledger::EscrowImage {
+                    id: dec_u64(field(e, "id")?)?,
+                    from: dec_str(field(e, "from")?)?,
+                    remaining_micros: dec_i64(field(e, "rem")?)?,
+                    held: dec_bool(field(e, "held")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        next_escrow: dec_u64(field(j, "next_escrow")?)?,
+    })
+}
+
+fn enc_lineage_event(e: &LineageEvent) -> Json {
+    match e {
+        LineageEvent::UsedInMashup {
+            mashup,
+            rows_contributed,
+        } => Json::obj([
+            ("k", Json::str("used")),
+            ("mashup", Json::str(mashup)),
+            ("rows", enc_usize(*rows_contributed)),
+        ]),
+        LineageEvent::SoldInMashup { mashup, revenue } => Json::obj([
+            ("k", Json::str("sold")),
+            ("mashup", Json::str(mashup)),
+            ("revenue", enc_f64(*revenue)),
+        ]),
+        LineageEvent::Updated { version } => {
+            Json::obj([("k", Json::str("upd")), ("version", enc_u32(*version))])
+        }
+        LineageEvent::PrivateRelease { epsilon } => {
+            Json::obj([("k", Json::str("priv")), ("epsilon", enc_f64(*epsilon))])
+        }
+    }
+}
+
+fn dec_lineage_event(j: &Json) -> Result<LineageEvent, WireError> {
+    match kind(j)? {
+        "used" => Ok(LineageEvent::UsedInMashup {
+            mashup: dec_str(field(j, "mashup")?)?,
+            rows_contributed: dec_usize(field(j, "rows")?)?,
+        }),
+        "sold" => Ok(LineageEvent::SoldInMashup {
+            mashup: dec_str(field(j, "mashup")?)?,
+            revenue: dec_f64(field(j, "revenue")?)?,
+        }),
+        "upd" => Ok(LineageEvent::Updated {
+            version: dec_u32(field(j, "version")?)?,
+        }),
+        "priv" => Ok(LineageEvent::PrivateRelease {
+            epsilon: dec_f64(field(j, "epsilon")?)?,
+        }),
+        _ => Err(WireError::new("unknown lineage event tag")),
+    }
+}
+
+fn enc_license(l: &License) -> Json {
+    match l {
+        License::Standard => Json::obj([("k", Json::str("std"))]),
+        License::Exclusive {
+            tax_rate,
+            hold_rounds,
+        } => Json::obj([
+            ("k", Json::str("excl")),
+            ("tax", enc_f64(*tax_rate)),
+            ("rounds", enc_u32(*hold_rounds)),
+        ]),
+        License::OwnershipTransfer => Json::obj([("k", Json::str("own"))]),
+        License::NonTransferable => Json::obj([("k", Json::str("nt"))]),
+    }
+}
+
+fn dec_license(j: &Json) -> Result<License, WireError> {
+    match kind(j)? {
+        "std" => Ok(License::Standard),
+        "excl" => Ok(License::Exclusive {
+            tax_rate: dec_f64(field(j, "tax")?)?,
+            hold_rounds: dec_u32(field(j, "rounds")?)?,
+        }),
+        "own" => Ok(License::OwnershipTransfer),
+        "nt" => Ok(License::NonTransferable),
+        _ => Err(WireError::new("unknown license tag")),
+    }
+}
+
+fn enc_ci_policy(p: &ContextualIntegrityPolicy) -> Json {
+    Json::obj([
+        ("context", Json::str(&p.context)),
+        ("roles", enc_str_vec(&p.allowed_roles)),
+        ("forbidden", enc_str_vec(&p.forbidden_purposes)),
+    ])
+}
+
+fn dec_ci_policy(j: &Json) -> Result<ContextualIntegrityPolicy, WireError> {
+    Ok(ContextualIntegrityPolicy {
+        context: dec_str(field(j, "context")?)?,
+        allowed_roles: dec_str_vec(field(j, "roles")?)?,
+        forbidden_purposes: dec_str_vec(field(j, "forbidden")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Shard-private market state.
+// ---------------------------------------------------------------------
+
+fn enc_shard(s: &MarketShardState) -> Json {
+    let [r0, r1, r2, r3] = s.rng;
+    Json::obj([
+        ("clock", enc_u64(s.clock)),
+        ("round", enc_u64(s.round)),
+        ("next_offer", enc_u64(s.next_offer)),
+        ("next_tx", enc_u64(s.next_tx)),
+        ("next_delivery", enc_u64(s.next_delivery)),
+        (
+            "offers",
+            Json::Arr(s.offers.iter().map(enc_offer).collect()),
+        ),
+        (
+            "txs",
+            Json::Arr(s.transactions.iter().map(enc_tx).collect()),
+        ),
+        (
+            "deliveries",
+            Json::Arr(s.deliveries.iter().map(enc_delivery).collect()),
+        ),
+        (
+            "purchases",
+            Json::Arr(s.purchases.iter().map(enc_purchase).collect()),
+        ),
+        (
+            "participants",
+            Json::Arr(s.participants.iter().map(enc_participant).collect()),
+        ),
+        (
+            "missing",
+            Json::Arr(s.last_missing.iter().map(|m| enc_str_vec(m)).collect()),
+        ),
+        (
+            "negotiations",
+            Json::Arr(s.last_negotiations.iter().map(enc_negotiation).collect()),
+        ),
+        (
+            "rng",
+            Json::Arr(vec![enc_u64(r0), enc_u64(r1), enc_u64(r2), enc_u64(r3)]),
+        ),
+        (
+            "audit",
+            Json::Arr(s.audit_events.iter().map(enc_audit_event).collect()),
+        ),
+        (
+            "disputes",
+            Json::Arr(s.disputes.iter().map(enc_dispute).collect()),
+        ),
+    ])
+}
+
+fn dec_shard(j: &Json) -> Result<MarketShardState, WireError> {
+    Ok(MarketShardState {
+        clock: dec_u64(field(j, "clock")?)?,
+        round: dec_u64(field(j, "round")?)?,
+        next_offer: dec_u64(field(j, "next_offer")?)?,
+        next_tx: dec_u64(field(j, "next_tx")?)?,
+        next_delivery: dec_u64(field(j, "next_delivery")?)?,
+        offers: arr(field(j, "offers")?)?
+            .iter()
+            .map(dec_offer)
+            .collect::<Result<Vec<_>, _>>()?,
+        transactions: arr(field(j, "txs")?)?
+            .iter()
+            .map(dec_tx)
+            .collect::<Result<Vec<_>, _>>()?,
+        deliveries: arr(field(j, "deliveries")?)?
+            .iter()
+            .map(dec_delivery)
+            .collect::<Result<Vec<_>, _>>()?,
+        purchases: arr(field(j, "purchases")?)?
+            .iter()
+            .map(dec_purchase)
+            .collect::<Result<Vec<_>, _>>()?,
+        participants: arr(field(j, "participants")?)?
+            .iter()
+            .map(dec_participant)
+            .collect::<Result<Vec<_>, _>>()?,
+        last_missing: arr(field(j, "missing")?)?
+            .iter()
+            .map(dec_str_vec)
+            .collect::<Result<Vec<_>, _>>()?,
+        last_negotiations: arr(field(j, "negotiations")?)?
+            .iter()
+            .map(dec_negotiation)
+            .collect::<Result<Vec<_>, _>>()?,
+        rng: dec_rng(field(j, "rng")?)?,
+        audit_events: arr(field(j, "audit")?)?
+            .iter()
+            .map(dec_audit_event)
+            .collect::<Result<Vec<_>, _>>()?,
+        disputes: arr(field(j, "disputes")?)?
+            .iter()
+            .map(dec_dispute)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+fn enc_offer(o: &Offer) -> Json {
+    let state = match &o.state {
+        OfferState::Pending => Json::obj([("k", Json::str("pending"))]),
+        OfferState::Fulfilled { tx } => {
+            Json::obj([("k", Json::str("fulfilled")), ("tx", enc_u64(*tx))])
+        }
+        OfferState::AwaitingReport { delivery } => {
+            Json::obj([("k", Json::str("await")), ("delivery", enc_u64(*delivery))])
+        }
+        OfferState::Expired => Json::obj([("k", Json::str("expired"))]),
+    };
+    Json::obj([
+        ("id", enc_u64(o.id)),
+        ("wtp", enc_wtp(&o.wtp)),
+        ("purpose", Json::str(&o.purpose)),
+        ("submitted_at", enc_u64(o.submitted_at)),
+        ("state", state),
+    ])
+}
+
+fn dec_offer(j: &Json) -> Result<Offer, WireError> {
+    let state_j = field(j, "state")?;
+    let state = match kind(state_j)? {
+        "pending" => OfferState::Pending,
+        "fulfilled" => OfferState::Fulfilled {
+            tx: dec_u64(field(state_j, "tx")?)?,
+        },
+        "await" => OfferState::AwaitingReport {
+            delivery: dec_u64(field(state_j, "delivery")?)?,
+        },
+        "expired" => OfferState::Expired,
+        _ => return Err(WireError::new("unknown offer state tag")),
+    };
+    Ok(Offer {
+        id: dec_u64(field(j, "id")?)?,
+        wtp: dec_wtp(field(j, "wtp")?)?,
+        purpose: dec_str(field(j, "purpose")?)?,
+        submitted_at: dec_u64(field(j, "submitted_at")?)?,
+        state,
+    })
+}
+
+fn enc_wtp(w: &WtpFunction) -> Json {
+    let task = match &w.task {
+        TaskKind::Classification { label } => {
+            Json::obj([("k", Json::str("cls")), ("label", Json::str(label))])
+        }
+        TaskKind::Regression { target } => {
+            Json::obj([("k", Json::str("reg")), ("target", Json::str(target))])
+        }
+        TaskKind::AggregateCompleteness {
+            group_by,
+            expected_groups,
+        } => Json::obj([
+            ("k", Json::str("agg")),
+            ("group_by", Json::str(group_by)),
+            ("expected", enc_usize(*expected_groups)),
+        ]),
+        TaskKind::AttributeCoverage => Json::obj([("k", Json::str("cov"))]),
+    };
+    let curve = match &w.curve {
+        PriceCurve::Step(steps) => Json::obj([
+            ("k", Json::str("step")),
+            (
+                "steps",
+                Json::Arr(
+                    steps
+                        .iter()
+                        .map(|(t, p)| Json::Arr(vec![enc_f64(*t), enc_f64(*p)]))
+                        .collect(),
+                ),
+            ),
+        ]),
+        PriceCurve::Linear {
+            min_satisfaction,
+            max_price,
+        } => Json::obj([
+            ("k", Json::str("lin")),
+            ("min", enc_f64(*min_satisfaction)),
+            ("max", enc_f64(*max_price)),
+        ]),
+        PriceCurve::Constant(p) => Json::obj([("k", Json::str("const")), ("p", enc_f64(*p))]),
+    };
+    let con = &w.constraints;
+    Json::obj([
+        ("buyer", Json::str(&w.buyer)),
+        ("attributes", enc_str_vec(&w.attributes)),
+        ("keywords", enc_str_vec(&w.keywords)),
+        ("task", task),
+        ("curve", curve),
+        (
+            "constraints",
+            Json::obj([
+                ("max_age", enc_opt(&con.max_age, |v| enc_u64(*v))),
+                ("expires_at", enc_opt(&con.expires_at, |v| enc_u64(*v))),
+                ("authors", enc_str_vec(&con.authors)),
+                ("require_provenance", Json::Bool(con.require_provenance)),
+                (
+                    "max_missing",
+                    enc_opt(&con.max_missing_ratio, |v| enc_f64(*v)),
+                ),
+            ]),
+        ),
+        ("owned", enc_opt(&w.owned_data, enc_relation)),
+        ("min_rows", enc_usize(w.min_rows)),
+    ])
+}
+
+fn dec_wtp(j: &Json) -> Result<WtpFunction, WireError> {
+    let task_j = field(j, "task")?;
+    let task = match kind(task_j)? {
+        "cls" => TaskKind::Classification {
+            label: dec_str(field(task_j, "label")?)?,
+        },
+        "reg" => TaskKind::Regression {
+            target: dec_str(field(task_j, "target")?)?,
+        },
+        "agg" => TaskKind::AggregateCompleteness {
+            group_by: dec_str(field(task_j, "group_by")?)?,
+            expected_groups: dec_usize(field(task_j, "expected")?)?,
+        },
+        "cov" => TaskKind::AttributeCoverage,
+        _ => return Err(WireError::new("unknown task tag")),
+    };
+    let curve_j = field(j, "curve")?;
+    let curve = match kind(curve_j)? {
+        "step" => PriceCurve::Step(
+            arr(field(curve_j, "steps")?)?
+                .iter()
+                .map(|s| Ok((dec_f64(elem(s, 0)?)?, dec_f64(elem(s, 1)?)?)))
+                .collect::<Result<Vec<_>, WireError>>()?,
+        ),
+        "lin" => PriceCurve::Linear {
+            min_satisfaction: dec_f64(field(curve_j, "min")?)?,
+            max_price: dec_f64(field(curve_j, "max")?)?,
+        },
+        "const" => PriceCurve::Constant(dec_f64(field(curve_j, "p")?)?),
+        _ => return Err(WireError::new("unknown curve tag")),
+    };
+    let con_j = field(j, "constraints")?;
+    Ok(WtpFunction {
+        buyer: dec_str(field(j, "buyer")?)?,
+        attributes: dec_str_vec(field(j, "attributes")?)?,
+        keywords: dec_str_vec(field(j, "keywords")?)?,
+        task,
+        curve,
+        constraints: IntrinsicConstraints {
+            max_age: dec_opt(field(con_j, "max_age")?, dec_u64)?,
+            expires_at: dec_opt(field(con_j, "expires_at")?, dec_u64)?,
+            authors: dec_str_vec(field(con_j, "authors")?)?,
+            require_provenance: dec_bool(field(con_j, "require_provenance")?)?,
+            max_missing_ratio: dec_opt(field(con_j, "max_missing")?, dec_f64)?,
+        },
+        owned_data: dec_opt(field(j, "owned")?, dec_relation)?,
+        min_rows: dec_usize(field(j, "min_rows")?)?,
+    })
+}
+
+fn enc_tx(t: &TransactionRecord) -> Json {
+    Json::obj([
+        ("id", enc_u64(t.id)),
+        ("offer_id", enc_u64(t.offer_id)),
+        ("buyer", Json::str(&t.buyer)),
+        ("price", enc_f64(t.price)),
+        ("fee", enc_f64(t.fee)),
+        ("satisfaction", enc_f64(t.satisfaction)),
+        ("datasets", enc_dataset_vec(&t.datasets)),
+        (
+            "shares",
+            Json::Arr(
+                t.shares
+                    .iter()
+                    .map(|s| Json::Arr(vec![enc_u64(s.dataset.0), enc_f64(s.amount)]))
+                    .collect(),
+            ),
+        ),
+        ("round", enc_u64(t.round)),
+    ])
+}
+
+fn dec_tx(j: &Json) -> Result<TransactionRecord, WireError> {
+    Ok(TransactionRecord {
+        id: dec_u64(field(j, "id")?)?,
+        offer_id: dec_u64(field(j, "offer_id")?)?,
+        buyer: dec_str(field(j, "buyer")?)?,
+        price: dec_f64(field(j, "price")?)?,
+        fee: dec_f64(field(j, "fee")?)?,
+        satisfaction: dec_f64(field(j, "satisfaction")?)?,
+        datasets: dec_dataset_vec(field(j, "datasets")?)?,
+        shares: arr(field(j, "shares")?)?
+            .iter()
+            .map(|s| {
+                Ok(DatasetShare {
+                    dataset: DatasetId(dec_u64(elem(s, 0)?)?),
+                    amount: dec_f64(elem(s, 1)?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, WireError>>()?,
+        round: dec_u64(field(j, "round")?)?,
+    })
+}
+
+fn enc_delivery(d: &Delivery) -> Json {
+    Json::obj([
+        ("id", enc_u64(d.id)),
+        ("offer_id", enc_u64(d.offer_id)),
+        ("buyer", Json::str(&d.buyer)),
+        ("relation", enc_relation(&d.relation)),
+        ("satisfaction", enc_f64(d.satisfaction)),
+        ("escrow", enc_u64(d.escrow)),
+        ("datasets", enc_dataset_vec(&d.datasets)),
+        (
+            "settlement",
+            enc_opt(&d.settlement, |s| {
+                Json::obj([
+                    ("paid", enc_f64(s.paid)),
+                    ("penalty", enc_f64(s.penalty)),
+                    ("audited", Json::Bool(s.audited)),
+                ])
+            }),
+        ),
+    ])
+}
+
+fn dec_delivery(j: &Json) -> Result<Delivery, WireError> {
+    Ok(Delivery {
+        id: dec_u64(field(j, "id")?)?,
+        offer_id: dec_u64(field(j, "offer_id")?)?,
+        buyer: dec_str(field(j, "buyer")?)?,
+        relation: dec_relation(field(j, "relation")?)?,
+        satisfaction: dec_f64(field(j, "satisfaction")?)?,
+        escrow: dec_u64(field(j, "escrow")?)?,
+        datasets: dec_dataset_vec(field(j, "datasets")?)?,
+        settlement: dec_opt(field(j, "settlement")?, |s| {
+            Ok(Settlement {
+                paid: dec_f64(field(s, "paid")?)?,
+                penalty: dec_f64(field(s, "penalty")?)?,
+                audited: dec_bool(field(s, "audited")?)?,
+            })
+        })?,
+    })
+}
+
+fn enc_purchase(p: &Purchase) -> Json {
+    Json::obj([
+        ("buyer", Json::str(&p.buyer)),
+        ("datasets", enc_dataset_vec(&p.datasets)),
+    ])
+}
+
+fn dec_purchase(j: &Json) -> Result<Purchase, WireError> {
+    Ok(Purchase {
+        buyer: dec_str(field(j, "buyer")?)?,
+        datasets: dec_dataset_vec(field(j, "datasets")?)?,
+    })
+}
+
+fn enc_participant(p: &Participant) -> Json {
+    Json::obj([
+        ("name", Json::str(&p.name)),
+        ("role", Json::str(&p.role)),
+        ("reputation", enc_f64(p.reputation)),
+        ("excluded_until", enc_u64(p.excluded_until)),
+    ])
+}
+
+fn dec_participant(j: &Json) -> Result<Participant, WireError> {
+    Ok(Participant {
+        name: dec_str(field(j, "name")?)?,
+        role: dec_str(field(j, "role")?)?,
+        reputation: dec_f64(field(j, "reputation")?)?,
+        excluded_until: dec_u64(field(j, "excluded_until")?)?,
+    })
+}
+
+fn enc_negotiation(n: &NegotiationRequest) -> Json {
+    Json::obj([
+        ("offer_id", enc_u64(n.offer_id)),
+        ("buyer", Json::str(&n.buyer)),
+        ("missing", enc_str_vec(&n.missing)),
+        ("sellers", enc_str_vec(&n.candidate_sellers)),
+    ])
+}
+
+fn dec_negotiation(j: &Json) -> Result<NegotiationRequest, WireError> {
+    Ok(NegotiationRequest {
+        offer_id: dec_u64(field(j, "offer_id")?)?,
+        buyer: dec_str(field(j, "buyer")?)?,
+        missing: dec_str_vec(field(j, "missing")?)?,
+        candidate_sellers: dec_str_vec(field(j, "sellers")?)?,
+    })
+}
+
+fn enc_audit_event(e: &AuditEvent) -> Json {
+    match e {
+        AuditEvent::DatasetRegistered { dataset, seller } => Json::obj([
+            ("k", Json::str("reg")),
+            ("dataset", enc_u64(dataset.0)),
+            ("seller", Json::str(seller)),
+        ]),
+        AuditEvent::WtpSubmitted { offer, buyer } => Json::obj([
+            ("k", Json::str("wtp")),
+            ("offer", enc_u64(*offer)),
+            ("buyer", Json::str(buyer)),
+        ]),
+        AuditEvent::MashupBuilt { offer, datasets } => Json::obj([
+            ("k", Json::str("mash")),
+            ("offer", enc_u64(*offer)),
+            ("datasets", enc_dataset_vec(datasets)),
+        ]),
+        AuditEvent::TransactionSettled { tx, buyer, price } => Json::obj([
+            ("k", Json::str("settle")),
+            ("tx", enc_u64(*tx)),
+            ("buyer", Json::str(buyer)),
+            ("price", enc_f64(*price)),
+        ]),
+        AuditEvent::PrivacyRelease { dataset, epsilon } => Json::obj([
+            ("k", Json::str("priv")),
+            ("dataset", enc_u64(dataset.0)),
+            ("epsilon", enc_f64(*epsilon)),
+        ]),
+        AuditEvent::ExPostAudit {
+            delivery,
+            underreported,
+        } => Json::obj([
+            ("k", Json::str("expost")),
+            ("delivery", enc_u64(*delivery)),
+            ("under", Json::Bool(*underreported)),
+        ]),
+        AuditEvent::Dispute { dispute, note } => Json::obj([
+            ("k", Json::str("disp")),
+            ("dispute", enc_u64(*dispute)),
+            ("note", Json::str(note)),
+        ]),
+    }
+}
+
+fn dec_audit_event(j: &Json) -> Result<AuditEvent, WireError> {
+    match kind(j)? {
+        "reg" => Ok(AuditEvent::DatasetRegistered {
+            dataset: DatasetId(dec_u64(field(j, "dataset")?)?),
+            seller: dec_str(field(j, "seller")?)?,
+        }),
+        "wtp" => Ok(AuditEvent::WtpSubmitted {
+            offer: dec_u64(field(j, "offer")?)?,
+            buyer: dec_str(field(j, "buyer")?)?,
+        }),
+        "mash" => Ok(AuditEvent::MashupBuilt {
+            offer: dec_u64(field(j, "offer")?)?,
+            datasets: dec_dataset_vec(field(j, "datasets")?)?,
+        }),
+        "settle" => Ok(AuditEvent::TransactionSettled {
+            tx: dec_u64(field(j, "tx")?)?,
+            buyer: dec_str(field(j, "buyer")?)?,
+            price: dec_f64(field(j, "price")?)?,
+        }),
+        "priv" => Ok(AuditEvent::PrivacyRelease {
+            dataset: DatasetId(dec_u64(field(j, "dataset")?)?),
+            epsilon: dec_f64(field(j, "epsilon")?)?,
+        }),
+        "expost" => Ok(AuditEvent::ExPostAudit {
+            delivery: dec_u64(field(j, "delivery")?)?,
+            underreported: dec_bool(field(j, "under")?)?,
+        }),
+        "disp" => Ok(AuditEvent::Dispute {
+            dispute: dec_u64(field(j, "dispute")?)?,
+            note: dec_str(field(j, "note")?)?,
+        }),
+        _ => Err(WireError::new("unknown audit event tag")),
+    }
+}
+
+fn enc_dispute(d: &Dispute) -> Json {
+    let state = match &d.state {
+        DisputeState::Open => Json::obj([("k", Json::str("open"))]),
+        DisputeState::Resolved { refund } => {
+            Json::obj([("k", Json::str("res")), ("refund", enc_f64(*refund))])
+        }
+    };
+    Json::obj([
+        ("id", enc_u64(d.id)),
+        ("complainant", Json::str(&d.complainant)),
+        ("tx", enc_u64(d.tx)),
+        ("reason", Json::str(&d.reason)),
+        ("state", state),
+    ])
+}
+
+fn dec_dispute(j: &Json) -> Result<Dispute, WireError> {
+    let state_j = field(j, "state")?;
+    let state = match kind(state_j)? {
+        "open" => DisputeState::Open,
+        "res" => DisputeState::Resolved {
+            refund: dec_f64(field(state_j, "refund")?)?,
+        },
+        _ => return Err(WireError::new("unknown dispute state tag")),
+    };
+    Ok(Dispute {
+        id: dec_u64(field(j, "id")?)?,
+        complainant: dec_str(field(j, "complainant")?)?,
+        tx: dec_u64(field(j, "tx")?)?,
+        reason: dec_str(field(j, "reason")?)?,
+        state,
+    })
+}

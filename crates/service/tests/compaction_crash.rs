@@ -1,0 +1,265 @@
+//! Compaction crash-injection: kill the checkpoint procedure at every
+//! ordering point between "snapshot written" and "journal truncated"
+//! and prove recovery is **bit-identical** to the uncrashed node.
+//!
+//! The checkpoint sequence under bounded retention is:
+//!
+//! ```text
+//! 1. write snapshot tmp            (crash → stale .tmp, journal intact)
+//! 2. rename tmp → snapshot-N.dmp   (crash → extra snapshot, journal intact)
+//! 3. verify on-disk snapshot       (crash → same as 2)
+//! 4. prune old snapshots           (crash → fewer snapshots, journal intact)
+//! 5. write journal.compact         (crash → stale .compact, journal intact)
+//! 6. rename .compact → journal.wal (crash → truncated journal + snapshot)
+//! ```
+//!
+//! Every intermediate directory state must recover to the same state
+//! digest as a node that never crashed, and keep accepting commands.
+
+use std::path::{Path, PathBuf};
+
+use dmp_core::market::MarketConfig;
+use dmp_mechanism::design::MarketDesign;
+use dmp_service::command::{AskSpec, CellSpec, ColType, Command, OfferSpec, TableSpec};
+use dmp_service::journal::Journal;
+use dmp_service::node::{ServiceConfig, ServiceNode};
+use dmp_service::snapshot;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 3;
+const SNAPSHOT_EVERY: u64 = 6;
+
+fn market_config() -> MarketConfig {
+    MarketConfig::external(51).with_design(MarketDesign::posted_price_baseline(11.0))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dmp-compact-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A short mixed stream: enough commands to cross several snapshot
+/// boundaries (snapshots at 6, 12, 18 for 20 commands).
+fn command_stream() -> Vec<Command> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xc0de);
+    let mut cmds = Vec::new();
+    for i in 0..3 {
+        cmds.push(Command::Enroll {
+            name: format!("seller{i}"),
+            role: "seller".into(),
+        });
+        cmds.push(Command::Enroll {
+            name: format!("buyer{i}"),
+            role: "buyer".into(),
+        });
+        cmds.push(Command::Deposit {
+            account: format!("buyer{i}"),
+            amount: 300.0,
+        });
+    }
+    while cmds.len() < 19 {
+        match rng.gen_range(0u32..3) {
+            0 => cmds.push(Command::SubmitAsk(AskSpec {
+                seller: format!("seller{}", rng.gen_range(0usize..3)),
+                table: TableSpec {
+                    name: format!("t{}", cmds.len()),
+                    columns: vec![("a".into(), ColType::Float), ("b".into(), ColType::Float)],
+                    rows: (0..3)
+                        .map(|_| {
+                            vec![
+                                CellSpec::Float(rng.gen_range(0i64..100) as f64 / 4.0),
+                                CellSpec::Float(rng.gen_range(0i64..100) as f64 / 4.0),
+                            ]
+                        })
+                        .collect(),
+                },
+                reserve: None,
+                license: None,
+            })),
+            1 => cmds.push(Command::SubmitOffer(OfferSpec::simple(
+                format!("buyer{}", rng.gen_range(0usize..3)),
+                ["a", "b"],
+                rng.gen_range(5i64..30) as f64,
+            ))),
+            _ => cmds.push(Command::RunRound { rounds: 1 }),
+        }
+    }
+    cmds.push(Command::RunRound { rounds: 1 });
+    cmds
+}
+
+fn config(dir: &Path, keep: usize) -> ServiceConfig {
+    ServiceConfig::new(dir, market_config())
+        .with_shards(SHARDS)
+        .with_snapshot_every(SNAPSHOT_EVERY)
+        .with_fsync(false)
+        .with_keep_snapshots(keep)
+}
+
+/// Donor state: run with unbounded retention so the full journal *and*
+/// every snapshot survive — the crash cases are carved out of this.
+struct Donor {
+    dir: PathBuf,
+    digest: u64,
+    applied: u64,
+    snapshot_seqs: Vec<u64>,
+}
+
+fn donor() -> Donor {
+    let dir = tmp_dir("donor");
+    let node = ServiceNode::open(config(&dir, 0)).unwrap();
+    for cmd in command_stream() {
+        let _ = node.apply(cmd);
+    }
+    let digest = node.state_digest();
+    let applied = node.applied();
+    let snapshot_seqs: Vec<u64> = snapshot::list_snapshots(&dir)
+        .into_iter()
+        .map(|(seq, _)| seq)
+        .collect();
+    assert!(
+        snapshot_seqs.len() >= 3,
+        "donor run must cross ≥3 snapshot boundaries, got {snapshot_seqs:?}"
+    );
+    Donor {
+        dir,
+        digest,
+        applied,
+        snapshot_seqs,
+    }
+}
+
+/// Materialize a crash directory: the donor journal plus the snapshots
+/// whose seq passes `keep_snapshot`.
+fn carve(donor: &Donor, name: &str, keep_snapshot: impl Fn(u64) -> bool) -> PathBuf {
+    let dir = tmp_dir(name);
+    std::fs::copy(donor.dir.join("journal.wal"), dir.join("journal.wal")).unwrap();
+    std::fs::copy(donor.dir.join("node.meta"), dir.join("node.meta")).unwrap();
+    for (seq, path) in snapshot::list_snapshots(&donor.dir) {
+        if keep_snapshot(seq) {
+            std::fs::copy(&path, dir.join(path.file_name().unwrap())).unwrap();
+        }
+    }
+    dir
+}
+
+/// Recover `dir` under bounded retention and require the exact donor
+/// state, then prove the node still takes writes and re-recovers.
+fn assert_recovers_bit_identical(donor: &Donor, dir: &Path, case: &str) {
+    let node = ServiceNode::open(config(dir, 1)).unwrap();
+    assert_eq!(node.applied(), donor.applied, "{case}: applied seq");
+    assert_eq!(node.state_digest(), donor.digest, "{case}: state digest");
+    node.apply(Command::Enroll {
+        name: "post-crash".into(),
+        role: "buyer".into(),
+    })
+    .unwrap();
+    let digest_after = node.state_digest();
+    drop(node);
+    let reopened = ServiceNode::open(config(dir, 1)).unwrap();
+    assert_eq!(
+        reopened.state_digest(),
+        digest_after,
+        "{case}: post-crash appends must replay"
+    );
+}
+
+#[test]
+fn crash_with_stale_snapshot_tmp_recovers() {
+    let d = donor();
+    // Crash between tmp write and rename: the newest snapshot never
+    // landed, a garbage .tmp did.
+    let newest = *d.snapshot_seqs.last().unwrap();
+    let dir = carve(&d, "tmp-stale", |seq| seq < newest);
+    std::fs::write(
+        dir.join(format!("snapshot-{newest:020}.tmp")),
+        b"half-written snapshot",
+    )
+    .unwrap();
+    assert_recovers_bit_identical(&d, &dir, "stale-tmp");
+    assert!(
+        !dir.join(format!("snapshot-{newest:020}.tmp")).exists(),
+        "open must sweep the stale tmp"
+    );
+}
+
+#[test]
+fn crash_after_snapshot_durable_before_prune_recovers() {
+    let d = donor();
+    // All snapshots present, journal untouched: the prune never ran.
+    let dir = carve(&d, "pre-prune", |_| true);
+    assert_recovers_bit_identical(&d, &dir, "pre-prune");
+}
+
+#[test]
+fn crash_after_prune_before_truncate_recovers() {
+    let d = donor();
+    // Only the newest snapshot survives, journal still full-length.
+    let newest = *d.snapshot_seqs.last().unwrap();
+    let dir = carve(&d, "pre-truncate", |seq| seq == newest);
+    assert_recovers_bit_identical(&d, &dir, "pre-truncate");
+}
+
+#[test]
+fn crash_with_stale_journal_compact_recovers() {
+    let d = donor();
+    // Crash between writing journal.compact and the rename: the live
+    // journal is intact and the partial copy must be discarded.
+    let newest = *d.snapshot_seqs.last().unwrap();
+    let dir = carve(&d, "compact-stale", |seq| seq == newest);
+    std::fs::write(dir.join("journal.compact"), b"partial compacted journal").unwrap();
+    assert_recovers_bit_identical(&d, &dir, "stale-compact");
+    assert!(
+        !dir.join("journal.compact").exists(),
+        "open must remove the stale journal.compact"
+    );
+}
+
+#[test]
+fn crash_after_truncate_recovers_from_snapshot_plus_tail() {
+    let d = donor();
+    // The completed compaction: journal holds only seq > newest.
+    let newest = *d.snapshot_seqs.last().unwrap();
+    let dir = carve(&d, "post-truncate", |seq| seq == newest);
+    {
+        let (mut journal, _) = Journal::open(dir.join("journal.wal"), false).unwrap();
+        let dropped = journal.truncate_prefix(newest).unwrap();
+        assert!(dropped > 0, "truncation must actually drop the prefix");
+    }
+    assert_recovers_bit_identical(&d, &dir, "post-truncate");
+}
+
+/// End-to-end: a node *running* with bounded retention compacts as it
+/// goes, its journal stays shorter than the unbounded donor's, and its
+/// recovered state is identical.
+#[test]
+fn live_compaction_shrinks_journal_and_matches_donor() {
+    let d = donor();
+    let dir = tmp_dir("live");
+    let node = ServiceNode::open(config(&dir, 1)).unwrap();
+    for cmd in command_stream() {
+        let _ = node.apply(cmd);
+    }
+    assert_eq!(
+        node.state_digest(),
+        d.digest,
+        "live compaction changed state"
+    );
+    let compacted = node.journal_len().unwrap();
+    let full = std::fs::metadata(d.dir.join("journal.wal")).unwrap().len();
+    assert!(
+        compacted < full,
+        "compaction did not shrink the journal: {compacted} >= {full}"
+    );
+    assert_eq!(
+        snapshot::list_snapshots(&dir).len(),
+        1,
+        "retention must keep exactly one snapshot"
+    );
+    drop(node);
+    let recovered = ServiceNode::open(config(&dir, 1)).unwrap();
+    assert_eq!(recovered.state_digest(), d.digest);
+    assert_eq!(recovered.applied(), d.applied);
+}
