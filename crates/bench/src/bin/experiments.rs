@@ -1485,6 +1485,108 @@ fn svc_service_baseline() {
         ]);
         json_rows.push(("cross_shard_rounds_per_s".into(), Json::Num(xrps)));
     }
+
+    // Distributed topology: the same two-phase exchange, but with the
+    // candidate phase farmed out to three full-replica workers over
+    // real loopback sockets and settlement re-executed on every
+    // replica. Workers are in-process [`WorkerNode`]s behind their own
+    // gateways — the wire cost is real, the process-spawn cost is not
+    // what this row measures. The conflict-component quantile rides
+    // along from the same rounds.
+    {
+        use dmp_service::coordinator::WorkerPool;
+        use dmp_service::shard::Outcome;
+        use dmp_service::worker::{WorkerConfig, WorkerNode};
+
+        let market =
+            MarketConfig::external(3).with_design(MarketDesign::posted_price_baseline(10.0));
+        let node = Arc::new(ServiceNode::open(service_config(tmp("svc-dist"))).unwrap());
+        let worker_gateways: Vec<Gateway> = (0..3)
+            .map(|_| {
+                let worker = Arc::new(WorkerNode::new(WorkerConfig::new(market.clone(), 4)));
+                Gateway::serve_service(
+                    worker,
+                    GatewayConfig {
+                        addr: "127.0.0.1:0".into(),
+                        ..GatewayConfig::default()
+                    },
+                )
+                .unwrap()
+            })
+            .collect();
+        let addrs: Vec<_> = worker_gateways.iter().map(|g| g.addr()).collect();
+        let pool = Arc::new(WorkerPool::connect(node.fingerprint(), 4, &addrs).unwrap());
+        assert_eq!(pool.provision_all(&node), 3, "all bench workers provision");
+        WorkerPool::attach(&pool, &node);
+        for i in 0..8 {
+            node.apply(Command::Enroll {
+                name: format!("s{i}"),
+                role: "seller".into(),
+            })
+            .unwrap();
+            node.apply(Command::Enroll {
+                name: format!("b{i}"),
+                role: "buyer".into(),
+            })
+            .unwrap();
+            node.apply(Command::Deposit {
+                account: format!("b{i}"),
+                amount: 1e6,
+            })
+            .unwrap();
+            let _ = node.apply(Command::SubmitAsk(AskSpec {
+                seller: format!("s{i}"),
+                table: TableSpec {
+                    name: format!("t{i}"),
+                    columns: vec![("k".into(), ColType::Int), ("v".into(), ColType::Float)],
+                    rows: (0..6)
+                        .map(|r| vec![CellSpec::Int(r), CellSpec::Float(r as f64 * 1.5)])
+                        .collect(),
+                },
+                reserve: None,
+                license: None,
+            }));
+        }
+        const DROUNDS: usize = 32;
+        let mut components: Vec<usize> = Vec::new();
+        let (_, ms) = time_ms(|| {
+            for round in 0..DROUNDS {
+                for i in 0..8 {
+                    let _ = node.apply(Command::SubmitOffer(OfferSpec::simple(
+                        format!("b{}", (round + i) % 8),
+                        ["k", "v"],
+                        15.0,
+                    )));
+                }
+                if let Ok(Outcome::RoundsRun(reports)) = node.apply(Command::RunRound { rounds: 1 })
+                {
+                    components.extend(reports.iter().map(|r| r.components));
+                }
+            }
+        });
+        assert_eq!(pool.live_workers(), 3, "no bench worker may drop out");
+        components.sort_unstable();
+        let components_p50 = components.get(components.len() / 2).copied().unwrap_or(0);
+        let drps = DROUNDS as f64 / (ms / 1e3);
+        t.row(vec![
+            "distributed exchange round".into(),
+            format!("1 coordinator + 3 workers over sockets, {DROUNDS} rounds"),
+            format!("{} rounds/s", f2(drps)),
+        ]);
+        t.row(vec![
+            "settlement conflict components".into(),
+            format!("p50 over {} rounds", components.len()),
+            format!("{components_p50} components"),
+        ]);
+        json_rows.push(("distributed_rounds_per_s".into(), Json::Num(drps)));
+        json_rows.push((
+            "settlement_components_p50".into(),
+            Json::Num(components_p50 as f64),
+        ));
+        for gateway in worker_gateways {
+            gateway.shutdown();
+        }
+    }
     t.print();
 
     let out = Json::Obj(json_rows).dump();

@@ -12,7 +12,7 @@ use dmp_relation::ops::JoinKind;
 use dmp_relation::{DatasetId, Relation};
 
 /// A materialized candidate mashup.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BuiltMashup {
     /// The relation (already joined with owned data when provided).
     pub relation: Relation,

@@ -35,15 +35,17 @@
 
 mod candidates;
 mod clearing;
+mod conflict;
 mod context;
 mod expiry;
 mod settlement;
 
 pub use candidates::CandidateStage;
 pub use clearing::ClearingStage;
+pub use conflict::connected_components;
 pub use context::RoundContext;
 pub use expiry::ExpiryStage;
-pub use settlement::SettlementStage;
+pub use settlement::{SettlementPlan, SettlementStage};
 
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -140,6 +142,34 @@ pub struct CandidateSet {
     pub round: u64,
     /// One bid per offer that found a sellable mashup.
     pub bids: Vec<RoundBid>,
+}
+
+/// The complete candidate-phase outcome of one market (shard) for one
+/// seeded round — everything a *remote* settlement authority needs to
+/// finish the round on this shard's behalf, and everything a replica
+/// needs to adopt the phase without recomputing it.
+///
+/// Where [`CandidateSet`] carries only the bids (enough for global
+/// clearing), the phase export also carries the winning mashups — their
+/// materialized relations included, because revenue allocation splits
+/// by provenance over the relation — plus the negotiation / demand side
+/// channel and the audit events the candidate stage recorded. Expiry is
+/// *not* exported: it is a pure function of the local offer book and
+/// logical clock, so an importing replica re-runs it locally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidatePhaseExport {
+    /// The round this phase belongs to.
+    pub round: u64,
+    /// One bid per offer that found a sellable mashup.
+    pub bids: Vec<RoundBid>,
+    /// Winning mashup per offer id (ascending offer id).
+    pub best_mashups: Vec<(u64, crate::arbiter::mashup_builder::BuiltMashup)>,
+    /// Missing-attribute lists (feeds the demand report).
+    pub missing: Vec<Vec<String>>,
+    /// Negotiation requests for under-served offers (§4.1).
+    pub negotiations: Vec<NegotiationRequest>,
+    /// Audit events the candidate stage recorded, in chain order.
+    pub audit_events: Vec<crate::trust::AuditEvent>,
 }
 
 /// What one `run_round` did.

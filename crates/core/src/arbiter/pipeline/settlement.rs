@@ -13,11 +13,32 @@ use crate::arbiter::revenue::dataset_shares;
 use crate::arbiter::services::Purchase;
 use crate::error::{MarketError, MarketResult};
 use crate::market::{
-    DataMarket, Delivery, OfferState, Settlement, TransactionRecord, ARBITER_ACCOUNT,
+    DataMarket, DatasetShare, Delivery, OfferState, Settlement, TransactionRecord, ARBITER_ACCOUNT,
 };
 use crate::trust::AuditEvent;
 
 use super::{RoundContext, RoundStage};
+
+/// The commit-independent arithmetic of one ex ante settlement.
+///
+/// Everything here is a pure function of the market design, the sale,
+/// and the winning mashup's relation — never of ledger state mutated by
+/// earlier settlements — so plans for *any* set of sales can be
+/// computed concurrently (the conflict-graph settlement path computes
+/// them per connected component on rayon workers) and then committed
+/// sequentially in global offer-id order with results bit-identical to
+/// fully sequential settlement: the commit consumes the plan verbatim,
+/// it never recomputes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SettlementPlan {
+    /// Arbiter fee carved out of the sale price.
+    pub fee: f64,
+    /// Provenance-based revenue shares over `price − fee`.
+    pub shares: Vec<DatasetShare>,
+    /// Platform-minted contribution rewards (empty when the config
+    /// mints none).
+    pub reward_shares: Vec<DatasetShare>,
+}
 
 /// Settles the round's cleared sales. Under **ex ante** elicitation the
 /// buyer pays now: escrow, fee split, provenance-based revenue shares,
@@ -50,6 +71,22 @@ impl SettlementStage {
     /// shard) is ignored; one whose buyer cannot fund the escrow leaves
     /// the offer pending.
     pub(crate) fn settle_one(market: &DataMarket, ctx: &mut RoundContext, sale: Sale) {
+        Self::settle_one_planned(market, ctx, sale, None);
+    }
+
+    /// [`SettlementStage::settle_one`] with an optionally precomputed
+    /// [`SettlementPlan`] (conflict-graph parallel settlement: plans are
+    /// computed concurrently per component, commits replay in global
+    /// order through here). `None` plans the sale inline — the two paths
+    /// are bit-identical because the plan is a pure function of inputs
+    /// the commit does not mutate. Ex post sales ignore the plan: their
+    /// money moves at report time, not now.
+    pub(crate) fn settle_one_planned(
+        market: &DataMarket,
+        ctx: &mut RoundContext,
+        sale: Sale,
+        plan: Option<&SettlementPlan>,
+    ) {
         let ex_post = matches!(
             market.config.design.elicitation,
             ElicitationProtocol::ExPost(_)
@@ -67,7 +104,11 @@ impl SettlementStage {
                 Err(_) => { /* deposit unavailable: offer stays pending */ }
             }
         } else {
-            match market.settle(&sale, &mashup, ctx.round) {
+            let settled = match plan {
+                Some(p) => market.settle_planned(&sale, &mashup, ctx.round, p),
+                None => market.settle(&sale, &mashup, ctx.round),
+            };
+            match settled {
                 Ok(record) => {
                     ctx.revenue += record.price;
                     ctx.fees += record.fee;
@@ -80,6 +121,54 @@ impl SettlementStage {
 }
 
 impl DataMarket {
+    /// Compute the commit-independent arithmetic of one ex ante
+    /// settlement — see [`SettlementPlan`] for why this is safe to run
+    /// concurrently for sales that have not committed yet.
+    pub fn plan_settlement(&self, sale: &Sale, mashup: &BuiltMashup) -> SettlementPlan {
+        let fee = sale.price * self.config.design.arbiter_fee.clamp(0.0, 1.0);
+        let to_sellers = sale.price - fee;
+        let shares = dataset_shares(&self.config.design, &mashup.relation, to_sellers);
+        let reward_shares = if self.config.contribution_reward > 0.0 {
+            dataset_shares(
+                &self.config.design,
+                &mashup.relation,
+                self.config.contribution_reward,
+            )
+        } else {
+            Vec::new()
+        };
+        SettlementPlan {
+            fee,
+            shares,
+            reward_shares,
+        }
+    }
+
+    /// The conflict keys of one cleared sale: the ledger accounts and
+    /// exclusivity-hold slots its settlement writes. Two sales with
+    /// disjoint key sets commute semantically; sharing any key makes
+    /// them neighbors in the round's conflict graph (see
+    /// [`super::conflict::connected_components`]). [`ARBITER_ACCOUNT`]
+    /// is excluded — every sale credits the arbiter's fee account, and
+    /// integer micro-credit deposits commute exactly, so including it
+    /// would collapse every round into one component. A dataset with no
+    /// metadata entry pays its residual to the arbiter and is likewise
+    /// account-free (its `d:` hold key still counts).
+    pub fn settlement_conflict_keys(&self, sale: &Sale, mashup: &BuiltMashup) -> Vec<String> {
+        let mut keys = vec![format!("a:{}", sale.buyer)];
+        for &d in &mashup.datasets {
+            if let Some(e) = self.metadata.get(d) {
+                if e.owner != ARBITER_ACCOUNT {
+                    keys.push(format!("a:{}", e.owner));
+                }
+            }
+            keys.push(format!("d:{}", d.0));
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
     /// Ex ante settlement: move money, split revenue, record everything.
     pub(crate) fn settle(
         &self,
@@ -87,9 +176,23 @@ impl DataMarket {
         mashup: &BuiltMashup,
         round: u64,
     ) -> MarketResult<TransactionRecord> {
-        let fee = sale.price * self.config.design.arbiter_fee.clamp(0.0, 1.0);
-        let to_sellers = sale.price - fee;
-        let shares = dataset_shares(&self.config.design, &mashup.relation, to_sellers);
+        let plan = self.plan_settlement(sale, mashup);
+        self.settle_planned(sale, mashup, round, &plan)
+    }
+
+    /// Commit one ex ante settlement from its precomputed plan. Order
+    /// matters here — escrow/tx/delivery id allocation, the audit
+    /// chain, and hold success all depend on every prior commit — so
+    /// callers drive commits sequentially in global offer-id order.
+    pub(crate) fn settle_planned(
+        &self,
+        sale: &Sale,
+        mashup: &BuiltMashup,
+        round: u64,
+        plan: &SettlementPlan,
+    ) -> MarketResult<TransactionRecord> {
+        let fee = plan.fee;
+        let shares = &plan.shares;
 
         // Atomic-ish: verify funds, then transfer piecewise.
         let escrow = self.ledger.hold(&sale.buyer, sale.price)?;
@@ -99,7 +202,7 @@ impl DataMarket {
         if fee > 0.0 {
             self.ledger.release_up_to(escrow, ARBITER_ACCOUNT, fee)?;
         }
-        for share in &shares {
+        for share in shares {
             let owner = match self.metadata.get(share.dataset) {
                 Some(e) => e.owner,
                 None => ARBITER_ACCOUNT.to_string(), // provenance-free residual
@@ -120,7 +223,7 @@ impl DataMarket {
             shares: shares.clone(),
             round,
         };
-        self.finish_transaction(&record, mashup, round);
+        self.finish_transaction(&record, mashup, round, &plan.reward_shares);
 
         // Deliver the data as a settled delivery record.
         let delivery_id = self.next_delivery.fetch_add(1, Ordering::Relaxed);
@@ -143,21 +246,22 @@ impl DataMarket {
         Ok(record)
     }
 
-    /// Shared bookkeeping after money moved.
-    fn finish_transaction(&self, record: &TransactionRecord, mashup: &BuiltMashup, round: u64) {
-        // Platform-minted contribution rewards (bonus points / credits):
-        // sellers are compensated even when the design charges buyers
-        // nothing, split like the revenue shares would be.
-        if self.config.contribution_reward > 0.0 {
-            let reward_shares = dataset_shares(
-                &self.config.design,
-                &mashup.relation,
-                self.config.contribution_reward,
-            );
-            for share in &reward_shares {
-                if let Some(e) = self.metadata.get(share.dataset) {
-                    self.ledger.deposit(&e.owner, share.amount);
-                }
+    /// Shared bookkeeping after money moved. `reward_shares` are the
+    /// platform-minted contribution rewards (bonus points / credits):
+    /// sellers are compensated even when the design charges buyers
+    /// nothing, split like the revenue shares would be. They arrive
+    /// precomputed (from the sale's [`SettlementPlan`] or the ex post
+    /// report path) so the planned and unplanned paths share one body.
+    fn finish_transaction(
+        &self,
+        record: &TransactionRecord,
+        mashup: &BuiltMashup,
+        round: u64,
+        reward_shares: &[DatasetShare],
+    ) {
+        for share in reward_shares {
+            if let Some(e) = self.metadata.get(share.dataset) {
+                self.ledger.deposit(&e.owner, share.amount);
             }
         }
         self.audit.record(AuditEvent::TransactionSettled {
@@ -330,7 +434,16 @@ impl DataMarket {
             confidence: 1.0,
             missing: Vec::new(),
         };
-        self.finish_transaction(&record, &built, self.round());
+        let reward_shares = if self.config.contribution_reward > 0.0 {
+            dataset_shares(
+                &self.config.design,
+                &built.relation,
+                self.config.contribution_reward,
+            )
+        } else {
+            Vec::new()
+        };
+        self.finish_transaction(&record, &built, self.round(), &reward_shares);
         self.transactions.lock().push(record);
         self.set_offer_state(offer_id, OfferState::Fulfilled { tx });
         if let Some(d) = self

@@ -604,6 +604,61 @@ impl DataMarket {
         ctx
     }
 
+    /// [`DataMarket::begin_round_seeded`], additionally capturing the
+    /// complete candidate-phase outcome as a
+    /// [`pipeline::CandidatePhaseExport`]: what a shard worker computes
+    /// and ships to the settlement coordinator. The export carries the
+    /// winning mashups (relations included — revenue allocation needs
+    /// them) and the audit events the candidate stage recorded, so a
+    /// peer holding the same pre-round state can adopt the phase via
+    /// [`DataMarket::begin_round_imported`] and end up bit-identical.
+    pub fn begin_round_exported(
+        &self,
+        round_seed: u64,
+    ) -> (pipeline::RoundContext, pipeline::CandidatePhaseExport) {
+        let mut ctx = pipeline::RoundContext::open_seeded(self, round_seed);
+        pipeline::run_stage_timed(&pipeline::ExpiryStage, self, &mut ctx);
+        let audit_mark = self.audit.len() as u64;
+        pipeline::run_stage_timed(&pipeline::CandidateStage::default(), self, &mut ctx);
+        let export = pipeline::CandidatePhaseExport {
+            round: ctx.round,
+            bids: ctx.bids.clone(),
+            best_mashups: ctx
+                .best_mashups
+                .iter()
+                .map(|(id, m)| (*id, m.clone()))
+                .collect(),
+            missing: ctx.missing.clone(),
+            negotiations: ctx.negotiations.clone(),
+            audit_events: self.audit.events_since(audit_mark),
+        };
+        (ctx, export)
+    }
+
+    /// Adopt a candidate phase computed elsewhere: open the round under
+    /// the coordinated seed, run expiry **locally** (it is a pure
+    /// function of the local offer book and clock, and both replicas
+    /// hold the same pre-round state), replay the exported audit
+    /// events, and install the exported bids/mashups/negotiations. The
+    /// resulting market state and context are bit-identical to having
+    /// run [`DataMarket::begin_round_exported`] locally.
+    pub fn begin_round_imported(
+        &self,
+        round_seed: u64,
+        export: &pipeline::CandidatePhaseExport,
+    ) -> pipeline::RoundContext {
+        let mut ctx = pipeline::RoundContext::open_seeded(self, round_seed);
+        pipeline::run_stage_timed(&pipeline::ExpiryStage, self, &mut ctx);
+        for event in &export.audit_events {
+            self.audit.record(event.clone());
+        }
+        ctx.bids = export.bids.clone();
+        ctx.best_mashups = export.best_mashups.iter().cloned().collect();
+        ctx.missing = export.missing.clone();
+        ctx.negotiations = export.negotiations.clone();
+        ctx
+    }
+
     /// **Phase 2** (per cleared sale): settle one externally-cleared
     /// sale into this market — ex ante payment or ex post delivery,
     /// exactly as [`pipeline::SettlementStage`] would. The sale's offer
@@ -615,6 +670,20 @@ impl DataMarket {
         sale: crate::arbiter::pricing::Sale,
     ) {
         pipeline::SettlementStage::settle_one(self, ctx, sale);
+    }
+
+    /// [`DataMarket::settle_sale`] with an optional precomputed
+    /// [`pipeline::SettlementPlan`] — the commit half of conflict-graph
+    /// parallel settlement. Plans may be computed concurrently (they
+    /// never read commit-mutated state); commits must arrive here in
+    /// global offer-id order.
+    pub fn settle_sale_planned(
+        &self,
+        ctx: &mut pipeline::RoundContext,
+        sale: crate::arbiter::pricing::Sale,
+        plan: Option<&pipeline::SettlementPlan>,
+    ) {
+        pipeline::SettlementStage::settle_one_planned(self, ctx, sale, plan);
     }
 
     /// **Phase 3**: close a two-phase round — publish negotiation and

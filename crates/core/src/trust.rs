@@ -123,6 +123,19 @@ impl AuditLog {
         self.entries.lock().clone()
     }
 
+    /// The events appended at sequence `from` and later — the tail since
+    /// a caller-observed [`AuditLog::len`]. The candidate-phase export
+    /// captures exactly the events one stage recorded this way, without
+    /// cloning the whole history every round.
+    pub fn events_since(&self, from: u64) -> Vec<AuditEvent> {
+        self.entries
+            .lock()
+            .iter()
+            .skip(from as usize)
+            .map(|e| e.event.clone())
+            .collect()
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.lock().len()

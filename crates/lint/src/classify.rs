@@ -121,6 +121,26 @@ pub const MODULE_MAP: &[MapEntry] = &[
               1-shard == M-shard equivalence depends on deterministic order",
     },
     MapEntry {
+        pattern: "crates/service/src/codec.rs",
+        classes: &["replay", "float_strict", "panic_free", "no_index"],
+        why: "distributed round codec: decode(encode(cs)) must be bit-exact, \
+              floats travel as bit patterns, and a malformed candidate payload \
+              from the wire must error, never panic a round",
+    },
+    MapEntry {
+        pattern: "crates/service/src/worker.rs",
+        classes: &["replay", "panic_free"],
+        why: "worker replicas re-execute the coordinator's rounds from wire \
+              payloads and must land bit-identical; a panic kills the replica",
+    },
+    MapEntry {
+        pattern: "crates/service/src/coordinator.rs",
+        classes: &["panic_free"],
+        why: "worker-pool RPC fan-out runs inside the apply critical section; \
+              a panic there poisons the exchange, a worker fault must degrade \
+              to re-dispatch or local compute instead",
+    },
+    MapEntry {
         pattern: "crates/service/src/reactor.rs",
         classes: &["reactor_inline"],
         why: "one thread owns every connection; a blocking lock here stalls \

@@ -75,6 +75,17 @@ pub struct Relation {
     source: Option<DatasetId>,
 }
 
+/// Structural equality: same name, schema, rows (values and
+/// provenance), and source registration.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.schema == other.schema
+            && self.rows == other.rows
+            && self.source == other.source
+    }
+}
+
 impl Relation {
     /// Create an empty relation with the given schema.
     pub fn empty(name: impl Into<String>, schema: Arc<Schema>) -> Self {

@@ -1,0 +1,440 @@
+//! Versioned wire codec for the distributed round protocol: the
+//! [`CandidateSet`]s and [`CandidatePhaseExport`]s that coordinator and
+//! shard workers exchange between processes.
+//!
+//! Format rules (shared with the snapshot codec in [`crate::state`]):
+//!
+//! * every payload carries an explicit `"v"` version tag and decoding
+//!   refuses unknown versions — a mixed-version deployment fails fast
+//!   instead of settling a round from a misread candidate graph;
+//! * integers ride as decimal strings and floats as `{:016x}` bit
+//!   patterns, so a decoded bid is **bit-exact** — the clearing pass and
+//!   the settlement planner on the far side see the same `f64`s the
+//!   exporter computed, and the cross-process equivalence proptests can
+//!   pin ledgers bit-for-bit;
+//! * decoding is total: every defect (missing field, bad integer,
+//!   unknown tag, version skew) is a [`WireError`], never a panic.
+
+use dmp_core::arbiter::mashup_builder::BuiltMashup;
+use dmp_core::arbiter::pipeline::{CandidatePhaseExport, CandidateSet};
+use dmp_core::arbiter::pricing::RoundBid;
+
+use crate::state::{
+    arr, dec_audit_event, dec_dataset_vec, dec_f64, dec_negotiation, dec_relation, dec_str,
+    dec_str_vec, dec_u64, dec_usize, enc_audit_event, enc_dataset_vec, enc_f64, enc_negotiation,
+    enc_relation, enc_str_vec, enc_u64, enc_usize, field,
+};
+use crate::wire::{Json, WireError};
+
+/// The current candidate-codec version. Bump on any format change and
+/// keep decode refusing everything it does not understand.
+pub const CANDIDATE_CODEC_VERSION: u64 = 1;
+
+fn check_version(j: &Json) -> Result<(), WireError> {
+    let v = dec_u64(field(j, "v")?)?;
+    if v != CANDIDATE_CODEC_VERSION {
+        return Err(WireError::new(format!(
+            "candidate codec version {v} is not the supported {CANDIDATE_CODEC_VERSION}"
+        )));
+    }
+    Ok(())
+}
+
+fn enc_bid(b: &RoundBid) -> Json {
+    Json::obj([
+        ("offer", enc_u64(b.offer_id)),
+        ("buyer", Json::str(b.buyer.clone())),
+        ("bid", enc_f64(b.bid)),
+        ("satisfaction", enc_f64(b.satisfaction)),
+        ("datasets", enc_dataset_vec(&b.datasets)),
+        ("reserve_floor", enc_f64(b.reserve_floor)),
+        ("license_multiplier", enc_f64(b.license_multiplier)),
+    ])
+}
+
+fn dec_bid(j: &Json) -> Result<RoundBid, WireError> {
+    Ok(RoundBid {
+        offer_id: dec_u64(field(j, "offer")?)?,
+        buyer: dec_str(field(j, "buyer")?)?,
+        bid: dec_f64(field(j, "bid")?)?,
+        satisfaction: dec_f64(field(j, "satisfaction")?)?,
+        datasets: dec_dataset_vec(field(j, "datasets")?)?,
+        reserve_floor: dec_f64(field(j, "reserve_floor")?)?,
+        license_multiplier: dec_f64(field(j, "license_multiplier")?)?,
+    })
+}
+
+fn enc_mashup(m: &BuiltMashup) -> Json {
+    Json::obj([
+        ("relation", enc_relation(&m.relation)),
+        ("datasets", enc_dataset_vec(&m.datasets)),
+        ("coverage", enc_f64(m.coverage)),
+        ("confidence", enc_f64(m.confidence)),
+        ("missing", enc_str_vec(&m.missing)),
+    ])
+}
+
+fn dec_mashup(j: &Json) -> Result<BuiltMashup, WireError> {
+    Ok(BuiltMashup {
+        relation: dec_relation(field(j, "relation")?)?,
+        datasets: dec_dataset_vec(field(j, "datasets")?)?,
+        coverage: dec_f64(field(j, "coverage")?)?,
+        confidence: dec_f64(field(j, "confidence")?)?,
+        missing: dec_str_vec(field(j, "missing")?)?,
+    })
+}
+
+/// Encode a [`CandidateSet`] (version-tagged).
+pub fn encode_candidate_set(set: &CandidateSet) -> Json {
+    Json::obj([
+        ("v", enc_u64(CANDIDATE_CODEC_VERSION)),
+        ("round", enc_u64(set.round)),
+        ("bids", Json::Arr(set.bids.iter().map(enc_bid).collect())),
+    ])
+}
+
+/// Decode a [`CandidateSet`], refusing unknown versions.
+pub fn decode_candidate_set(j: &Json) -> Result<CandidateSet, WireError> {
+    check_version(j)?;
+    let mut bids = Vec::new();
+    for b in arr(field(j, "bids")?)? {
+        bids.push(dec_bid(b)?);
+    }
+    Ok(CandidateSet {
+        round: dec_u64(field(j, "round")?)?,
+        bids,
+    })
+}
+
+/// Encode one shard's full candidate phase (version-tagged): the bids,
+/// the winning mashups settlement needs, the unmet-demand report
+/// inputs, and the audit events the candidate stage appended.
+pub fn encode_export(export: &CandidatePhaseExport) -> Json {
+    Json::obj([
+        ("v", enc_u64(CANDIDATE_CODEC_VERSION)),
+        ("round", enc_u64(export.round)),
+        ("bids", Json::Arr(export.bids.iter().map(enc_bid).collect())),
+        (
+            "mashups",
+            Json::Arr(
+                export
+                    .best_mashups
+                    .iter()
+                    .map(|(offer, m)| Json::Arr(vec![enc_u64(*offer), enc_mashup(m)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "missing",
+            Json::Arr(export.missing.iter().map(|m| enc_str_vec(m)).collect()),
+        ),
+        (
+            "negotiations",
+            Json::Arr(export.negotiations.iter().map(enc_negotiation).collect()),
+        ),
+        (
+            "audit",
+            Json::Arr(export.audit_events.iter().map(enc_audit_event).collect()),
+        ),
+    ])
+}
+
+/// Decode one shard's candidate phase, refusing unknown versions.
+pub fn decode_export(j: &Json) -> Result<CandidatePhaseExport, WireError> {
+    check_version(j)?;
+    let mut bids = Vec::new();
+    for b in arr(field(j, "bids")?)? {
+        bids.push(dec_bid(b)?);
+    }
+    let mut best_mashups = Vec::new();
+    for pair in arr(field(j, "mashups")?)? {
+        let pair = arr(pair)?;
+        let mut it = pair.iter();
+        let offer = it
+            .next()
+            .ok_or_else(|| WireError::new("mashup pair missing offer id"))?;
+        let mashup = it
+            .next()
+            .ok_or_else(|| WireError::new("mashup pair missing mashup"))?;
+        best_mashups.push((dec_u64(offer)?, dec_mashup(mashup)?));
+    }
+    let mut missing = Vec::new();
+    for m in arr(field(j, "missing")?)? {
+        missing.push(dec_str_vec(m)?);
+    }
+    let mut negotiations = Vec::new();
+    for n in arr(field(j, "negotiations")?)? {
+        negotiations.push(dec_negotiation(n)?);
+    }
+    let mut audit_events = Vec::new();
+    for e in arr(field(j, "audit")?)? {
+        audit_events.push(dec_audit_event(e)?);
+    }
+    Ok(CandidatePhaseExport {
+        round: dec_u64(field(j, "round")?)?,
+        bids,
+        best_mashups,
+        missing,
+        negotiations,
+        audit_events,
+    })
+}
+
+/// Encode a whole round's exports (one per shard, shard order).
+pub fn encode_exports(exports: &[CandidatePhaseExport]) -> Json {
+    Json::Arr(exports.iter().map(encode_export).collect())
+}
+
+/// Decode a whole round's exports; `shards` pins the expected count so
+/// a short or padded payload is refused before it reaches settlement.
+pub fn decode_exports(j: &Json, shards: usize) -> Result<Vec<CandidatePhaseExport>, WireError> {
+    let items = arr(j)?;
+    if items.len() != shards {
+        return Err(WireError::new(format!(
+            "expected {shards} shard exports, got {}",
+            items.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        out.push(decode_export(item)?);
+    }
+    Ok(out)
+}
+
+/// Encode indexed exports `(shard, export)` — the candidates RPC reply,
+/// which carries only the shards the worker was assigned.
+pub fn encode_indexed_exports(exports: &[(usize, CandidatePhaseExport)]) -> Json {
+    Json::Arr(
+        exports
+            .iter()
+            .map(|(shard, export)| Json::Arr(vec![enc_usize(*shard), encode_export(export)]))
+            .collect(),
+    )
+}
+
+/// Decode indexed exports, validating every shard index against the
+/// deployment's shard count.
+pub fn decode_indexed_exports(
+    j: &Json,
+    shards: usize,
+) -> Result<Vec<(usize, CandidatePhaseExport)>, WireError> {
+    let mut out = Vec::new();
+    for pair in arr(j)? {
+        let pair = arr(pair)?;
+        let mut it = pair.iter();
+        let shard = it
+            .next()
+            .ok_or_else(|| WireError::new("export pair missing shard index"))?;
+        let export = it
+            .next()
+            .ok_or_else(|| WireError::new("export pair missing export"))?;
+        let shard = dec_usize(shard)?;
+        if shard >= shards {
+            return Err(WireError::new(format!(
+                "shard index {shard} out of range for {shards} shards"
+            )));
+        }
+        out.push((shard, decode_export(export)?));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dmp_core::arbiter::pipeline::NegotiationRequest;
+    use dmp_core::trust::AuditEvent;
+    use dmp_relation::{DataType, DatasetId, Relation, Schema, Value};
+
+    fn bid(offer_id: u64) -> RoundBid {
+        RoundBid {
+            offer_id,
+            buyer: format!("buyer \"q\" π {offer_id}"),
+            bid: 123.456789,
+            satisfaction: 0.875,
+            datasets: vec![DatasetId(3), DatasetId(11)],
+            reserve_floor: 7.25,
+            license_multiplier: 1.5,
+        }
+    }
+
+    fn mashup() -> BuiltMashup {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)])
+            .unwrap()
+            .shared();
+        let mut rel = Relation::empty("m", schema);
+        rel.push_values(vec![Value::Int(1), Value::str("x")])
+            .unwrap();
+        BuiltMashup {
+            relation: rel.with_source(DatasetId(3)),
+            datasets: vec![DatasetId(3)],
+            coverage: 0.5,
+            confidence: 0.25,
+            missing: vec!["e".into()],
+        }
+    }
+
+    #[test]
+    fn candidate_set_round_trips_through_the_wire() {
+        let set = CandidateSet {
+            round: 9,
+            bids: vec![bid(42)],
+        };
+        let encoded = encode_candidate_set(&set).dump();
+        let decoded = decode_candidate_set(&Json::parse(&encoded).unwrap()).expect("decodes back");
+        assert_eq!(decoded, set, "wire round-trip changed the candidate set");
+        // Malformed sets are refused, not defaulted.
+        assert!(decode_candidate_set(&Json::parse(r#"{"v":"1","round":"1"}"#).unwrap()).is_err());
+        assert!(decode_candidate_set(
+            &Json::parse(r#"{"v":"1","round":"1","bids":[{"offer":"1"}]}"#).unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn version_skew_is_refused() {
+        let set = CandidateSet {
+            round: 1,
+            bids: Vec::new(),
+        };
+        let mut encoded = encode_candidate_set(&set).dump();
+        encoded = encoded.replacen("\"1\"", "\"2\"", 1);
+        let err = decode_candidate_set(&Json::parse(&encoded).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        // Missing version tag is also refused.
+        assert!(decode_candidate_set(&Json::parse(r#"{"round":"1","bids":[]}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn export_round_trips_through_the_wire() {
+        let export = CandidatePhaseExport {
+            round: 4,
+            bids: vec![bid(7), bid(9)],
+            best_mashups: vec![(7, mashup())],
+            missing: vec![vec!["e".into(), "f".into()], Vec::new()],
+            negotiations: vec![NegotiationRequest {
+                offer_id: 9,
+                buyer: "bob".into(),
+                missing: vec!["e".into()],
+                candidate_sellers: vec!["s1".into()],
+            }],
+            audit_events: vec![AuditEvent::MashupBuilt {
+                offer: 7,
+                datasets: vec![DatasetId(3)],
+            }],
+        };
+        let encoded = encode_export(&export).dump();
+        let decoded = decode_export(&Json::parse(&encoded).unwrap()).expect("decodes back");
+        assert_eq!(decoded, export, "wire round-trip changed the export");
+    }
+
+    #[test]
+    fn float_bit_patterns_survive_the_wire() {
+        // Values with no short decimal form must still round-trip
+        // bit-exactly — the codec ships bit patterns, not decimals.
+        let mut b = bid(1);
+        b.bid = 0.1 + 0.2;
+        b.satisfaction = f64::MIN_POSITIVE;
+        let set = CandidateSet {
+            round: 1,
+            bids: vec![b.clone()],
+        };
+        let decoded =
+            decode_candidate_set(&Json::parse(&encode_candidate_set(&set).dump()).unwrap())
+                .unwrap();
+        let back = decoded.bids.first().unwrap();
+        assert_eq!(back.bid.to_bits(), b.bid.to_bits());
+        assert_eq!(back.satisfaction.to_bits(), b.satisfaction.to_bits());
+    }
+
+    #[test]
+    fn indexed_exports_validate_shard_range() {
+        let exports = vec![(
+            1usize,
+            CandidatePhaseExport {
+                round: 1,
+                bids: Vec::new(),
+                best_mashups: Vec::new(),
+                missing: Vec::new(),
+                negotiations: Vec::new(),
+                audit_events: Vec::new(),
+            },
+        )];
+        let j = encode_indexed_exports(&exports);
+        let decoded = decode_indexed_exports(&j, 2).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded.first().unwrap().0, 1);
+        assert!(decode_indexed_exports(&j, 1).is_err(), "index out of range");
+    }
+
+    #[test]
+    fn exports_pin_shard_count() {
+        let j = encode_exports(&[]);
+        assert!(decode_exports(&j, 0).unwrap().is_empty());
+        assert!(decode_exports(&j, 2).is_err(), "short payload refused");
+    }
+
+    use proptest::prelude::*;
+
+    /// Arbitrary bids: buyer names over the full escapable-character
+    /// space and floats drawn as raw bit patterns, so the strategy
+    /// reaches NaNs, infinities, subnormals and negative zero.
+    const BITS: std::ops::RangeInclusive<u64> = 0u64..=u64::MAX;
+
+    fn arb_bid() -> impl Strategy<Value = RoundBid> {
+        (
+            BITS,
+            ".{0,12}",
+            BITS,
+            BITS,
+            proptest::collection::vec(BITS, 0..4),
+            BITS,
+            BITS,
+        )
+            .prop_map(|(offer_id, buyer, bid, sat, ds, floor, mult)| RoundBid {
+                offer_id,
+                buyer,
+                bid: f64::from_bits(bid),
+                satisfaction: f64::from_bits(sat),
+                datasets: ds.into_iter().map(DatasetId).collect(),
+                reserve_floor: f64::from_bits(floor),
+                license_multiplier: f64::from_bits(mult),
+            })
+    }
+
+    /// Bit-level view of a bid (NaN != NaN under `PartialEq`, but the
+    /// wire must preserve even NaN payload bits).
+    fn bid_bits(b: &RoundBid) -> (u64, &str, u64, u64, Vec<u64>, u64, u64) {
+        (
+            b.offer_id,
+            &b.buyer,
+            b.bid.to_bits(),
+            b.satisfaction.to_bits(),
+            b.datasets.iter().map(|d| d.0).collect(),
+            b.reserve_floor.to_bits(),
+            b.license_multiplier.to_bits(),
+        )
+    }
+
+    proptest! {
+        /// The satellite property: `decode(encode(cs)) == cs` for
+        /// arbitrary candidate sets, bit-for-bit, through an actual
+        /// serialize → parse cycle of the JSON text.
+        #[test]
+        fn candidate_set_codec_round_trips(
+            round in BITS,
+            bids in proptest::collection::vec(arb_bid(), 0..8),
+        ) {
+            let set = CandidateSet { round, bids };
+            let text = encode_candidate_set(&set).dump();
+            let decoded = decode_candidate_set(&Json::parse(&text).expect("self-produced json"))
+                .expect("self-produced payload decodes");
+            prop_assert_eq!(decoded.round, set.round);
+            prop_assert_eq!(decoded.bids.len(), set.bids.len());
+            for (a, b) in decoded.bids.iter().zip(&set.bids) {
+                prop_assert_eq!(bid_bits(a), bid_bits(b));
+            }
+        }
+    }
+}

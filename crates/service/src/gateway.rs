@@ -49,6 +49,39 @@ use crate::node::ServiceNode;
 use crate::reactor::{apply_worker, Reactor, TOKEN_LISTENER, TOKEN_WAKER};
 use crate::wire::Json;
 
+/// What the gateway serves: the reactor and its apply pool are generic
+/// over this, so the same evented HTTP stack fronts both the public
+/// coordinator surface ([`ServiceNode`]) and the internal worker RPC
+/// surface ([`WorkerNode`](crate::worker::WorkerNode)).
+pub trait Service: Send + Sync + 'static {
+    /// Handle one request on an apply-pool thread. May block (locks,
+    /// journal fsync, round execution).
+    fn handle(&self, req: &Request) -> Response;
+
+    /// Handle a request *inline on the reactor thread*, or `None` to
+    /// dispatch it to the pool. Implementations must never wait on a
+    /// lock another request path can hold — an inline stall parks
+    /// every connection the reactor multiplexes.
+    fn handle_inline(&self, req: &Request) -> Option<Response>;
+}
+
+impl Service for ServiceNode {
+    fn handle(&self, req: &Request) -> Response {
+        route(self, req)
+    }
+
+    fn handle_inline(&self, req: &Request) -> Option<Response> {
+        // Lock-free observability endpoints: /health reads a cached
+        // body keyed on atomics, /metrics takes only the registry map
+        // mutex, /trace snapshots the span ring — never the apply/WAL
+        // lock, so a round running on the pool cannot stall them.
+        if req.method == "GET" && matches!(req.path.as_str(), "/health" | "/metrics" | "/trace") {
+            return Some(route(self, req));
+        }
+        None
+    }
+}
+
 /// Gateway deployment knobs.
 #[derive(Debug, Clone)]
 pub struct GatewayConfig {
@@ -91,8 +124,14 @@ pub struct Gateway {
 }
 
 impl Gateway {
-    /// Bind and start serving `node`.
+    /// Bind and start serving `node` (the public market surface).
     pub fn serve(node: Arc<ServiceNode>, cfg: GatewayConfig) -> std::io::Result<Gateway> {
+        Self::serve_service(node, cfg)
+    }
+
+    /// Bind and start serving any [`Service`] — the same reactor +
+    /// apply-pool stack fronts worker replicas too.
+    pub fn serve_service(svc: Arc<dyn Service>, cfg: GatewayConfig) -> std::io::Result<Gateway> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -110,18 +149,18 @@ impl Gateway {
         for _ in 0..workers {
             let (tx, rx) = channel();
             job_txs.push(tx);
-            let node = Arc::clone(&node);
+            let svc = Arc::clone(&svc);
             let completions = completion_tx.clone();
             let waker = Arc::clone(&waker);
             worker_handles.push(std::thread::spawn(move || {
-                apply_worker(node, rx, completions, waker)
+                apply_worker(svc, rx, completions, waker)
             }));
         }
         drop(completion_tx); // reactor-side receiver sees EOF at teardown
 
         let reactor = Reactor {
             cfg: cfg.clone(),
-            node,
+            svc,
             poller,
             waker: Arc::clone(&waker),
             listener,

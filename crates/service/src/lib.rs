@@ -30,7 +30,16 @@
 //!   [`timer`]);
 //! * [`client`] — a minimal blocking client for tests, benches and
 //!   examples, with transparent keep-alive reconnection and a
-//!   pipelined batch helper.
+//!   pipelined batch helper;
+//! * [`codec`] — the versioned, bit-exact wire codec for the candidate
+//!   sets and candidate-phase exports the distributed round protocol
+//!   ships between processes;
+//! * [`coordinator`] / [`worker`] — the **distributed exchange**: a
+//!   coordinator process owns the journal, the global clearing pass and
+//!   settlement ordering, and farms the candidate phase out to N
+//!   shard-worker processes over the internal RPC surface
+//!   (`/internal/*`), re-dispatching work from live replicas when a
+//!   worker dies mid-round.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -45,7 +54,9 @@
 //! ```
 
 pub mod client;
+pub mod codec;
 pub mod command;
+pub mod coordinator;
 pub mod error;
 pub mod gateway;
 pub mod http;
@@ -58,12 +69,15 @@ pub mod snapshot;
 pub mod state;
 pub mod timer;
 pub mod wire;
+pub mod worker;
 
 pub use client::Client;
 pub use command::{AskSpec, Command, LicenseSpec, OfferSpec};
+pub use coordinator::WorkerPool;
 pub use error::ServiceError;
 pub use gateway::{Gateway, GatewayConfig};
 pub use journal::Journal;
 pub use node::{ServiceConfig, ServiceNode};
-pub use shard::{MergedRoundReport, Outcome, ShardRouter};
+pub use shard::{MergedRoundReport, Outcome, RoundDistributor, ShardRouter};
 pub use wire::{Json, WireError};
+pub use worker::{WorkerConfig, WorkerNode};

@@ -181,7 +181,19 @@ pub struct ServiceMetrics {
     round_phase_us: Vec<Arc<Histogram>>,
     /// `dmp_round_cross_shard_sales_total`.
     pub cross_shard_sales: Arc<Counter>,
+    /// `dmp_round_settlement_components` (conflict components per round).
+    pub settlement_components: Arc<Histogram>,
+    worker_rpc_us: Vec<Arc<Histogram>>,
+    /// `dmp_worker_rpc_failures_total` (RPCs that errored; the worker is
+    /// marked dead and its shards re-dispatched).
+    pub worker_rpc_failures: Arc<Counter>,
+    /// `dmp_worker_redispatch_total` (shard candidate computations
+    /// re-dispatched to another worker after a failure).
+    pub worker_redispatch: Arc<Counter>,
 }
+
+/// The internal coordinator→worker RPCs latency is broken out by.
+pub(crate) const WORKER_RPCS: [&str; 5] = ["apply", "candidates", "settle", "digest", "restore"];
 
 /// The process-global service metrics (handles resolved on first use).
 pub fn metrics() -> &'static ServiceMetrics {
@@ -316,6 +328,27 @@ pub fn metrics() -> &'static ServiceMetrics {
                 "dmp_round_cross_shard_sales_total",
                 "Settled sales whose mashup crossed a shard boundary.",
             ),
+            settlement_components: r.histogram(
+                "dmp_round_settlement_components",
+                "Conflict components the round's cleared sales partitioned into.",
+            ),
+            worker_rpc_us: WORKER_RPCS
+                .iter()
+                .map(|rpc| {
+                    r.histogram(
+                        &format!("dmp_worker_rpc_us{{rpc=\"{rpc}\"}}"),
+                        "Coordinator-side wall latency of one worker RPC, microseconds.",
+                    )
+                })
+                .collect(),
+            worker_rpc_failures: r.counter(
+                "dmp_worker_rpc_failures_total",
+                "Worker RPCs that failed (the worker is marked dead).",
+            ),
+            worker_redispatch: r.counter(
+                "dmp_worker_redispatch_total",
+                "Shard candidate computations re-dispatched after a worker failure.",
+            ),
         }
     })
 }
@@ -353,6 +386,13 @@ impl ServiceMetrics {
     /// [`ROUND_PHASES`]).
     pub(crate) fn round_phase_us(&self, phase: usize) -> &Histogram {
         &self.round_phase_us[phase]
+    }
+
+    /// The latency histogram for one coordinator→worker RPC (a name
+    /// from [`WORKER_RPCS`]; unknown names map to the first entry).
+    pub(crate) fn worker_rpc_us(&self, rpc: &str) -> &Histogram {
+        let i = WORKER_RPCS.iter().position(|k| *k == rpc).unwrap_or(0);
+        &self.worker_rpc_us[i]
     }
 }
 

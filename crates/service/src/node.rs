@@ -20,6 +20,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dmp_core::market::MarketConfig;
@@ -99,6 +100,38 @@ struct NodeInner {
     journal: Journal,
 }
 
+/// The replay-relevant identity of a deployment: every knob that feeds
+/// shard hashing or an RNG stream. Two processes agree on this string
+/// iff a command stream applied to both produces bit-identical state —
+/// the distributed layer sends it with every internal RPC so a worker
+/// configured differently refuses work instead of silently diverging.
+pub fn config_fingerprint(shards: usize, market: &MarketConfig) -> String {
+    // v3: materialized state snapshots (format v2) + journal
+    // compaction. A v2 directory may hold command-prefix snapshots
+    // and (conversely) a compacted v3 journal is not replayable
+    // from genesis, so the version is part of the fingerprint and
+    // older directories are refused rather than silently misread.
+    format!(
+        "v3 shards={} seed={} kind={:?} max_candidates={} contribution_reward={}",
+        shards, market.seed, market.kind, market.max_candidates, market.contribution_reward,
+    )
+}
+
+/// Observer of the node's applied command stream, invoked inside the
+/// apply critical section (journal append + router mutation) so
+/// followers see commands in exactly the journal's total order. The
+/// coordinator uses this to forward every journaled mutation to its
+/// worker replicas; [`Command::RunRound`] is *also* delivered (the
+/// follower decides what to do — the [`WorkerPool`] skips it because
+/// rounds reach workers through the candidates/settle RPC pair that
+/// runs inside `router.apply` itself).
+///
+/// [`WorkerPool`]: crate::coordinator::WorkerPool
+pub trait CommandFollower: Send + Sync {
+    /// Called after `cmd` was journaled at `seq` and applied.
+    fn on_applied(&self, seq: u64, cmd: &Command);
+}
+
 /// A durable, sharded market node.
 pub struct ServiceNode {
     cfg: ServiceConfig,
@@ -114,6 +147,10 @@ pub struct ServiceNode {
     /// component changes. This mutex is private to the health path and
     /// uncontended — it never orders after the apply/WAL lock.
     health_cache: Mutex<(u64, u64, u64, String)>,
+    /// Applied-command observer (the coordinator's forwarding hook).
+    /// Invoked under the apply lock so followers observe journal order;
+    /// installed only *after* recovery, so replay never forwards.
+    follower: Mutex<Option<Arc<dyn CommandFollower>>>,
 }
 
 impl ServiceNode {
@@ -123,19 +160,12 @@ impl ServiceNode {
     /// streams, so recovery would "succeed" with the wrong state —
     /// [`ServiceNode::open`] persists this and refuses a mismatch.
     fn config_fingerprint(cfg: &ServiceConfig) -> String {
-        // v3: materialized state snapshots (format v2) + journal
-        // compaction. A v2 directory may hold command-prefix snapshots
-        // and (conversely) a compacted v3 journal is not replayable
-        // from genesis, so the version is part of the fingerprint and
-        // older directories are refused rather than silently misread.
-        format!(
-            "v3 shards={} seed={} kind={:?} max_candidates={} contribution_reward={}",
-            cfg.shards,
-            cfg.market.seed,
-            cfg.market.kind,
-            cfg.market.max_candidates,
-            cfg.market.contribution_reward,
-        )
+        config_fingerprint(cfg.shards, &cfg.market)
+    }
+
+    /// This node's config fingerprint (see [`config_fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        Self::config_fingerprint(&self.cfg)
     }
 
     /// Persist the config fingerprint atomically (tmp, fsync, rename,
@@ -302,6 +332,7 @@ impl ServiceNode {
             // dmp-lint: allow(det-wall-clock) -- /health uptime display; presentation, never state
             started: Instant::now(),
             health_cache: Mutex::new((u64::MAX, u64::MAX, u64::MAX, String::new())),
+            follower: Mutex::new(None),
         })
     }
 
@@ -342,6 +373,13 @@ impl ServiceNode {
         inner.journal.append(seq, &cmd)?;
         let result = self.router.apply(&cmd);
         self.applied.store(seq, Ordering::Relaxed);
+        // Forward while still inside the critical section: concurrent
+        // appliers must not interleave their follower deliveries, or a
+        // worker replica would apply commands out of journal order and
+        // diverge bit-for-bit even though every command arrived.
+        if let Some(follower) = self.follower.lock().clone() {
+            follower.on_applied(seq, &cmd);
+        }
         apply_hist.record_duration_us(apply_started.elapsed());
         if self.cfg.snapshot_every > 0 && seq.is_multiple_of(self.cfg.snapshot_every) {
             // Best-effort: the command is already journaled and applied,
@@ -474,6 +512,22 @@ impl ServiceNode {
     /// Sequence number of the last applied command.
     pub fn applied(&self) -> u64 {
         self.applied.load(Ordering::Relaxed)
+    }
+
+    /// Install the applied-command observer. Call only after recovery
+    /// (i.e. on an already-open node): replay must never forward.
+    pub fn set_follower(&self, follower: Arc<dyn CommandFollower>) {
+        *self.follower.lock() = Some(follower);
+    }
+
+    /// Run `f` with the apply path quiesced: no command can journal or
+    /// apply while it runs, so the router state and the applied
+    /// sequence it observes are one consistent cut. The coordinator
+    /// uses this to capture the state image + watermark that provisions
+    /// a fresh worker replica.
+    pub fn quiesced<R>(&self, f: impl FnOnce(&ShardRouter, u64) -> R) -> R {
+        let _inner = self.inner.lock();
+        f(&self.router, self.applied.load(Ordering::Relaxed))
     }
 
     /// The shard router (reads don't go through the journal).

@@ -35,9 +35,10 @@
 //!   connection are in flight; past that the reactor stops *reading*
 //!   the socket (read interest drops), pushing backpressure into the
 //!   peer's TCP window instead of server memory.
-//! * **No blocking on the reactor thread.** Only `GET /health` — served
-//!   from atomics — is answered inline; any request that can touch a
-//!   lock or the disk runs on the pool.
+//! * **No blocking on the reactor thread.** Only requests the
+//!   service's [`Service::handle_inline`] vouches for (lock-free
+//!   observability endpoints) are answered inline; any request that
+//!   can touch a lock or the disk runs on the pool.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
@@ -50,10 +51,9 @@ use std::time::{Duration, Instant};
 
 use polling::{Interest, Poller, Waker};
 
-use crate::gateway::{err_body, route, GatewayConfig};
+use crate::gateway::{err_body, GatewayConfig, Service};
 use crate::http::{HttpError, Request, RequestParser, Response};
 use crate::metrics::{metrics, Endpoint};
-use crate::node::ServiceNode;
 use crate::timer::TimerWheel;
 
 /// Token of the accept socket.
@@ -144,7 +144,7 @@ impl Conn {
 
 pub(crate) struct Reactor {
     pub(crate) cfg: GatewayConfig,
-    pub(crate) node: Arc<ServiceNode>,
+    pub(crate) svc: Arc<dyn Service>,
     pub(crate) poller: Poller,
     pub(crate) waker: Arc<Waker>,
     pub(crate) listener: TcpListener,
@@ -157,7 +157,7 @@ pub(crate) struct Reactor {
 /// route handler (journal append + market mutation for POSTs), and
 /// wakes the reactor with the serialized response.
 pub(crate) fn apply_worker(
-    node: Arc<ServiceNode>,
+    svc: Arc<dyn Service>,
     jobs: Receiver<Job>,
     completions: Sender<Completion>,
     waker: Arc<Waker>,
@@ -169,7 +169,7 @@ pub(crate) fn apply_worker(
             .record_duration_us(job.start.elapsed());
         let response = {
             let _span = dmp_telemetry::tracer().span(job.endpoint.label(), job.seq);
-            route(&node, &job.req)
+            svc.handle(&job.req)
         };
         m.record_request(job.endpoint, job.start.elapsed());
         let bytes = response.to_bytes(!job.close);
@@ -356,15 +356,11 @@ impl Reactor {
                         conn.read_closed = true;
                         conn.closing = true;
                     }
-                    if req.method == "GET"
-                        && matches!(req.path.as_str(), "/health" | "/metrics" | "/trace")
-                    {
-                        // Lock-free observability endpoints: answered on
-                        // the reactor thread without risking a stall
-                        // behind a round running on the pool (/metrics
-                        // rendering takes only the registry map mutex,
-                        // never the apply/WAL lock).
-                        let response = route(&self.node, &req);
+                    if let Some(response) = self.svc.handle_inline(&req) {
+                        // The service vouched this path is lock-free
+                        // (observability endpoints): answered on the
+                        // reactor thread without risking a stall behind
+                        // a round running on the pool.
                         conn.done.insert(seq, response.to_bytes(!close));
                         m.record_request(endpoint, start.elapsed());
                     } else {

@@ -25,13 +25,18 @@
 //! 1-shard market for the same command stream (pinned by the
 //! `shard_equivalence` test suite).
 
-use dmp_core::arbiter::pipeline::{CandidateSet, RoundContext};
+use std::sync::Arc;
+
+use dmp_core::arbiter::pipeline::{
+    connected_components, CandidatePhaseExport, CandidateSet, RoundContext, SettlementPlan,
+};
 use dmp_core::arbiter::pricing::{clear, RoundBid, Sale};
 use dmp_core::market::{
     DataMarket, MarketConfig, MarketShardState, MarketSubstrate, RoundReport, SubstrateImage,
 };
 use dmp_core::trust::{AuditEvent, DisputeState};
 use dmp_mechanism::design::MarketDesign;
+use dmp_mechanism::elicitation::ElicitationProtocol;
 use dmp_mechanism::wtp::{IntrinsicConstraints, PriceCurve, TaskKind, WtpFunction};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -42,7 +47,7 @@ use dmp_relation::{DatasetId, Relation, Value};
 
 use crate::command::Command;
 use crate::error::ServiceError;
-use crate::wire::{Json, WireError};
+use crate::wire::Json;
 
 /// FNV-1a 64-bit hash (stable across processes and platforms; the
 /// routing function must never change under replay).
@@ -151,6 +156,10 @@ pub struct MergedRoundReport {
     pub expired: usize,
     /// Ex post deliveries created, summed.
     pub deliveries: usize,
+    /// Conflict components the round's cleared sales partitioned into
+    /// (settlement plans within different components touch disjoint
+    /// accounts and datasets, so they were computed concurrently).
+    pub components: usize,
     /// The raw per-shard reports (shard index = position).
     pub per_shard: Vec<RoundReport>,
 }
@@ -167,6 +176,7 @@ impl MergedRoundReport {
             fees: per_shard.iter().map(|r| r.fees).sum(),
             expired: per_shard.iter().map(|r| r.expired).sum(),
             deliveries: per_shard.iter().map(|r| r.deliveries.len()).sum(),
+            components: 0,
             per_shard,
         }
     }
@@ -182,8 +192,37 @@ impl MergedRoundReport {
             ("fees", Json::Num(self.fees)),
             ("expired", Json::Num(self.expired as f64)),
             ("deliveries", Json::Num(self.deliveries as f64)),
+            ("components", Json::Num(self.components as f64)),
         ])
     }
+}
+
+/// A round's candidate phase, delegated to remote shard workers.
+///
+/// The coordinator's [`ShardRouter`] consults its distributor (when one
+/// is attached) at the top of every round: `candidates` may farm the
+/// expensive candidate phase out to worker processes and return one
+/// [`CandidatePhaseExport`] per shard (in shard order), or `None` to
+/// fall back to local computation (e.g. every worker is dead — the
+/// round must still complete, and journal replay always takes the local
+/// path because the distributor is attached only after recovery).
+/// After the coordinator settles the round authoritatively,
+/// `round_complete` broadcasts the full export set so every worker can
+/// re-execute settlement locally and stay a bit-exact replica.
+pub trait RoundDistributor: Send + Sync {
+    /// Compute the candidate phase for `round` under `round_seed`,
+    /// returning one export per shard (`shards` total, shard order), or
+    /// `None` to compute locally.
+    fn candidates(
+        &self,
+        round: u64,
+        round_seed: u64,
+        shards: usize,
+    ) -> Option<Vec<CandidatePhaseExport>>;
+
+    /// The round cleared and settled on the coordinator; `exports`
+    /// holds every shard's candidate phase so workers can replay it.
+    fn round_complete(&self, round: u64, round_seed: u64, exports: &[CandidatePhaseExport]);
 }
 
 /// The global clearing pass of a two-phase round: merge every shard's
@@ -220,64 +259,6 @@ impl ExchangeStage {
     }
 }
 
-/// Encode a [`CandidateSet`] for the wire (shards of a future
-/// multi-process deployment exchange candidates by value; in-process
-/// shards pass the struct directly, and this codec keeps the format
-/// pinned by round-trip tests).
-pub fn candidate_set_to_json(set: &CandidateSet) -> Json {
-    Json::obj([
-        ("round", Json::Num(set.round as f64)),
-        (
-            "bids",
-            Json::Arr(
-                set.bids
-                    .iter()
-                    .map(|b| {
-                        Json::obj([
-                            ("offer", Json::Num(b.offer_id as f64)),
-                            ("buyer", Json::str(b.buyer.clone())),
-                            ("bid", Json::Num(b.bid)),
-                            ("satisfaction", Json::Num(b.satisfaction)),
-                            (
-                                "datasets",
-                                Json::Arr(
-                                    b.datasets.iter().map(|d| Json::Num(d.0 as f64)).collect(),
-                                ),
-                            ),
-                            ("reserve_floor", Json::Num(b.reserve_floor)),
-                            ("license_multiplier", Json::Num(b.license_multiplier)),
-                        ])
-                    })
-                    .collect(),
-            ),
-        ),
-    ])
-}
-
-/// Decode a [`CandidateSet`] from its wire form.
-pub fn candidate_set_from_json(json: &Json) -> Result<CandidateSet, WireError> {
-    let round = json.req_u64("round")?;
-    let mut bids = Vec::new();
-    for b in json.req_arr("bids")? {
-        let mut datasets = Vec::new();
-        for d in b.req_arr("datasets")? {
-            datasets.push(DatasetId(d.as_u64().ok_or_else(|| {
-                WireError::new("'datasets' must hold non-negative integers")
-            })?));
-        }
-        bids.push(RoundBid {
-            offer_id: b.req_u64("offer")?,
-            buyer: b.req_str("buyer")?,
-            bid: b.req_f64("bid")?,
-            satisfaction: b.req_f64("satisfaction")?,
-            datasets,
-            reserve_floor: b.req_f64("reserve_floor")?,
-            license_multiplier: b.req_f64("license_multiplier")?,
-        });
-    }
-    Ok(CandidateSet { round, bids })
-}
-
 /// Router-global mutable state: the global offer-id allocator and the
 /// round-seed coordinator. Both must be shard-count-independent — the
 /// per-offer tie-break streams derive from `(round_seed, offer_id)`, so
@@ -298,6 +279,10 @@ pub struct ShardRouter {
     /// Atomic so the gateway's `/health` — served inline on the reactor
     /// thread — never takes a shard lock a running round might hold.
     rounds: std::sync::atomic::AtomicU64,
+    /// Candidate-phase delegation (coordinator role). `None` — the
+    /// default, and always the state during journal replay — computes
+    /// every round locally.
+    distributor: Mutex<Option<Arc<dyn RoundDistributor>>>,
 }
 
 impl ShardRouter {
@@ -324,12 +309,36 @@ impl ShardRouter {
                 round_rng: StdRng::seed_from_u64(base.seed),
             }),
             rounds: std::sync::atomic::AtomicU64::new(0),
+            distributor: Mutex::new(None),
         }
+    }
+
+    /// Attach a [`RoundDistributor`]: subsequent rounds farm the
+    /// candidate phase out through it. Call only *after* recovery
+    /// replay so replayed rounds recompute locally (the distributed and
+    /// local paths are pinned bit-identical, so either replays the same
+    /// state — but replay must not depend on worker availability).
+    pub fn set_distributor(&self, d: Arc<dyn RoundDistributor>) {
+        *self.distributor.lock() = Some(d);
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The round seed the *next* round will draw, without advancing the
+    /// coordinator stream. Workers use this to verify that a candidate
+    /// request carries the seed their own replica would draw — a
+    /// mismatched seed means coordinator and worker have diverged.
+    pub fn predict_round_seed(&self) -> u64 {
+        let mut probe = self.state.lock().round_rng.clone();
+        probe.gen::<u64>()
+    }
+
+    /// Draw the next round seed, advancing the coordinator stream.
+    pub fn draw_round_seed(&self) -> u64 {
+        self.state.lock().round_rng.gen::<u64>()
     }
 
     /// Rounds completed since construction — lock-free (the reactor
@@ -485,20 +494,39 @@ impl ShardRouter {
     ///    a seller's proceeds from an earlier sale can fund their own
     ///    later purchase, exactly as in a 1-shard market).
     ///
-    /// The candidate phase dominates round cost and stays parallel; the
-    /// exchange and settlement phases are cheap, ledger-touching, and
-    /// deterministic.
+    /// The candidate phase dominates round cost and stays parallel —
+    /// shard-parallel in-process, or farmed out to worker processes
+    /// when a [`RoundDistributor`] is attached; the exchange and
+    /// settlement phases are cheap, ledger-touching, and deterministic.
     pub fn run_round(&self) -> MergedRoundReport {
         let m = crate::metrics::metrics();
-        let round_seed = self.state.lock().round_rng.gen::<u64>();
-        // Phase 1: candidates, shard-parallel.
+        let round_seed = self.draw_round_seed();
+        let round = self.rounds_completed() + 1;
+        let distributor = self.distributor.lock().clone();
+        // Phase 1: candidates — distributed when a distributor is
+        // attached and has live workers, shard-parallel locally
+        // otherwise. Both paths produce identical contexts: the export
+        // carries everything the candidate stage computed, and expiry
+        // (a pure function of the local offer book) re-runs on import.
         // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
-        let mut ctxs: Vec<RoundContext> = self
-            .shards
-            .par_iter()
-            .map(|market| market.begin_round_seeded(round_seed))
-            .collect();
+        let remote = distributor
+            .as_ref()
+            .and_then(|d| d.candidates(round, round_seed, self.shards.len()))
+            .filter(|exports| exports.len() == self.shards.len());
+        let mut ctxs: Vec<RoundContext> = match &remote {
+            Some(exports) => self
+                .shards
+                .iter()
+                .zip(exports)
+                .map(|(market, export)| market.begin_round_imported(round_seed, export))
+                .collect(),
+            None => self
+                .shards
+                .par_iter()
+                .map(|market| market.begin_round_seeded(round_seed))
+                .collect(),
+        };
         m.round_phase_us(0)
             .record_duration_us(phase_started.elapsed());
         // Phase 2: one global clearing pass over all shards' bids. The
@@ -506,24 +534,104 @@ impl ShardRouter {
         // needs the winning mashups, which stay behind.
         // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
+        let sales = self.clear_round(&mut ctxs);
+        m.round_phase_us(1)
+            .record_duration_us(phase_started.elapsed());
+        let merged = self.finish_round(ctxs, sales);
+        // Broadcast the settled round so every worker replica replays
+        // it and stays bit-identical to the coordinator.
+        if let (Some(d), Some(exports)) = (&distributor, &remote) {
+            d.round_complete(round, round_seed, exports);
+        }
+        merged
+    }
+
+    /// Phase 2 of a round: move every shard's bids out of its context
+    /// and run one global clearing pass over the merged candidate
+    /// graph. Returned sales are sorted by global offer id.
+    pub fn clear_round(&self, ctxs: &mut [RoundContext]) -> Vec<Sale> {
         let sets: Vec<CandidateSet> = ctxs
             .iter_mut()
             .map(RoundContext::take_candidate_set)
             .collect();
-        let sales = self.exchange.clear(sets);
-        m.round_phase_us(1)
-            .record_duration_us(phase_started.elapsed());
-        // Phase 3: ordered settlement, routed to the buyer's shard.
-        // `pricing::clear` returns sales sorted by global offer id —
-        // that order is part of the semantics (a seller's proceeds from
-        // an earlier sale can fund their own later purchase on the
-        // shared ledger, exactly as in a 1-shard market).
+        self.exchange.clear(sets)
+    }
+
+    /// Phases 3–4 of a round: settle the cleared sales against the
+    /// shared ledger (conflict-graph parallel planning, globally
+    /// ordered commit) and close every shard's round. Shared between
+    /// the in-process path ([`ShardRouter::run_round`]) and worker
+    /// replicas replaying a coordinator-settled round — both must
+    /// execute it bit-identically. `sales` must be sorted by global
+    /// offer id (the contract of [`clear`]).
+    pub fn finish_round(&self, mut ctxs: Vec<RoundContext>, sales: Vec<Sale>) -> MergedRoundReport {
+        let m = crate::metrics::metrics();
+        // Phase 3: conflict-graph settlement, routed to the buyer's
+        // shard. Planning (fee split, revenue shares, contribution
+        // rewards — the Shapley-flavored part) reads no ledger state,
+        // so sales whose conflict keys (buyer + dataset owners +
+        // datasets) land in different connected components are planned
+        // concurrently. The *commit* stays strictly in global offer-id
+        // order: escrow/transaction/delivery ids, the audit chain, and
+        // hold-success all depend on it (a seller's proceeds from an
+        // earlier sale can fund their own later purchase on the shared
+        // ledger, exactly as in a 1-shard market).
         // dmp-lint: allow(det-wall-clock) -- per-phase latency telemetry; never read into round state
         let phase_started = std::time::Instant::now();
-        for sale in sales {
-            let home = self.shard_of(&sale.buyer);
-            // dmp-lint: allow(panic-indexing) -- one context per shard by construction; home comes from shard_of, reduced mod shards.len()
-            self.market_at(home).settle_sale(&mut ctxs[home], sale);
+        let keyed: Vec<(usize, Sale)> = sales
+            .into_iter()
+            .map(|sale| (self.shard_of(&sale.buyer), sale))
+            .collect();
+        // Ex post designs defer payment to delivery audits; their
+        // settlement path ignores plans, so skip the planning pass.
+        let plan_ahead = !matches!(
+            self.exchange.design.elicitation,
+            ElicitationProtocol::ExPost(_)
+        );
+        let keys: Vec<Vec<String>> = keyed
+            .iter()
+            .map(|(home, sale)| {
+                // dmp-lint: allow(panic-indexing) -- one context per shard by construction; home comes from shard_of, reduced mod shards.len()
+                match ctxs[*home].best_mashups.get(&sale.offer_id) {
+                    Some(mashup) => self.market_at(*home).settlement_conflict_keys(sale, mashup),
+                    None => Vec::new(),
+                }
+            })
+            .collect();
+        let components = connected_components(&keys);
+        let per_component: Vec<Vec<(usize, Option<SettlementPlan>)>> = components
+            .par_iter()
+            .map(|component| {
+                component
+                    .iter()
+                    .map(|&i| {
+                        // dmp-lint: allow(panic-indexing) -- component members index the keyed sales they were built from
+                        let (home, sale) = &keyed[i];
+                        let plan = if plan_ahead {
+                            // dmp-lint: allow(panic-indexing) -- one context per shard by construction
+                            ctxs[*home]
+                                .best_mashups
+                                .get(&sale.offer_id)
+                                .map(|mashup| self.market_at(*home).plan_settlement(sale, mashup))
+                        } else {
+                            None
+                        };
+                        (i, plan)
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Deterministic merge: back to global offer-id order (keyed
+        // order) regardless of which component finished first.
+        let mut planned: Vec<(usize, Option<SettlementPlan>)> =
+            per_component.into_iter().flatten().collect();
+        planned.sort_by_key(|(i, _)| *i);
+        m.settlement_components.record(components.len() as u64);
+        let component_count = components.len();
+        for ((home, sale), (_, plan)) in keyed.into_iter().zip(planned) {
+            self.market_at(home)
+                // dmp-lint: allow(panic-indexing) -- one context per shard by construction; home comes from shard_of, reduced mod shards.len()
+                .settle_sale_planned(&mut ctxs[home], sale, plan.as_ref());
         }
         // Cross-shard accounting over sales that actually *settled*
         // (cleared-but-unfunded sales leave their offers pending and
@@ -558,6 +666,7 @@ impl ShardRouter {
             .collect();
         let mut merged = MergedRoundReport::merge(reports);
         merged.cross_shard = cross_shard;
+        merged.components = component_count;
         m.round_phase_us(3)
             .record_duration_us(phase_started.elapsed());
         m.cross_shard_sales.add(cross_shard as u64);
@@ -1168,29 +1277,70 @@ mod tests {
     }
 
     #[test]
-    fn candidate_set_round_trips_through_the_wire() {
-        let set = CandidateSet {
-            round: 9,
-            bids: vec![RoundBid {
-                offer_id: 42,
-                buyer: "buyer \"q\" π".into(),
-                bid: 123.456789,
-                satisfaction: 0.875,
-                datasets: vec![DatasetId(3), DatasetId(11)],
-                reserve_floor: 7.25,
-                license_multiplier: 1.5,
-            }],
+    fn distributed_candidate_import_matches_local_compute() {
+        // A round whose candidate phase is exported on one router and
+        // imported on an identical replica must leave both routers with
+        // equal digests — the invariant the coordinator/worker split
+        // rests on.
+        let seed_commands = |r: &ShardRouter| {
+            r.apply(&Command::Enroll {
+                name: "alice".into(),
+                role: "buyer".into(),
+            })
+            .unwrap();
+            r.apply(&Command::Deposit {
+                account: "alice".into(),
+                amount: 50.0,
+            })
+            .unwrap();
         };
-        let encoded = candidate_set_to_json(&set).dump();
-        let decoded =
-            candidate_set_from_json(&Json::parse(&encoded).unwrap()).expect("decodes back");
-        assert_eq!(decoded, set, "wire round-trip changed the candidate set");
-        // Malformed sets are refused, not defaulted.
-        assert!(candidate_set_from_json(&Json::parse(r#"{"round":1}"#).unwrap()).is_err());
-        assert!(candidate_set_from_json(
-            &Json::parse(r#"{"round":1,"bids":[{"offer":1}]}"#).unwrap()
-        )
-        .is_err());
+        let local = router(2);
+        let replica = router(2);
+        seed_commands(&local);
+        seed_commands(&replica);
+        // Local path on `local`.
+        let report_local = local.run_round();
+        // Exported/imported path on `replica`.
+        let seed = replica.draw_round_seed();
+        let mut exports = Vec::new();
+        let mut pending = Vec::new();
+        for market in replica.shards() {
+            let (ctx, export) = market.begin_round_exported(seed);
+            pending.push(ctx);
+            exports.push(export);
+        }
+        // A third replica imports what the second exported.
+        let importer = router(2);
+        seed_commands(&importer);
+        let iseed = importer.draw_round_seed();
+        assert_eq!(iseed, seed, "replicas draw the same round seed");
+        let mut ictxs: Vec<RoundContext> = importer
+            .shards()
+            .iter()
+            .zip(&exports)
+            .map(|(market, export)| market.begin_round_imported(iseed, export))
+            .collect();
+        let isales = importer.clear_round(&mut ictxs);
+        let report_import = importer.finish_round(ictxs, isales);
+        // Finish the exporting replica too so all three digests align.
+        let psales = replica.clear_round(&mut pending);
+        replica.finish_round(pending, psales);
+        assert_eq!(report_local.round, report_import.round);
+        assert_eq!(local.state_digest(), importer.state_digest());
+        assert_eq!(local.state_digest(), replica.state_digest());
+    }
+
+    #[test]
+    fn predicted_seed_matches_drawn_seed() {
+        let r = router(2);
+        let predicted = r.predict_round_seed();
+        assert_eq!(predicted, r.predict_round_seed(), "prediction is pure");
+        assert_eq!(predicted, r.draw_round_seed(), "prediction matches draw");
+        assert_ne!(
+            predicted,
+            r.predict_round_seed(),
+            "draw advances the stream"
+        );
     }
 
     #[test]

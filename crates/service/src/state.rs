@@ -85,7 +85,7 @@ pub fn decode(state: &StateImage) -> Result<RouterImage, WireError> {
 // Scalar atoms.
 // ---------------------------------------------------------------------
 
-fn enc_u64(v: u64) -> Json {
+pub(crate) fn enc_u64(v: u64) -> Json {
     Json::Str(v.to_string())
 }
 
@@ -97,17 +97,17 @@ fn enc_u32(v: u32) -> Json {
     Json::Str(v.to_string())
 }
 
-fn enc_usize(v: usize) -> Json {
+pub(crate) fn enc_usize(v: usize) -> Json {
     Json::Str(v.to_string())
 }
 
 /// Floats travel as the hex bit pattern: exact for every value including
 /// NaN payloads and infinities, which wire JSON cannot represent.
-fn enc_f64(v: f64) -> Json {
+pub(crate) fn enc_f64(v: f64) -> Json {
     Json::Str(format!("{:016x}", v.to_bits()))
 }
 
-fn dec_u64(j: &Json) -> Result<u64, WireError> {
+pub(crate) fn dec_u64(j: &Json) -> Result<u64, WireError> {
     j.as_str()
         .and_then(|s| s.parse::<u64>().ok())
         .ok_or_else(|| WireError::new("expected decimal u64 string"))
@@ -125,13 +125,13 @@ fn dec_u32(j: &Json) -> Result<u32, WireError> {
         .ok_or_else(|| WireError::new("expected decimal u32 string"))
 }
 
-fn dec_usize(j: &Json) -> Result<usize, WireError> {
+pub(crate) fn dec_usize(j: &Json) -> Result<usize, WireError> {
     j.as_str()
         .and_then(|s| s.parse::<usize>().ok())
         .ok_or_else(|| WireError::new("expected decimal usize string"))
 }
 
-fn dec_f64(j: &Json) -> Result<f64, WireError> {
+pub(crate) fn dec_f64(j: &Json) -> Result<f64, WireError> {
     j.as_str()
         .filter(|s| s.len() == 16)
         .and_then(|s| u64::from_str_radix(s, 16).ok())
@@ -139,7 +139,7 @@ fn dec_f64(j: &Json) -> Result<f64, WireError> {
         .ok_or_else(|| WireError::new("expected 16-hex-digit f64 bit pattern"))
 }
 
-fn dec_str(j: &Json) -> Result<String, WireError> {
+pub(crate) fn dec_str(j: &Json) -> Result<String, WireError> {
     j.as_str()
         .map(str::to_string)
         .ok_or_else(|| WireError::new("expected string"))
@@ -153,12 +153,12 @@ fn dec_bool(j: &Json) -> Result<bool, WireError> {
 // Structural helpers.
 // ---------------------------------------------------------------------
 
-fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
+pub(crate) fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, WireError> {
     obj.get(key)
         .ok_or_else(|| WireError::new(format!("missing field '{key}'")))
 }
 
-fn arr(j: &Json) -> Result<&[Json], WireError> {
+pub(crate) fn arr(j: &Json) -> Result<&[Json], WireError> {
     j.as_arr().ok_or_else(|| WireError::new("expected array"))
 }
 
@@ -193,19 +193,19 @@ fn dec_opt<T>(
     }
 }
 
-fn enc_str_vec(items: &[String]) -> Json {
+pub(crate) fn enc_str_vec(items: &[String]) -> Json {
     Json::Arr(items.iter().map(Json::str).collect())
 }
 
-fn dec_str_vec(j: &Json) -> Result<Vec<String>, WireError> {
+pub(crate) fn dec_str_vec(j: &Json) -> Result<Vec<String>, WireError> {
     arr(j)?.iter().map(dec_str).collect()
 }
 
-fn enc_dataset_vec(items: &[DatasetId]) -> Json {
+pub(crate) fn enc_dataset_vec(items: &[DatasetId]) -> Json {
     Json::Arr(items.iter().map(|d| enc_u64(d.0)).collect())
 }
 
-fn dec_dataset_vec(j: &Json) -> Result<Vec<DatasetId>, WireError> {
+pub(crate) fn dec_dataset_vec(j: &Json) -> Result<Vec<DatasetId>, WireError> {
     arr(j)?.iter().map(|v| dec_u64(v).map(DatasetId)).collect()
 }
 
@@ -295,7 +295,7 @@ fn dec_value(j: &Json) -> Result<Value, WireError> {
     }
 }
 
-fn enc_relation(rel: &Relation) -> Json {
+pub(crate) fn enc_relation(rel: &Relation) -> Json {
     Json::obj([
         ("name", Json::str(rel.name())),
         ("source", enc_opt(&rel.source(), |d| enc_u64(d.0))),
@@ -332,7 +332,7 @@ fn enc_relation(rel: &Relation) -> Json {
     ])
 }
 
-fn dec_relation(j: &Json) -> Result<Relation, WireError> {
+pub(crate) fn dec_relation(j: &Json) -> Result<Relation, WireError> {
     let name = dec_str(field(j, "name")?)?;
     let source = dec_opt(field(j, "source")?, dec_u64)?;
     let fields = arr(field(j, "schema")?)?
@@ -1054,7 +1054,7 @@ fn dec_participant(j: &Json) -> Result<Participant, WireError> {
     })
 }
 
-fn enc_negotiation(n: &NegotiationRequest) -> Json {
+pub(crate) fn enc_negotiation(n: &NegotiationRequest) -> Json {
     Json::obj([
         ("offer_id", enc_u64(n.offer_id)),
         ("buyer", Json::str(&n.buyer)),
@@ -1063,7 +1063,7 @@ fn enc_negotiation(n: &NegotiationRequest) -> Json {
     ])
 }
 
-fn dec_negotiation(j: &Json) -> Result<NegotiationRequest, WireError> {
+pub(crate) fn dec_negotiation(j: &Json) -> Result<NegotiationRequest, WireError> {
     Ok(NegotiationRequest {
         offer_id: dec_u64(field(j, "offer_id")?)?,
         buyer: dec_str(field(j, "buyer")?)?,
@@ -1072,7 +1072,7 @@ fn dec_negotiation(j: &Json) -> Result<NegotiationRequest, WireError> {
     })
 }
 
-fn enc_audit_event(e: &AuditEvent) -> Json {
+pub(crate) fn enc_audit_event(e: &AuditEvent) -> Json {
     match e {
         AuditEvent::DatasetRegistered { dataset, seller } => Json::obj([
             ("k", Json::str("reg")),
@@ -1116,7 +1116,7 @@ fn enc_audit_event(e: &AuditEvent) -> Json {
     }
 }
 
-fn dec_audit_event(j: &Json) -> Result<AuditEvent, WireError> {
+pub(crate) fn dec_audit_event(j: &Json) -> Result<AuditEvent, WireError> {
     match kind(j)? {
         "reg" => Ok(AuditEvent::DatasetRegistered {
             dataset: DatasetId(dec_u64(field(j, "dataset")?)?),
